@@ -1,0 +1,91 @@
+// Ablation (Section 4.2): how much of stage-1 dissemination does each mechanism
+// carry? The switch broadcast is hop-limited ("a max of 5 hops is often enough"),
+// so on larger fabrics the host-to-host gossip flood must cover the rest. We
+// shrink the broadcast to 1 hop on a fat-tree and sweep the ring-gossip fanout,
+// measuring notification coverage and delay.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/fabric.h"
+#include "src/topo/generators.h"
+#include "src/util/stats.h"
+
+using namespace dumbnet;
+
+namespace {
+
+struct Outcome {
+  size_t notified = 0;
+  size_t hosts = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  size_t via_fabric = 0;
+  size_t via_gossip = 0;
+};
+
+Outcome Run(uint32_t fanout, uint8_t notify_hops) {
+  FatTreeConfig config;
+  config.k = 4;
+  auto ft = MakeFatTree(config);
+  uint32_t agg = ft.value().aggregation[3];
+
+  HostAgentConfig agent_config;
+  agent_config.gossip_fanout = fanout;
+  agent_config.process_delay = Us(50);
+  DumbSwitchConfig switch_config;
+  switch_config.notify_hops = notify_hops;
+  SimulatedFabric fabric(std::move(ft.value().topo), agent_config, switch_config);
+  fabric.BringUpAdopted(0);
+
+  Outcome outcome;
+  outcome.hosts = fabric.host_count();
+  SampleSet delays;
+  std::vector<bool> heard(fabric.host_count(), false);
+  for (uint32_t h = 0; h < fabric.host_count(); ++h) {
+    fabric.agent(h).SetLinkEventHook([&, h](const LinkEventPayload& ev, bool fabric_src) {
+      if (ev.up || heard[h]) {
+        return;
+      }
+      heard[h] = true;
+      ++outcome.notified;
+      (fabric_src ? outcome.via_fabric : outcome.via_gossip) += 1;
+      delays.Add(ToMs(fabric.agent(h).sim().Now() - ev.origin_time));
+    });
+  }
+
+  // Cut an aggregation-core link deep in the fabric (hosts are >= 2 hops away, so
+  // a 1-hop broadcast cannot reach any of them directly... except via the agg's
+  // edge neighbors' hosts).
+  fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(agg, 3), false);
+  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+
+  outcome.p50_ms = delays.Percentile(50);
+  outcome.p99_ms = delays.Percentile(99);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — stage-1 dissemination: broadcast hops vs gossip fanout",
+                "Section 4.2: the two mechanisms are complementary");
+
+  std::printf("broadcast limited to 1 hop (gossip must carry the fabric):\n");
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "fanout", "coverage", "p50 (ms)",
+              "p99 (ms)", "via fabric", "via gossip");
+  for (uint32_t fanout : {0u, 1u, 2u, 3u, 4u}) {
+    Outcome o = Run(fanout, 1);
+    std::printf("%8u %10zu/%zu %12.2f %12.2f %12zu %12zu\n", fanout, o.notified, o.hosts,
+                o.p50_ms, o.p99_ms, o.via_fabric, o.via_gossip);
+  }
+  std::printf("\npaper default (5-hop broadcast):\n");
+  for (uint32_t fanout : {0u, 3u}) {
+    Outcome o = Run(fanout, 5);
+    std::printf("%8u %10zu/%zu %12.2f %12.2f %12zu %12zu\n", fanout, o.notified, o.hosts,
+                o.p50_ms, o.p99_ms, o.via_fabric, o.via_gossip);
+  }
+  std::printf("\nexpectation: with a crippled broadcast, coverage needs fanout >= 1 and\n"
+              "improves with more peers; with the paper's 5-hop broadcast the fabric\n"
+              "alone reaches every host on this diameter-4 fat-tree.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the reproduction benches: consistent headers and an
+// environment switch (DUMBNET_QUICK=1) that shrinks the slowest sweeps.
+#ifndef DUMBNET_BENCH_BENCH_UTIL_H_
+#define DUMBNET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dumbnet {
+namespace bench {
+
+inline bool QuickMode() {
+  const char* env = std::getenv("DUMBNET_QUICK");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+inline void Banner(const char* id, const char* paper_result) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper: %s\n", paper_result);
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dumbnet
+
+#endif  // DUMBNET_BENCH_BENCH_UTIL_H_

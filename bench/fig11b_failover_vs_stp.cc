@@ -1,0 +1,188 @@
+// Figure 11(b): throughput across a link failure — DumbNet's host-based failover
+// vs off-the-shelf Spanning Tree Protocol reconvergence.
+//
+// Paper result: with the network saturated at 0.5 Gbps, DumbNet recovers ~4.7x
+// faster than STP: the hosts just switch to a cached backup path on the stage-1
+// notification, while STP runs a distributed multi-round protocol and walks ports
+// through its forward-delay stages.
+//
+// Method: identical topology and transport for both runs; only the fabric differs
+// (dumb switches + host agents vs learning switches + STP). Throughput is sampled
+// at the receiver in 10 ms bins; recovery = first bin back at >= 80% of the
+// pre-failure rate.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baseline/ethernet_switch.h"
+#include "src/core/fabric.h"
+#include "src/topo/generators.h"
+#include "src/transport/reliable_flow.h"
+
+using namespace dumbnet;
+
+namespace {
+
+constexpr TimeNs kBin = Ms(10);
+constexpr TimeNs kRunFor = Sec(2);
+constexpr TimeNs kCutAfter = Ms(500);
+
+struct Timeline {
+  std::vector<double> mbps;       // per bin
+  TimeNs cut_at = 0;
+  TimeNs recovered_at = -1;
+
+  // First bin boundary after the cut where rate is back to >= 80% of pre-cut.
+  void ComputeRecovery() {
+    size_t cut_bin = static_cast<size_t>(cut_at / kBin);
+    double before = 0;
+    size_t n = 0;
+    for (size_t i = cut_bin >= 11 ? cut_bin - 11 : 0; i + 1 < cut_bin; ++i, ++n) {
+      before += mbps[i];
+    }
+    before /= n > 0 ? static_cast<double>(n) : 1.0;
+    for (size_t i = cut_bin; i < mbps.size(); ++i) {
+      if (mbps[i] >= 0.8 * before) {
+        recovered_at = static_cast<TimeNs>(i + 1) * kBin - cut_at;
+        return;
+      }
+    }
+  }
+};
+
+// Makes the testbed with every link capped at 0.5 Gbps (the paper limits bandwidth
+// so the link saturates).
+Topology CappedTestbed(std::vector<uint32_t>* leaves) {
+  LeafSpineConfig config;
+  config.num_spine = 2;
+  config.num_leaf = 5;
+  config.hosts_per_leaf = 5;
+  config.switch_ports = 64;
+  config.uplink_gbps = 0.5;
+  config.host_gbps = 0.5;
+  auto ls = MakeLeafSpine(config);
+  *leaves = ls.value().leaves;
+  return std::move(ls.value().topo);
+}
+
+template <typename MakeChannelFn>
+Timeline RunFlow(Simulator& sim, Topology& topo, MakeChannelFn&& channels,
+                 uint64_t dst_mac, std::function<void()> cut) {
+  auto [src_channel, dst_channel] = channels();
+  ReliableFlowReceiver receiver(dst_channel, /*flow_id=*/1);
+  FlowConfig flow;
+  flow.total_bytes = 0;  // open-ended
+  flow.rto = Ms(25);  // a Linux-ish minimum RTO; dominates DumbNet recovery as in the paper
+  ReliableFlowSender sender(src_channel, 1, dst_mac, flow);
+
+  Timeline timeline;
+  TimeNs start = sim.Now();
+  uint64_t bin_bytes = 0;
+  receiver.SetProgressHook([&](uint64_t bytes) { bin_bytes += bytes; });
+  std::function<void()> tick = [&] {
+    timeline.mbps.push_back(static_cast<double>(bin_bytes) * 8.0 / ToSec(kBin) / 1e6);
+    bin_bytes = 0;
+    if (sim.Now() - start < kRunFor) {
+      sim.ScheduleAfter(kBin, tick);
+    }
+  };
+  sim.ScheduleAfter(kBin, tick);
+  sim.ScheduleAfter(kCutAfter, [&] {
+    timeline.cut_at = sim.Now() - start;
+    cut();
+  });
+
+  sender.Start();
+  sim.RunUntil(start + kRunFor + kBin);
+  sender.Stop();
+  timeline.ComputeRecovery();
+  return timeline;
+}
+
+Timeline RunDumbNet() {
+  std::vector<uint32_t> leaves;
+  SimulatedFabric fabric(CappedTestbed(&leaves));
+  fabric.BringUpAdopted(24);  // last host doubles as controller
+
+  auto src_channel = std::make_unique<DumbNetChannel>(&fabric.agent(0));
+  auto dst_channel = std::make_unique<DumbNetChannel>(&fabric.agent(6));  // leaf 1
+  return RunFlow(
+      fabric.sim(), fabric.topo(),
+      [&] { return std::pair(src_channel.get(), dst_channel.get()); },
+      fabric.agent(6).mac(), [&] {
+        // Cut whichever uplink the flow is bound to (worst case for the sender).
+        const PathTableEntry* entry =
+            fabric.agent(0).path_table().Find(fabric.agent(6).mac());
+        PortNum uplink = 1;
+        if (entry != nullptr && !entry->paths.empty()) {
+          uplink = entry->paths[0].tags[0];
+          for (const auto& [flow, idx] : entry->flow_binding) {
+            if (flow == 1 && idx < entry->paths.size()) {
+              uplink = entry->paths[idx].tags[0];
+            }
+          }
+        }
+        fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(leaves[0], uplink), false);
+      });
+}
+
+Timeline RunStp() {
+  std::vector<uint32_t> leaves;
+  Topology topo = CappedTestbed(&leaves);
+  Simulator sim;
+  Network net(&sim, &topo);
+  std::vector<std::unique_ptr<EthernetSwitch>> switches;
+  for (uint32_t s = 0; s < topo.switch_count(); ++s) {
+    switches.push_back(std::make_unique<EthernetSwitch>(&net, s));
+  }
+  std::vector<std::unique_ptr<EthernetHost>> hosts;
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    hosts.push_back(std::make_unique<EthernetHost>(&net, h));
+  }
+  sim.RunUntil(Sec(2));  // STP convergence
+
+  auto src_channel = std::make_unique<EthernetChannel>(hosts[0].get(), &sim);
+  auto dst_channel = std::make_unique<EthernetChannel>(hosts[6].get(), &sim);
+  return RunFlow(
+      sim, topo, [&] { return std::pair(src_channel.get(), dst_channel.get()); },
+      hosts[6]->mac(), [&] {
+        // Cut the leaf0 uplink on the spanning tree (the root-facing one actually
+        // carrying the flow): try port 1; if that port is blocked, port 2.
+        PortNum port = switches[leaves[0]]->port_state(1) ==
+                               EthernetSwitch::PortState::kForwarding
+                           ? 1
+                           : 2;
+        topo.SetLinkUp(topo.LinkAtPort(leaves[0], port), false);
+      });
+}
+
+void Print(const char* name, const Timeline& t) {
+  std::printf("%-8s recovery: %6.0f ms | rate around the cut (10 ms bins, Mbps):\n",
+              name, t.recovered_at >= 0 ? ToMs(t.recovered_at) : -1.0);
+  size_t cut_bin = static_cast<size_t>(t.cut_at / kBin);
+  size_t from = cut_bin >= 3 ? cut_bin - 3 : 0;
+  size_t to = std::min(t.mbps.size(), cut_bin + 40);
+  std::printf("  ");
+  for (size_t i = from; i < to; ++i) {
+    std::printf("%s%3.0f", i == cut_bin ? " |CUT| " : " ", t.mbps[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 11(b) — post-failure throughput: DumbNet vs STP (0.5 Gbps)",
+                "DumbNet recovers ~4.7x faster than STP");
+  Timeline dumbnet = RunDumbNet();
+  Timeline stp = RunStp();
+  Print("DumbNet", dumbnet);
+  Print("STP", stp);
+  if (dumbnet.recovered_at > 0 && stp.recovered_at > 0) {
+    std::printf("\nspeedup: STP %.0f ms / DumbNet %.0f ms = %.1fx (paper: ~4.7x)\n",
+                ToMs(stp.recovered_at), ToMs(dumbnet.recovered_at),
+                static_cast<double>(stp.recovered_at) /
+                    static_cast<double>(dumbnet.recovered_at));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8(b): topology discovery time vs. per-switch port count, holding the
+// topology and link count constant.
+//
+// Paper result: on an 8x8x8 cube, discovery time grows quadratically with the
+// per-switch port count (PM complexity is O(N * P^2)).
+//
+// Substitution: we sweep P on a 4x4x4 cube by default (the full 8-cube at P=96 is
+// ~7.5M probe messages, minutes of wall time on one core); the quadratic trend is
+// the claim under test and is size-independent. Set DUMBNET_FULL8CUBE=1 for the
+// paper-size grid.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/fabric.h"
+#include "src/topo/generators.h"
+
+using namespace dumbnet;
+
+int main() {
+  bench::Banner("Figure 8(b) — discovery time vs per-switch port count (cube)",
+                "quadratic trend: O(N * P^2) probe messages");
+  const bool quick = bench::QuickMode();
+  const bool full = std::getenv("DUMBNET_FULL8CUBE") != nullptr;
+  const uint32_t n = full ? 8 : 4;
+
+  std::printf("%8s %12s %14s %14s\n", "ports", "time (s)", "probe msgs", "t/P^2 (ms)");
+  double first_ratio = -1;
+  std::vector<uint32_t> sweep{8, 16, 24, 32, 48, 64};
+  if (quick) {
+    sweep = {8, 16, 32};
+  }
+  for (uint32_t ports : sweep) {
+    CubeConfig config;
+    config.dims = {n, n, n};
+    config.hosts_per_switch = 0;
+    config.switch_ports = static_cast<uint8_t>(ports);
+    auto cube = MakeCube(config);
+    uint32_t host = cube.value().topo.AddHost();
+    (void)cube.value().topo.AttachHost(host, cube.value().At(0, 0, 0),
+                                       static_cast<PortNum>(7));
+    SimulatedFabric fabric(std::move(cube.value().topo));
+    DiscoveryConfig discovery_config;
+    discovery_config.max_ports = static_cast<uint8_t>(ports);
+    DiscoveryService discovery(&fabric.agent(0), discovery_config);
+    discovery.Start(nullptr);
+    fabric.sim().Run();
+
+    double seconds = ToSec(discovery.stats().finished_at - discovery.stats().started_at);
+    double per_p2 = 1e3 * seconds / static_cast<double>(ports) / static_cast<double>(ports);
+    if (first_ratio < 0) {
+      first_ratio = per_p2;
+    }
+    std::printf("%8u %12.2f %14lu %14.3f\n", ports, seconds,
+                static_cast<unsigned long>(discovery.stats().probes_sent), per_p2);
+  }
+  std::printf("\nshape check: t/P^2 roughly constant => quadratic in P, matching the "
+              "paper's O(N*P^2) analysis.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: bring up a complete DumbNet fabric — dumb switches, host agents and a
+// controller — on the paper's 7-switch/27-server testbed topology, run topology
+// discovery with real probe messages, and send source-routed traffic between hosts.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/core/fabric.h"
+#include "src/routing/tags.h"
+#include "src/topo/generators.h"
+#include "src/util/logging.h"
+
+using namespace dumbnet;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // 1. The physical network: 2 spines, 5 leaves, 27 servers (paper Section 7).
+  auto testbed = MakePaperTestbed();
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "topology: %s\n", testbed.error().ToString().c_str());
+    return 1;
+  }
+  SimulatedFabric fabric(std::move(testbed.value().topo));
+  std::printf("fabric: %zu switches, %zu hosts, %zu links\n", fabric.switch_count(),
+              fabric.host_count(), fabric.topo().link_count());
+
+  // 2. Bring-up: host 25 becomes the controller, BFS-probes the whole fabric with
+  //    source-routed probe messages, and bootstraps every host.
+  DiscoveryConfig discovery;
+  discovery.max_ports = 16;  // ports to probe per switch
+  if (!fabric.BringUp(/*controller_host=*/25, ControllerConfig(), discovery)) {
+    std::fprintf(stderr, "bring-up failed\n");
+    return 1;
+  }
+  const DiscoveryStats& ds = fabric.controller().discovery().stats();
+  std::printf("discovery: %zu switches, %zu hosts found with %lu probe messages in "
+              "%.3f s (simulated)\n",
+              fabric.controller().db().switch_count(),
+              fabric.controller().db().host_count(),
+              static_cast<unsigned long>(ds.probes_sent),
+              ToSec(ds.finished_at - ds.started_at));
+
+  // 3. Send data: host 0 (leaf 0) -> host 12 (leaf 2). The first packet triggers a
+  //    path query; the controller answers with a path graph; the host caches k
+  //    shortest paths and tags the packet with its route.
+  HostAgent& src = fabric.agent(0);
+  HostAgent& dst = fabric.agent(12);
+  int received = 0;
+  dst.SetDataHandler([&](const Packet& pkt, const DataPayload& data) {
+    ++received;
+    std::printf("  host %lx received flow %lu seq %lu (%ld bytes on the wire)\n",
+                static_cast<unsigned long>(pkt.eth.dst_mac),
+                static_cast<unsigned long>(data.flow_id),
+                static_cast<unsigned long>(data.seq), pkt.WireSize());
+  });
+  for (uint64_t seq = 0; seq < 3; ++seq) {
+    DataPayload payload;
+    payload.flow_id = 7;
+    payload.seq = seq;
+    payload.bytes = 1460;
+    (void)src.Send(dst.mac(), payload.flow_id, payload);
+  }
+  fabric.sim().Run();
+
+  // 4. Inspect the cache: the tag sequences that rode in the packet headers.
+  const PathTableEntry* entry = src.path_table().Find(dst.mac());
+  std::printf("delivered %d packets; cached %zu paths to the destination:\n", received,
+              entry->paths.size());
+  for (const CachedRoute& route : entry->paths) {
+    std::printf("  tags %s (%zu switch hops)\n", TagsToString(route.tags).c_str(),
+                route.uid_path.size());
+  }
+  std::printf("cold-path queries answered by controller: %lu\n",
+              static_cast<unsigned long>(fabric.controller().stats().queries_served));
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Baseline Ethernet fabric for the Figure 11(b) comparison: a MAC-learning switch
+// running a rapid-profile spanning tree protocol. This is the conventional L2
+// network DumbNet's two-stage failover is measured against.
+//
+// The STP model is an honest distributed protocol, not an oracle:
+//   * every switch starts believing it is the root and emits BPDUs each hello;
+//   * best-BPDU election per port decides root/designated/blocked roles;
+//   * ports walk blocked -> learning -> forwarding, each stage taking
+//     `forward_delay` (the classic listening+learning delays, collapsed to two
+//     stages as in RSTP);
+//   * a root-port link failure immediately invalidates the stored root info
+//     (802.1D link-down shortcut) and triggers re-election plus a topology-change
+//     flood that flushes MAC tables fabric-wide.
+#ifndef DUMBNET_SRC_BASELINE_ETHERNET_SWITCH_H_
+#define DUMBNET_SRC_BASELINE_ETHERNET_SWITCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace dumbnet {
+
+struct EthernetSwitchConfig {
+  TimeNs forwarding_delay = 500;       // per-frame pipeline latency
+  TimeNs hello_interval = Ms(50);      // BPDU origination period
+  TimeNs max_age = Ms(300);            // stored BPDU expiry without refresh
+  TimeNs forward_delay = Ms(100);      // per port-state stage
+  TimeNs mac_age_time = Sec(300);
+  bool run_stp = true;                 // off => plain learning switch (loop-free topologies only)
+};
+
+struct EthernetSwitchStats {
+  uint64_t forwarded = 0;
+  uint64_t flooded = 0;
+  uint64_t dropped_blocked = 0;
+  uint64_t bpdus_sent = 0;
+  uint64_t topology_changes = 0;
+  uint64_t mac_flushes = 0;
+};
+
+class EthernetSwitch : public NetNode {
+ public:
+  enum class PortState : uint8_t { kBlocked, kLearning, kForwarding };
+  enum class PortRole : uint8_t { kRoot, kDesignated, kBlockedRole };
+
+  EthernetSwitch(Network* net, uint32_t index,
+                 EthernetSwitchConfig config = EthernetSwitchConfig());
+
+  void HandlePacket(const Packet& pkt, PortNum in_port) override;
+  void HandlePortChange(PortNum port, bool up) override;
+
+  uint64_t bridge_id() const { return bridge_id_; }
+  bool IsRootBridge() const { return root_id_ == bridge_id_; }
+  PortState port_state(PortNum p) const { return ports_[p].state; }
+  PortRole port_role(PortNum p) const { return ports_[p].role; }
+  const EthernetSwitchStats& stats() const { return stats_; }
+
+ private:
+  struct PortInfo {
+    PortState state = PortState::kBlocked;
+    PortRole role = PortRole::kDesignated;
+    // Best BPDU heard on this port.
+    bool has_bpdu = false;
+    BpduPayload best;
+    TimeNs heard_at = 0;
+    // Pending state-machine step (generation counter defeats stale timers).
+    uint64_t fsm_epoch = 0;
+    PortState fsm_target = PortState::kBlocked;
+  };
+
+  void HandleBpdu(const BpduPayload& bpdu, PortNum in_port);
+  void HandleDataFrame(const Packet& pkt, PortNum in_port);
+  void OriginateHello();
+  void Reelect();
+  void SendBpdu(PortNum port, bool topology_change);
+  void AdvancePort(PortNum port, PortState target);
+  void FlushMacTable();
+  void FloodTopologyChange(PortNum skip);
+  bool PortWiredAndUp(PortNum p) const;
+  // True if `a` beats `b` (lower root, then cost, then sender, then port).
+  static bool Better(const BpduPayload& a, const BpduPayload& b);
+
+  Network* net_;
+  Simulator* sim_;
+  uint32_t index_;
+  uint64_t bridge_id_;
+  uint8_t num_ports_;
+  EthernetSwitchConfig config_;
+
+  uint64_t root_id_;
+  uint32_t root_cost_ = 0;
+  PortNum root_port_ = 0;  // 0 = we are root
+
+  std::vector<PortInfo> ports_;
+  std::unordered_map<uint64_t, std::pair<PortNum, TimeNs>> mac_table_;
+  TimeNs last_tc_flood_ = -Sec(1000);
+  EthernetSwitchStats stats_;
+};
+
+// A minimal host on the baseline fabric: sends/receives plain Ethernet frames.
+class EthernetHost : public NetNode {
+ public:
+  EthernetHost(Network* net, uint32_t host_index);
+
+  void SendFrame(uint64_t dst_mac, DataPayload payload);
+
+  using FrameHandler = std::function<void(const Packet&, const DataPayload&)>;
+  void SetFrameHandler(FrameHandler handler) { handler_ = std::move(handler); }
+
+  void HandlePacket(const Packet& pkt, PortNum in_port) override;
+
+  uint64_t mac() const { return mac_; }
+
+ private:
+  Network* net_;
+  uint32_t host_index_;
+  uint64_t mac_;
+  FrameHandler handler_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_BASELINE_ETHERNET_SWITCH_H_

@@ -1,0 +1,40 @@
+#include "src/core/fabric.h"
+
+namespace dumbnet {
+
+SimulatedFabric::SimulatedFabric(Topology topo, HostAgentConfig agent_config,
+                                 DumbSwitchConfig switch_config, NetworkConfig net_config)
+    : topo_(std::move(topo)) {
+  net_ = std::make_unique<Network>(&sim_, &topo_, net_config);
+  for (uint32_t s = 0; s < topo_.switch_count(); ++s) {
+    switches_.push_back(std::make_unique<DumbSwitch>(net_.get(), s, switch_config));
+  }
+  for (uint32_t h = 0; h < topo_.host_count(); ++h) {
+    agents_.push_back(std::make_unique<HostAgent>(net_.get(), h, agent_config));
+  }
+}
+
+ControllerService& SimulatedFabric::AddController(uint32_t host_index,
+                                                  ControllerConfig config,
+                                                  DiscoveryConfig discovery) {
+  controller_ = std::make_unique<ControllerService>(agents_[host_index].get(), config,
+                                                    discovery);
+  return *controller_;
+}
+
+bool SimulatedFabric::BringUp(uint32_t controller_host, ControllerConfig config,
+                              DiscoveryConfig discovery) {
+  AddController(controller_host, config, discovery);
+  bool ready = false;
+  controller_->Start([&ready] { ready = true; });
+  sim_.Run();
+  return ready;
+}
+
+void SimulatedFabric::BringUpAdopted(uint32_t controller_host, ControllerConfig config) {
+  AddController(controller_host, config);
+  controller_->AdoptTopology(topo_);
+  sim_.Run();
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,62 @@
+// SimulatedFabric: one-stop assembly of a complete DumbNet deployment inside the
+// discrete-event simulator — dumb switches on every topology switch, a host agent
+// on every host, and (optionally) a controller service on a chosen host. This is
+// the top-level entry point examples and benchmarks use.
+#ifndef DUMBNET_SRC_CORE_FABRIC_H_
+#define DUMBNET_SRC_CORE_FABRIC_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/ctrl/controller.h"
+#include "src/host/host_agent.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/switch/dumb_switch.h"
+#include "src/topo/topology.h"
+
+namespace dumbnet {
+
+class SimulatedFabric {
+ public:
+  explicit SimulatedFabric(Topology topo, HostAgentConfig agent_config = HostAgentConfig(),
+                           DumbSwitchConfig switch_config = DumbSwitchConfig(),
+                           NetworkConfig net_config = NetworkConfig());
+
+  // Installs a controller service on host `host_index`.
+  ControllerService& AddController(uint32_t host_index,
+                                   ControllerConfig config = ControllerConfig(),
+                                   DiscoveryConfig discovery = DiscoveryConfig());
+
+  // Convenience: AddController + Start (with discovery) + run the simulator until
+  // the controller reports ready. Returns false if bring-up never completed.
+  bool BringUp(uint32_t controller_host, ControllerConfig config = ControllerConfig(),
+               DiscoveryConfig discovery = DiscoveryConfig());
+
+  // Like BringUp but adopts the ground-truth topology instead of probing — instant,
+  // for experiments that are not about discovery.
+  void BringUpAdopted(uint32_t controller_host, ControllerConfig config = ControllerConfig());
+
+  Topology& topo() { return topo_; }
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  HostAgent& agent(uint32_t h) { return *agents_[h]; }
+  DumbSwitch& dumb_switch(uint32_t s) { return *switches_[s]; }
+  ControllerService& controller() { return *controller_; }
+  bool has_controller() const { return controller_ != nullptr; }
+  size_t host_count() const { return agents_.size(); }
+  size_t switch_count() const { return switches_.size(); }
+
+ private:
+  Topology topo_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<DumbSwitch>> switches_;
+  std::vector<std::unique_ptr<HostAgent>> agents_;
+  std::unique_ptr<ControllerService> controller_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_CORE_FABRIC_H_

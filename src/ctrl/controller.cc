@@ -1,0 +1,309 @@
+#include "src/ctrl/controller.h"
+
+#include <algorithm>
+
+#include "src/routing/graph.h"
+#include "src/routing/shortest_path.h"
+#include "src/util/logging.h"
+
+namespace dumbnet {
+
+ControllerService::ControllerService(HostAgent* agent, ControllerConfig config,
+                                     DiscoveryConfig discovery_config)
+    : agent_(agent),
+      sim_(&agent->sim()),
+      config_(config),
+      discovery_(agent, discovery_config),
+      rng_(config.rng_seed) {
+  agent_->SetControlHandler([this](const Packet& pkt) { return HandleControl(pkt); });
+}
+
+void ControllerService::Start(std::function<void()> on_ready) {
+  discovery_.Start([this, on_ready = std::move(on_ready)] {
+    db_ = discovery_.db();  // snapshot; further updates flow through both
+    controller_switch_uid_ = discovery_.attach_switch_uid();
+    controller_port_ = discovery_.attach_port();
+    BootstrapHosts();
+    ready_ = true;
+    if (on_ready) {
+      on_ready();
+    }
+  });
+}
+
+void ControllerService::AdoptTopology(const Topology& truth) {
+  for (LinkIndex li = 0; li < truth.link_count(); ++li) {
+    const Link& l = truth.link_at(li);
+    if (l.detached) {
+      continue;
+    }
+    if (l.a.node.is_switch() && l.b.node.is_switch()) {
+      WireLink wl{truth.switch_at(l.a.node.index).uid, l.a.port,
+                  truth.switch_at(l.b.node.index).uid, l.b.port};
+      (void)db_.AddLink(wl);
+      if (!l.up) {
+        db_.SetLinkState(wl.uid_a, wl.port_a, false);
+      }
+    } else {
+      const Endpoint& host_end = l.a.node.is_host() ? l.a : l.b;
+      const Endpoint& sw_end = l.a.node.is_host() ? l.b : l.a;
+      db_.UpsertHost(HostLocation{truth.host_at(host_end.node.index).mac,
+                                  truth.switch_at(sw_end.node.index).uid, sw_end.port});
+    }
+  }
+  auto self = db_.LocateHost(agent_->mac());
+  if (self.ok()) {
+    controller_switch_uid_ = self.value().switch_uid;
+    controller_port_ = self.value().port;
+  }
+  BootstrapHosts();
+  ready_ = true;
+}
+
+void ControllerService::AdoptDatabase(TopoDb db) {
+  db_ = std::move(db);
+  auto self = db_.LocateHost(agent_->mac());
+  if (self.ok()) {
+    controller_switch_uid_ = self.value().switch_uid;
+    controller_port_ = self.value().port;
+  }
+  BootstrapHosts();
+  ready_ = true;
+}
+
+Result<TagList> ControllerService::TagsToHost(const HostLocation& dst) {
+  auto src_idx = db_.IndexOf(controller_switch_uid_);
+  auto dst_idx = db_.IndexOf(dst.switch_uid);
+  if (!src_idx.ok() || !dst_idx.ok()) {
+    return Error(ErrorCode::kNotFound, "controller or destination switch unknown");
+  }
+  SwitchGraph graph(db_.mirror());
+  auto path = ShortestPath(graph, src_idx.value(), dst_idx.value(), &rng_);
+  if (!path.ok()) {
+    return path.error();
+  }
+  auto tags = db_.CompileTagsForUidPath(db_.PathToUids(path.value()), dst.port);
+  if (!tags.ok()) {
+    return tags.error();
+  }
+  return tags.value();
+}
+
+void ControllerService::BootstrapHosts() {
+  auto directory = std::make_shared<std::vector<HostLocation>>(db_.Directory());
+  std::sort(directory->begin(), directory->end(),
+            [](const HostLocation& a, const HostLocation& b) { return a.mac < b.mac; });
+  HostLocation controller_loc{agent_->mac(), controller_switch_uid_, controller_port_};
+  for (const HostLocation& loc : *directory) {
+    BootstrapPayload boot;
+    boot.self = loc;
+    boot.controller_mac = agent_->mac();
+    boot.controller_location = controller_loc;
+    boot.directory = directory;
+    if (loc.mac == agent_->mac()) {
+      boot.path_to_controller = {};  // co-located
+      agent_->ApplyBootstrap(boot);
+      continue;
+    }
+    auto to_controller = db_.IndexOf(loc.switch_uid);
+    auto ctrl_idx = db_.IndexOf(controller_switch_uid_);
+    if (!to_controller.ok() || !ctrl_idx.ok()) {
+      continue;
+    }
+    SwitchGraph graph(db_.mirror());
+    auto path = ShortestPath(graph, to_controller.value(), ctrl_idx.value(), &rng_);
+    if (!path.ok()) {
+      continue;
+    }
+    auto up_tags = db_.CompileTagsForUidPath(db_.PathToUids(path.value()), controller_port_);
+    if (!up_tags.ok()) {
+      continue;
+    }
+    boot.path_to_controller = std::move(up_tags.value());
+
+    auto down_tags = TagsToHost(loc);
+    if (!down_tags.ok()) {
+      continue;
+    }
+    ++stats_.bootstraps_sent;
+    TimeNs start = std::max(sim_->Now(), cpu_free_);
+    cpu_free_ = start + config_.query_cost;
+    sim_->ScheduleAt(cpu_free_, [this, tags = std::move(down_tags.value()), mac = loc.mac,
+                                 boot = std::move(boot)] {
+      agent_->SendTags(tags, mac, boot);
+    });
+  }
+}
+
+bool ControllerService::HandleControl(const Packet& pkt) {
+  if (const auto* req = pkt.As<PathRequestPayload>()) {
+    if (!ready_) {
+      return true;  // swallowed; the host's retry will find us ready
+    }
+    PathRequestPayload copy = *req;
+    TimeNs start = std::max(sim_->Now(), cpu_free_);
+    cpu_free_ = start + config_.query_cost;
+    sim_->ScheduleAt(cpu_free_, [this, copy] { ServePathRequest(copy); });
+    return true;
+  }
+  if (const auto* ev = pkt.As<LinkEventPayload>()) {
+    OnLinkEvent(*ev);
+    return false;  // the host agent also reacts (it is a host like any other)
+  }
+  return false;
+}
+
+void ControllerService::ServePathRequest(const PathRequestPayload& req) {
+  auto requester = db_.LocateHost(req.requester_mac);
+  auto dst = db_.LocateHost(req.dst_mac);
+  if (!requester.ok() || !dst.ok()) {
+    ++stats_.queries_failed;
+    return;
+  }
+  auto src_idx = db_.IndexOf(requester.value().switch_uid);
+  auto dst_idx = db_.IndexOf(dst.value().switch_uid);
+  if (!src_idx.ok() || !dst_idx.ok()) {
+    ++stats_.queries_failed;
+    return;
+  }
+  SwitchGraph graph(db_.mirror());
+  auto pg = BuildPathGraph(db_.mirror(), graph, src_idx.value(), dst_idx.value(),
+                           config_.path_graph, &rng_);
+  if (!pg.ok()) {
+    ++stats_.queries_failed;
+    return;
+  }
+  auto wire = std::make_shared<WirePathGraph>();
+  wire->src_uid = requester.value().switch_uid;
+  wire->dst_uid = dst.value().switch_uid;
+  wire->primary = db_.PathToUids(pg.value().primary);
+  if (config_.send_backup) {
+    wire->backup = db_.PathToUids(pg.value().backup);
+  }
+  auto push_link = [&](LinkIndex li) {
+    const Link& l = db_.mirror().link_at(li);
+    wire->links.push_back(WireLink{db_.UidOf(l.a.node.index), l.a.port,
+                                   db_.UidOf(l.b.node.index), l.b.port});
+  };
+  if (config_.send_detours) {
+    wire->links.reserve(pg.value().links.size());
+    for (LinkIndex li : pg.value().links) {
+      push_link(li);
+    }
+  } else {
+    // Primary (and optional backup) edges only: no local rerouting material.
+    auto push_path_links = [&](const SwitchPath& path) {
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        const SwitchInfo& sw = db_.mirror().switch_at(path[i]);
+        for (PortNum p = 1; p <= sw.num_ports; ++p) {
+          LinkIndex li = sw.port_link[p];
+          if (li == kInvalidLink) {
+            continue;
+          }
+          const Link& l = db_.mirror().link_at(li);
+          const Endpoint& peer = l.Peer(NodeId::Switch(path[i]));
+          if (l.up && peer.node.is_switch() && peer.node.index == path[i + 1]) {
+            push_link(li);
+            break;
+          }
+        }
+      }
+    };
+    push_path_links(pg.value().primary);
+    if (config_.send_backup) {
+      push_path_links(pg.value().backup);
+    }
+  }
+
+  auto tags = TagsToHost(requester.value());
+  if (!tags.ok()) {
+    ++stats_.queries_failed;
+    return;
+  }
+  ++stats_.queries_served;
+  PathResponsePayload resp{req.dst_mac, dst.value(), std::move(wire)};
+  agent_->SendTags(std::move(tags.value()), req.requester_mac, std::move(resp));
+}
+
+void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
+  ++stats_.link_events;
+  if (pending_removed_.empty() && pending_added_.empty()) {
+    pending_origin_ = ev.origin_time;
+  }
+  if (!ev.up) {
+    auto link = db_.LinkAt(ev.switch_uid, ev.port);
+    if (link.ok()) {
+      db_.SetLinkState(ev.switch_uid, ev.port, false);
+      discovery_.db().SetLinkState(ev.switch_uid, ev.port, false);
+      pending_removed_.push_back(link.value());
+      if (log_ != nullptr) {
+        TopoEvent tev;
+        tev.kind = TopoEvent::Kind::kLinkDown;
+        tev.link = link.value();
+        log_->Append(tev);
+      }
+    }
+  } else {
+    // Link-up: re-probe the port to discover/verify what is now plugged in, then
+    // advertise it (Section 4.2, link addition).
+    if (discovery_.db().switch_count() == 0) {
+      // Adopted-topology mode (no prober): trust the notification for a link we
+      // already knew about.
+      auto link = db_.LinkAt(ev.switch_uid, ev.port);
+      if (link.ok()) {
+        db_.SetLinkState(ev.switch_uid, ev.port, true);
+        pending_added_.push_back(link.value());
+        if (!patch_scheduled_) {
+          patch_scheduled_ = true;
+          sim_->ScheduleAfter(config_.patch_aggregation, [this] { FlushPatch(); });
+        }
+      }
+      return;
+    }
+    ++stats_.reprobes;
+    discovery_.ReprobePort(ev.switch_uid, ev.port, [this, uid = ev.switch_uid,
+                                                    port = ev.port] {
+      auto link = discovery_.db().LinkAt(uid, port);
+      if (!link.ok()) {
+        return;
+      }
+      (void)db_.AddLink(link.value());
+      pending_added_.push_back(link.value());
+      if (log_ != nullptr) {
+        TopoEvent tev;
+        tev.kind = TopoEvent::Kind::kLinkAdded;
+        tev.link = link.value();
+        log_->Append(tev);
+      }
+      if (!patch_scheduled_) {
+        patch_scheduled_ = true;
+        sim_->ScheduleAfter(config_.patch_aggregation, [this] { FlushPatch(); });
+      }
+    });
+    return;
+  }
+  if (!patch_scheduled_) {
+    patch_scheduled_ = true;
+    sim_->ScheduleAfter(config_.patch_aggregation, [this] { FlushPatch(); });
+  }
+}
+
+void ControllerService::FlushPatch() {
+  patch_scheduled_ = false;
+  if (pending_removed_.empty() && pending_added_.empty()) {
+    return;
+  }
+  TopologyPatchPayload patch;
+  patch.patch_seq = ++patch_seq_;
+  patch.removed =
+      std::make_shared<const std::vector<WireLink>>(std::move(pending_removed_));
+  patch.added = std::make_shared<const std::vector<WireLink>>(std::move(pending_added_));
+  patch.origin_time = pending_origin_;
+  pending_removed_.clear();
+  pending_added_.clear();
+  ++stats_.patches_sent;
+  // Applying locally also starts the host-to-host flood from our gossip peers.
+  agent_->ApplyPatchLocally(patch, agent_->mac());
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,111 @@
+// ControllerService (paper Sections 4.2, 4.3): the centralized control plane. Runs
+// on one host. Maintains the global topology database, answers path queries with
+// path graphs, bootstraps hosts after discovery, and implements stage 2 of failure
+// handling (the asynchronous topology patch flood). Optionally mirrors every
+// topology event into a ReplicatedLog so standby controllers stay consistent
+// (the paper uses ZooKeeper for this).
+#ifndef DUMBNET_SRC_CTRL_CONTROLLER_H_
+#define DUMBNET_SRC_CTRL_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ctrl/discovery.h"
+#include "src/ctrl/replicated_log.h"
+#include "src/host/host_agent.h"
+#include "src/routing/path_graph.h"
+#include "src/routing/topo_db.h"
+
+namespace dumbnet {
+
+struct ControllerConfig {
+  PathGraphParams path_graph;
+  // Ablation knobs: strip the detour subgraph / the backup path from responses
+  // (leaving a plain single-route cache at the hosts).
+  bool send_detours = true;
+  bool send_backup = true;
+  // CPU cost to serve one path query (single-server model; produces the paper's
+  // Figure 10 cold-path tail under concurrent queries).
+  TimeNs query_cost = Us(30);
+  // Aggregation window before flooding a topology patch (stage 2).
+  TimeNs patch_aggregation = Ms(2);
+  uint64_t rng_seed = 7;
+};
+
+struct ControllerStats {
+  uint64_t queries_served = 0;
+  uint64_t queries_failed = 0;
+  uint64_t bootstraps_sent = 0;
+  uint64_t link_events = 0;
+  uint64_t patches_sent = 0;
+  uint64_t reprobes = 0;
+};
+
+class ControllerService {
+ public:
+  ControllerService(HostAgent* agent, ControllerConfig config = ControllerConfig(),
+                    DiscoveryConfig discovery_config = DiscoveryConfig());
+
+  // Full bring-up: run discovery, then bootstrap every host. `on_ready` fires when
+  // all bootstraps are on the wire.
+  void Start(std::function<void()> on_ready);
+
+  // Bench/test path: adopt a ground-truth topology directly (skipping the probing
+  // phase) and bootstrap hosts. The controller host is `agent`'s host.
+  void AdoptTopology(const Topology& truth);
+
+  // Failover path: a standby promotes itself with a database rebuilt from the
+  // replicated log (ReplicatedLog::ApplyTo), re-bootstraps every host (they learn
+  // the new controller's identity and path) and starts serving.
+  void AdoptDatabase(TopoDb db);
+
+  // Stops serving queries (simulates a controller crash; hosts' requests go
+  // unanswered until a standby takes over).
+  void Stop() { ready_ = false; }
+  bool serving() const { return ready_; }
+
+  TopoDb& db() { return db_; }
+  DiscoveryService& discovery() { return discovery_; }
+  const ControllerStats& stats() const { return stats_; }
+
+  // Attach a replicated log: every link event and patch is appended (what the
+  // paper stores in ZooKeeper for the standby controllers).
+  void AttachLog(ReplicatedLog* log) { log_ = log; }
+
+ private:
+  bool HandleControl(const Packet& pkt);
+  void ServePathRequest(const PathRequestPayload& req);
+  void OnLinkEvent(const LinkEventPayload& ev);
+  void FlushPatch();
+  void BootstrapHosts();
+  // Tag path from the controller to a host (compiled on the global db).
+  Result<TagList> TagsToHost(const HostLocation& dst);
+
+  HostAgent* agent_;
+  Simulator* sim_;
+  ControllerConfig config_;
+  TopoDb db_;
+  DiscoveryService discovery_;
+  Rng rng_;
+  ReplicatedLog* log_ = nullptr;
+
+  uint64_t controller_switch_uid_ = 0;
+  PortNum controller_port_ = 0;
+  bool ready_ = false;
+  TimeNs cpu_free_ = 0;
+
+  // Pending patch accumulation.
+  std::vector<WireLink> pending_removed_;
+  std::vector<WireLink> pending_added_;
+  TimeNs pending_origin_ = 0;
+  bool patch_scheduled_ = false;
+  uint64_t patch_seq_ = 0;
+
+  ControllerStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_CTRL_CONTROLLER_H_

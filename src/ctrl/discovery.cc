@@ -1,0 +1,285 @@
+#include "src/ctrl/discovery.h"
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+namespace {
+
+uint64_t PortKey(uint64_t uid, PortNum port) { return (uid << 8) | port; }
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(HostAgent* agent, DiscoveryConfig config)
+    : agent_(agent), sim_(&agent->sim()), config_(config) {}
+
+void DiscoveryService::Start(std::function<void()> on_complete) {
+  on_complete_ = std::move(on_complete);
+  stats_.started_at = sim_->Now();
+  agent_->SetProbeEventHandler([this](const Packet& pkt) { HandleProbeEvent(pkt); });
+
+  // Phase 1: find our own attach port and switch ID with combined probes
+  // 0-1-ø, 0-2-ø, ... (Section 4.1: "combine port number probing and switch ID
+  // query"). Only the probe whose port points back at us returns.
+  for (PortNum p = 1; p <= config_.max_ports; ++p) {
+    ProbeCtx ctx;
+    ctx.kind = ProbeKind::kAttach;
+    ctx.p = p;
+    SendProbe({kIdQueryTag, p}, ctx);
+  }
+}
+
+void DiscoveryService::OnCpu(TimeNs cost, std::function<void()> fn) {
+  TimeNs start = std::max(sim_->Now(), cpu_free_);
+  cpu_free_ = start + cost;
+  sim_->ScheduleAt(cpu_free_, std::move(fn));
+}
+
+void DiscoveryService::SendProbe(TagList tags, ProbeCtx ctx) {
+  uint64_t id = next_probe_id_++;
+  inflight_.emplace(id, ctx);
+  ++stats_.probes_sent;
+  OnCpu(config_.pm_send_cost, [this, id, tags = std::move(tags)] {
+    TagList with_end = tags;
+    with_end.push_back(kPathEndTag);
+    agent_->SendTags(tags, kBroadcastMac, ProbePayload{id, agent_->mac(), with_end});
+    sim_->ScheduleAfter(config_.probe_timeout, [this, id] {
+      if (inflight_.erase(id) > 0) {
+        MaybeFinish();
+      }
+    });
+  });
+}
+
+void DiscoveryService::HandleProbeEvent(const Packet& pkt) {
+  // All reply processing is controller CPU work.
+  OnCpu(config_.pm_recv_cost, [this, pkt] {
+    if (const auto* id_reply = pkt.As<IdReplyPayload>()) {
+      auto it = inflight_.find(id_reply->probe_id);
+      if (it == inflight_.end()) {
+        return;
+      }
+      ProbeCtx ctx = it->second;
+      inflight_.erase(it);
+      ++stats_.replies_received;
+      switch (ctx.kind) {
+        case ProbeKind::kAttach:
+          HandleAttachReply(ctx, id_reply->switch_uid);
+          break;
+        case ProbeKind::kLink:
+          HandleLinkReply(ctx, id_reply->switch_uid);
+          break;
+        case ProbeKind::kVerify:
+          HandleVerifyReply(ctx, id_reply->switch_uid);
+          break;
+        case ProbeKind::kHost:
+          break;  // an ID reply can never answer a host probe
+      }
+      MaybeFinish();
+      return;
+    }
+    if (const auto* reply = pkt.As<ProbeReplyPayload>()) {
+      auto it = inflight_.find(reply->probe_id);
+      if (it == inflight_.end()) {
+        return;
+      }
+      ProbeCtx ctx = it->second;
+      inflight_.erase(it);
+      ++stats_.replies_received;
+      if (ctx.kind == ProbeKind::kHost) {
+        HandleHostReply(ctx, *reply);
+      }
+      MaybeFinish();
+      return;
+    }
+    if (const auto* probe = pkt.As<ProbePayload>()) {
+      // One of our own probes bounced back (scenario ii in Section 3.3).
+      ++stats_.bounces;
+      if (inflight_.erase(probe->probe_id) > 0) {
+        MaybeFinish();
+      }
+      return;
+    }
+  });
+}
+
+void DiscoveryService::HandleAttachReply(const ProbeCtx& ctx, uint64_t switch_uid) {
+  if (attach_resolved_) {
+    return;
+  }
+  attach_resolved_ = true;
+  attach_uid_ = switch_uid;
+  attach_port_ = ctx.p;
+  db_.EnsureSwitch(switch_uid);
+  db_.UpsertHost(HostLocation{agent_->mac(), switch_uid, ctx.p});
+  SwitchRecord rec;
+  rec.forward = {};
+  rec.ret = {ctx.p};
+  switches_.emplace(switch_uid, rec);
+  ExpandSwitch(switch_uid);
+}
+
+void DiscoveryService::ExpandSwitch(uint64_t uid) {
+  SwitchRecord& rec = switches_[uid];
+  if (rec.expanded) {
+    return;
+  }
+  rec.expanded = true;
+  const TagList& f = rec.forward;
+  const TagList& r = rec.ret;
+  for (PortNum p = 1; p <= config_.max_ports; ++p) {
+    // Host probe: F + [p] + R. A host at (uid, p) sees exactly R + ø left over and
+    // replies along it.
+    {
+      TagList tags = f;
+      tags.push_back(p);
+      tags.insert(tags.end(), r.begin(), r.end());
+      ProbeCtx ctx;
+      ctx.kind = ProbeKind::kHost;
+      ctx.x_uid = uid;
+      ctx.p = p;
+      SendProbe(std::move(tags), ctx);
+    }
+    // Link probes: F + [p, 0, q] + R for every candidate return port q.
+    for (PortNum q = 1; q <= config_.max_ports; ++q) {
+      TagList tags = f;
+      tags.push_back(p);
+      tags.push_back(kIdQueryTag);
+      tags.push_back(q);
+      tags.insert(tags.end(), r.begin(), r.end());
+      ProbeCtx ctx;
+      ctx.kind = ProbeKind::kLink;
+      ctx.x_uid = uid;
+      ctx.p = p;
+      ctx.q = q;
+      SendProbe(std::move(tags), ctx);
+    }
+  }
+}
+
+void DiscoveryService::HandleHostReply(const ProbeCtx& ctx, const ProbeReplyPayload& reply) {
+  // The reply path must be exactly R + ø: if the probe wandered through another
+  // switch before finding a host, at least one tag of R was consumed en route and
+  // the echo is shorter. Rejecting those keeps host locations sound.
+  const SwitchRecord& rec = switches_[ctx.x_uid];
+  TagList expected = rec.ret;
+  expected.push_back(kPathEndTag);
+  if (reply.reply_path != expected) {
+    ++stats_.rejected_wandered;
+    return;
+  }
+  db_.UpsertHost(HostLocation{reply.responder_mac, ctx.x_uid, ctx.p});
+}
+
+void DiscoveryService::HandleLinkReply(const ProbeCtx& ctx, uint64_t n_uid) {
+  if (bound_ports_.count(PortKey(ctx.x_uid, ctx.p)) > 0 ||
+      bound_ports_.count(PortKey(n_uid, ctx.q)) > 0) {
+    return;  // already bound by a confirmed candidate
+  }
+  // Candidate link X.p <-> N.q. The return path may be ambiguous (Section 4.1's
+  // S1/S2 example), so verify: ask the ID of the switch behind N.q; it must be X.
+  const SwitchRecord& rec = switches_[ctx.x_uid];
+  TagList tags = rec.forward;
+  tags.push_back(ctx.p);
+  tags.push_back(ctx.q);
+  tags.push_back(kIdQueryTag);
+  tags.insert(tags.end(), rec.ret.begin(), rec.ret.end());
+  ProbeCtx verify;
+  verify.kind = ProbeKind::kVerify;
+  verify.x_uid = ctx.x_uid;
+  verify.p = ctx.p;
+  verify.q = ctx.q;
+  verify.n_uid = n_uid;
+  ++stats_.verifies_sent;
+  SendProbe(std::move(tags), verify);
+}
+
+void DiscoveryService::HandleVerifyReply(const ProbeCtx& ctx, uint64_t replied_uid) {
+  if (replied_uid != ctx.x_uid) {
+    ++stats_.rejected_ambiguous;
+    return;
+  }
+  if (bound_ports_.count(PortKey(ctx.x_uid, ctx.p)) > 0 ||
+      bound_ports_.count(PortKey(ctx.n_uid, ctx.q)) > 0) {
+    return;
+  }
+  bound_ports_.insert(PortKey(ctx.x_uid, ctx.p));
+  bound_ports_.insert(PortKey(ctx.n_uid, ctx.q));
+  (void)db_.AddLink(WireLink{ctx.x_uid, ctx.p, ctx.n_uid, ctx.q});
+
+  if (switches_.count(ctx.n_uid) == 0) {
+    const SwitchRecord& x_rec = switches_[ctx.x_uid];
+    SwitchRecord n_rec;
+    n_rec.forward = x_rec.forward;
+    n_rec.forward.push_back(ctx.p);
+    n_rec.ret = {ctx.q};
+    n_rec.ret.insert(n_rec.ret.end(), x_rec.ret.begin(), x_rec.ret.end());
+    switches_.emplace(ctx.n_uid, n_rec);
+    ExpandSwitch(ctx.n_uid);
+  }
+}
+
+void DiscoveryService::ReprobePort(uint64_t uid, PortNum port, std::function<void()> done) {
+  auto it = switches_.find(uid);
+  if (it == switches_.end()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  complete_ = false;
+  if (done) {
+    on_complete_ = std::move(done);
+  }
+  // Unbind both sides of whatever used to be plugged in here so the rewired link
+  // can be recorded.
+  auto old = db_.LinkAt(uid, port);
+  if (old.ok()) {
+    bound_ports_.erase((old.value().uid_a << 8) | old.value().port_a);
+    bound_ports_.erase((old.value().uid_b << 8) | old.value().port_b);
+  }
+  bound_ports_.erase(PortKey(uid, port));
+
+  const SwitchRecord& rec = it->second;
+  {
+    TagList tags = rec.forward;
+    tags.push_back(port);
+    tags.insert(tags.end(), rec.ret.begin(), rec.ret.end());
+    ProbeCtx ctx;
+    ctx.kind = ProbeKind::kHost;
+    ctx.x_uid = uid;
+    ctx.p = port;
+    SendProbe(std::move(tags), ctx);
+  }
+  for (PortNum q = 1; q <= config_.max_ports; ++q) {
+    TagList tags = rec.forward;
+    tags.push_back(port);
+    tags.push_back(kIdQueryTag);
+    tags.push_back(q);
+    tags.insert(tags.end(), rec.ret.begin(), rec.ret.end());
+    ProbeCtx ctx;
+    ctx.kind = ProbeKind::kLink;
+    ctx.x_uid = uid;
+    ctx.p = port;
+    ctx.q = q;
+    SendProbe(std::move(tags), ctx);
+  }
+}
+
+void DiscoveryService::MaybeFinish() {
+  if (complete_ || !attach_resolved_ || !inflight_.empty()) {
+    return;
+  }
+  complete_ = true;
+  stats_.finished_at = sim_->Now();
+  DN_INFO << "discovery complete: " << db_.switch_count() << " switches, "
+          << db_.link_count() << " links, " << db_.host_count() << " hosts in "
+          << ToSec(stats_.finished_at - stats_.started_at) << "s ("
+          << stats_.probes_sent << " PMs)";
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb();
+  }
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,93 @@
+#include "src/ctrl/replicated_log.h"
+
+#include <memory>
+
+namespace dumbnet {
+
+ReplicatedLog::ReplicatedLog(Simulator* sim, ReplicatedLogConfig config)
+    : sim_(sim), config_(config) {
+  size_t n = config_.num_replicas == 0 ? 1 : config_.num_replicas;
+  replica_logs_.resize(n);
+  alive_.assign(n, true);
+}
+
+bool ReplicatedLog::HasQuorum() const {
+  size_t live = 0;
+  for (bool a : alive_) {
+    live += a ? 1 : 0;
+  }
+  return live * 2 > alive_.size();
+}
+
+uint64_t ReplicatedLog::Append(const TopoEvent& event,
+                               std::function<void(uint64_t)> on_commit) {
+  uint64_t index = next_index_++;
+  // Leader applies immediately.
+  replica_logs_[0].push_back(event);
+
+  // Followers receive the entry after half an RTT; their acks land after a full
+  // one. We count acks and fire the commit callback at majority.
+  auto acks = std::make_shared<size_t>(1);  // leader's own vote
+  auto committed = std::make_shared<bool>(false);
+  const size_t majority = replica_logs_.size() / 2 + 1;
+  auto maybe_commit = [this, acks, committed, majority, index,
+                       on_commit = std::move(on_commit)]() mutable {
+    if (*committed || *acks < majority) {
+      return;
+    }
+    *committed = true;
+    if (index > committed_index_) {
+      committed_index_ = index;
+    }
+    if (on_commit) {
+      on_commit(index);
+    }
+  };
+  maybe_commit();  // single-replica configuration commits instantly
+
+  for (size_t r = 1; r < replica_logs_.size(); ++r) {
+    if (!alive_[r]) {
+      continue;
+    }
+    sim_->ScheduleAfter(config_.replica_rtt / 2, [this, r, event] {
+      if (alive_[r]) {
+        replica_logs_[r].push_back(event);
+      }
+    });
+    sim_->ScheduleAfter(config_.replica_rtt, [this, r, acks, maybe_commit]() mutable {
+      if (alive_[r]) {
+        ++*acks;
+        maybe_commit();
+      }
+    });
+  }
+  return index;
+}
+
+void ReplicatedLog::SetReplicaAlive(size_t replica, bool alive) {
+  if (replica == 0 || replica >= alive_.size()) {
+    return;
+  }
+  alive_[replica] = alive;
+}
+
+void ReplicatedLog::ApplyTo(const std::vector<TopoEvent>& log, TopoDb& db) {
+  for (const TopoEvent& ev : log) {
+    switch (ev.kind) {
+      case TopoEvent::Kind::kLinkAdded:
+        (void)db.AddLink(ev.link);
+        break;
+      case TopoEvent::Kind::kLinkDown:
+        db.SetLinkState(ev.link.uid_a, ev.link.port_a, false);
+        break;
+      case TopoEvent::Kind::kLinkUp:
+        db.SetLinkState(ev.link.uid_a, ev.link.port_a, true);
+        break;
+      case TopoEvent::Kind::kHostMoved:
+        db.UpsertHost(ev.host);
+        break;
+    }
+  }
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,70 @@
+// ReplicatedLog: a small quorum-replicated log of topology events, standing in for
+// the paper's use of Apache ZooKeeper ("we keep the replicas consistent using
+// Apache ZooKeeper to store the topology changes"). The leader appends entries,
+// replicas acknowledge after a network round trip, and an entry commits once a
+// majority (including the leader) holds it. Each standby replica applies committed
+// entries to its own TopoDb, so a failover controller starts from a consistent
+// topology view.
+#ifndef DUMBNET_SRC_CTRL_REPLICATED_LOG_H_
+#define DUMBNET_SRC_CTRL_REPLICATED_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/routing/topo_db.h"
+#include "src/routing/wire_types.h"
+#include "src/sim/simulator.h"
+
+namespace dumbnet {
+
+struct TopoEvent {
+  enum class Kind : uint8_t { kLinkDown, kLinkUp, kLinkAdded, kHostMoved };
+
+  Kind kind = Kind::kLinkDown;
+  WireLink link;
+  HostLocation host;
+
+  bool operator==(const TopoEvent&) const = default;
+};
+
+struct ReplicatedLogConfig {
+  size_t num_replicas = 3;    // including the leader
+  TimeNs replica_rtt = Us(200);
+};
+
+class ReplicatedLog {
+ public:
+  ReplicatedLog(Simulator* sim, ReplicatedLogConfig config = ReplicatedLogConfig());
+
+  // Appends an event; `on_commit` fires (with the log index) once a majority of
+  // live replicas acknowledge. Returns the assigned index immediately.
+  uint64_t Append(const TopoEvent& event, std::function<void(uint64_t)> on_commit = nullptr);
+
+  // Marks a replica dead/alive (0 is the leader and cannot be killed here).
+  void SetReplicaAlive(size_t replica, bool alive);
+
+  // Entries a given replica has applied so far (leader applies at append time).
+  const std::vector<TopoEvent>& ReplicaLog(size_t replica) const {
+    return replica_logs_[replica];
+  }
+
+  // Applies every event in `log` to a TopoDb (what a standby does on failover).
+  static void ApplyTo(const std::vector<TopoEvent>& log, TopoDb& db);
+
+  uint64_t committed_index() const { return committed_index_; }
+  size_t num_replicas() const { return replica_logs_.size(); }
+  bool HasQuorum() const;
+
+ private:
+  Simulator* sim_;
+  ReplicatedLogConfig config_;
+  std::vector<std::vector<TopoEvent>> replica_logs_;
+  std::vector<bool> alive_;
+  uint64_t next_index_ = 1;
+  uint64_t committed_index_ = 0;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_CTRL_REPLICATED_LOG_H_

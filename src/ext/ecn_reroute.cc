@@ -1,0 +1,41 @@
+#include "src/ext/ecn_reroute.h"
+
+namespace dumbnet {
+
+EcnRerouter::EcnRerouter(HostAgent* agent, ReliableFlowSender* sender, uint64_t dst_mac,
+                         EcnRerouteConfig config)
+    : agent_(agent), sender_(sender), dst_mac_(dst_mac), config_(config) {}
+
+void EcnRerouter::Start() {
+  running_ = true;
+  last_ecn_acks_ = sender_->progress().ecn_acks;
+  last_bytes_acked_ = sender_->progress().bytes_acked;
+  agent_->sim().ScheduleAfter(config_.sample_interval, [this] { Sample(); });
+}
+
+void EcnRerouter::Sample() {
+  if (!running_) {
+    return;
+  }
+  ++stats_.samples;
+  const FlowProgress& progress = sender_->progress();
+  uint64_t ecn_delta = progress.ecn_acks - last_ecn_acks_;
+  uint64_t acked_delta = progress.bytes_acked - last_bytes_acked_;
+  // ~one ack per segment; approximate the window's ack count from bytes.
+  uint64_t acks = acked_delta / 1460 + 1;
+  last_ecn_acks_ = progress.ecn_acks;
+  last_bytes_acked_ = progress.bytes_acked;
+
+  TimeNs now = agent_->sim().Now();
+  double fraction = static_cast<double>(ecn_delta) / static_cast<double>(acks);
+  if (now >= holddown_until_ && fraction > config_.mark_fraction_threshold) {
+    // The current path is congested: let the routing function re-pick among the
+    // cached equal-cost paths on the next packet.
+    agent_->RebindFlow(dst_mac_, sender_->flow_id());
+    holddown_until_ = now + config_.holddown;
+    ++stats_.reroutes;
+  }
+  agent_->sim().ScheduleAfter(config_.sample_interval, [this] { Sample(); });
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,61 @@
+// Congestion-avoiding rerouting based on ECN (paper Section 6.2 / Section 8: "we
+// are implementing other typical traffic engineering approaches as future work,
+// such as congestion-avoiding rerouting using early congestion notification").
+//
+// Switches mark Congestion Experienced on data packets that join a deep egress
+// queue (soft state only); receivers echo the mark on acks; this watcher samples a
+// flow's echoed-mark rate and, when it crosses a threshold, rebinds the flow so the
+// routing function picks a different cached equal-cost path. All decisions are
+// host-side — the fabric stays dumb.
+#ifndef DUMBNET_SRC_EXT_ECN_REROUTE_H_
+#define DUMBNET_SRC_EXT_ECN_REROUTE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/host/host_agent.h"
+#include "src/transport/reliable_flow.h"
+
+namespace dumbnet {
+
+struct EcnRerouteConfig {
+  TimeNs sample_interval = Ms(10);
+  // Rebind when more than this fraction of acks in a window carried CE.
+  double mark_fraction_threshold = 0.3;
+  // Cooldown after a reroute, letting queues drain before judging the new path.
+  TimeNs holddown = Ms(30);
+};
+
+struct EcnRerouteStats {
+  uint64_t samples = 0;
+  uint64_t reroutes = 0;
+};
+
+// Watches one sender. The agent must be the flow's sending host.
+class EcnRerouter {
+ public:
+  EcnRerouter(HostAgent* agent, ReliableFlowSender* sender, uint64_t dst_mac,
+              EcnRerouteConfig config = EcnRerouteConfig());
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const EcnRerouteStats& stats() const { return stats_; }
+
+ private:
+  void Sample();
+
+  HostAgent* agent_;
+  ReliableFlowSender* sender_;
+  uint64_t dst_mac_;
+  EcnRerouteConfig config_;
+  bool running_ = false;
+  uint64_t last_ecn_acks_ = 0;
+  uint64_t last_bytes_acked_ = 0;
+  TimeNs holddown_until_ = 0;
+  EcnRerouteStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_EXT_ECN_REROUTE_H_

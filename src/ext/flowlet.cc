@@ -1,0 +1,70 @@
+#include "src/ext/flowlet.h"
+
+namespace dumbnet {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FlowletRouter::FlowletRouter(HostAgent* agent, FlowletConfig config)
+    : agent_(agent), config_(config) {
+  agent_->SetRouteChooser([this](const PathTableEntry& entry, uint64_t flow_id) {
+    return ChooseRoute(entry, flow_id);
+  });
+}
+
+uint64_t FlowletRouter::FlowletIdOf(uint64_t flow_id) const {
+  auto it = flows_.find(flow_id);
+  return it == flows_.end() ? 0 : it->second.flowlet_id;
+}
+
+size_t FlowletRouter::ChooseRoute(const PathTableEntry& entry, uint64_t flow_id) {
+  if (entry.paths.empty()) {
+    return SIZE_MAX;
+  }
+  // Deterministic pick over the minimal-length (equal-cost) subset, keyed by
+  // (flow id, flowlet id): the same flowlet always maps to the same path, a new
+  // flowlet usually maps to a different one.
+  size_t min_len = SIZE_MAX;
+  for (const CachedRoute& r : entry.paths) {
+    min_len = std::min(min_len, r.uid_path.size());
+  }
+  size_t count = 0;
+  for (const CachedRoute& r : entry.paths) {
+    count += (r.uid_path.size() == min_len) ? 1 : 0;
+  }
+  uint64_t flowlet_id = FlowletIdOf(flow_id);
+  size_t target = static_cast<size_t>(Mix(flow_id, flowlet_id) % count);
+  for (size_t i = 0; i < entry.paths.size(); ++i) {
+    if (entry.paths[i].uid_path.size() == min_len && target-- == 0) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+Status FlowletRouter::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) {
+  FlowState& state = flows_[flow_id];
+  TimeNs now = agent_->sim().Now();
+  if (state.last_packet != 0 && now - state.last_packet > config_.gap) {
+    // Idle gap: new flowlet, rebind so the routing function runs again.
+    ++state.flowlet_id;
+    ++stats_.flowlets_started;
+    ++stats_.rebinds;
+    agent_->RebindFlow(dst_mac, flow_id);
+  } else if (state.last_packet == 0) {
+    ++stats_.flowlets_started;
+  }
+  state.last_packet = now;
+  ++stats_.packets;
+  return agent_->Send(dst_mac, flow_id, payload);
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,59 @@
+// Flowlet-based traffic engineering (paper Section 6.2). A thin shim over the host
+// agent's send path: it tracks the inter-packet gap per flow and, whenever the gap
+// exceeds the flowlet timeout, bumps the flow's flowlet id and rebinds the flow —
+// the pluggable routing function then deterministically maps (flow id, flowlet id)
+// onto one of the k cached equal-cost paths. Idle gaps are long enough that the
+// in-flight packets of the previous flowlet have drained, so reordering is avoided
+// without any switch support.
+#ifndef DUMBNET_SRC_EXT_FLOWLET_H_
+#define DUMBNET_SRC_EXT_FLOWLET_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/host/host_agent.h"
+
+namespace dumbnet {
+
+struct FlowletConfig {
+  // Gap that starts a new flowlet. The paper's testbed used flowlets on 10 GbE;
+  // a few hundred microseconds is the classic choice.
+  TimeNs gap = Us(500);
+};
+
+struct FlowletStats {
+  uint64_t packets = 0;
+  uint64_t flowlets_started = 0;
+  uint64_t rebinds = 0;
+};
+
+class FlowletRouter {
+ public:
+  // Installs itself as `agent`'s routing function. The agent must outlive this.
+  FlowletRouter(HostAgent* agent, FlowletConfig config = FlowletConfig());
+
+  // Sends application data with flowlet tracking; use instead of agent->Send().
+  Status Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload);
+
+  const FlowletStats& stats() const { return stats_; }
+
+  // Exposed for tests: the flowlet id currently assigned to a flow.
+  uint64_t FlowletIdOf(uint64_t flow_id) const;
+
+ private:
+  struct FlowState {
+    TimeNs last_packet = 0;
+    uint64_t flowlet_id = 0;
+  };
+
+  size_t ChooseRoute(const PathTableEntry& entry, uint64_t flow_id);
+
+  HostAgent* agent_;
+  FlowletConfig config_;
+  std::unordered_map<uint64_t, FlowState> flows_;
+  FlowletStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_EXT_FLOWLET_H_

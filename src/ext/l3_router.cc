@@ -1,0 +1,44 @@
+#include "src/ext/l3_router.h"
+
+namespace dumbnet {
+
+void Layer3Router::AttachSubnet(uint32_t subnet_id, HostAgent* agent) {
+  subnets_[subnet_id] = agent;
+  agent->SetDataHandler([this, subnet_id](const Packet& pkt, const DataPayload& data) {
+    OnPacket(subnet_id, pkt, data);
+  });
+}
+
+void Layer3Router::AddHostRoute(uint64_t host_mac, uint32_t subnet_id) {
+  host_routes_[host_mac] = subnet_id;
+}
+
+void Layer3Router::OnPacket(uint32_t in_subnet, const Packet& pkt, const DataPayload& data) {
+  (void)pkt;
+  if (data.inner_dst_mac == 0) {
+    ++stats_.delivered_local;  // addressed to the router itself
+    return;
+  }
+  auto route = host_routes_.find(data.inner_dst_mac);
+  if (route == host_routes_.end()) {
+    ++stats_.no_route;
+    return;
+  }
+  auto out = subnets_.find(route->second);
+  if (out == subnets_.end()) {
+    ++stats_.no_route;
+    return;
+  }
+  if (route->second == in_subnet) {
+    ++stats_.no_route;  // would hairpin; the sender should have gone direct
+    return;
+  }
+  // Re-originate in the destination subnet: the egress agent tags the packet with
+  // a path from its own PathTable (querying its subnet's controller on a miss).
+  DataPayload relayed = data;
+  relayed.inner_dst_mac = 0;
+  ++stats_.forwarded;
+  (void)out->second->Send(data.inner_dst_mac, data.flow_id, relayed);
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,42 @@
+// Layer-3 router across DumbNet subnets (paper Section 6.3): "a router is simply a
+// number of host agents running on the same node, one for each subnet". Inbound
+// packets whose inner destination lives in another subnet are re-tagged and sent
+// out through that subnet's agent; the forwarding logic is a handful of lines, as
+// the paper advertises.
+#ifndef DUMBNET_SRC_EXT_L3_ROUTER_H_
+#define DUMBNET_SRC_EXT_L3_ROUTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/host/host_agent.h"
+
+namespace dumbnet {
+
+struct L3RouterStats {
+  uint64_t forwarded = 0;
+  uint64_t delivered_local = 0;
+  uint64_t no_route = 0;
+};
+
+class Layer3Router {
+ public:
+  // Attaches a subnet by its agent (the router node runs one agent per subnet).
+  void AttachSubnet(uint32_t subnet_id, HostAgent* agent);
+
+  // Declares that `host_mac` lives in `subnet_id`.
+  void AddHostRoute(uint64_t host_mac, uint32_t subnet_id);
+
+  const L3RouterStats& stats() const { return stats_; }
+
+ private:
+  void OnPacket(uint32_t in_subnet, const Packet& pkt, const DataPayload& data);
+
+  std::unordered_map<uint32_t, HostAgent*> subnets_;
+  std::unordered_map<uint64_t, uint32_t> host_routes_;
+  L3RouterStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_EXT_L3_ROUTER_H_

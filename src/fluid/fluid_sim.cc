@@ -1,0 +1,263 @@
+#include "src/fluid/fluid_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dumbnet {
+namespace {
+
+// Finds the directional resource id for traversing `li` from node `from`.
+uint64_t DirectionalResource(const Link& l, LinkIndex li, const NodeId& from) {
+  int dir = (l.a.node == from) ? 0 : 1;
+  return static_cast<uint64_t>(li) * 2 + static_cast<uint64_t>(dir);
+}
+
+}  // namespace
+
+FluidSimulator::FluidSimulator(Simulator* sim, Topology* topo) : sim_(sim), topo_(topo) {
+  topo_->AddLinkObserver([this](LinkIndex, bool) {
+    Settle();
+    Reallocate();
+  });
+}
+
+double FluidSimulator::ResourceCapacityBps(ResourceId rid) const {
+  const Link& l = topo_->link_at(static_cast<LinkIndex>(rid / 2));
+  if (!l.up) {
+    return 0.0;
+  }
+  return l.bandwidth_gbps * 1e9 / 8.0;  // bytes per second
+}
+
+Result<std::vector<FluidSimulator::ResourceId>> FluidSimulator::ResourcesFor(
+    uint32_t src_host, uint32_t dst_host, const SwitchPath& path) const {
+  if (path.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty path");
+  }
+  auto src_up = topo_->HostUplink(src_host);
+  auto dst_up = topo_->HostUplink(dst_host);
+  if (!src_up.ok() || !dst_up.ok()) {
+    return Error(ErrorCode::kNotFound, "host not attached");
+  }
+  if (src_up.value().node.index != path.front() ||
+      dst_up.value().node.index != path.back()) {
+    return Error(ErrorCode::kInvalidArgument, "path does not match host attach points");
+  }
+  std::vector<ResourceId> out;
+  out.reserve(path.size() + 1);
+  // Host uplink (host -> switch direction).
+  {
+    LinkIndex li = topo_->host_at(src_host).link;
+    out.push_back(DirectionalResource(topo_->link_at(li), li, NodeId::Host(src_host)));
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const SwitchInfo& sw = topo_->switch_at(path[i]);
+    LinkIndex found = kInvalidLink;
+    for (PortNum p = 1; p <= sw.num_ports; ++p) {
+      LinkIndex li = sw.port_link[p];
+      if (li == kInvalidLink) {
+        continue;
+      }
+      const Link& l = topo_->link_at(li);
+      if (!l.up) {
+        continue;
+      }
+      const Endpoint& peer = l.Peer(NodeId::Switch(path[i]));
+      if (peer.node.is_switch() && peer.node.index == path[i + 1]) {
+        found = li;
+        break;
+      }
+    }
+    if (found == kInvalidLink) {
+      return Error(ErrorCode::kUnavailable, "no up link along path");
+    }
+    out.push_back(
+        DirectionalResource(topo_->link_at(found), found, NodeId::Switch(path[i])));
+  }
+  // Destination downlink (switch -> host direction).
+  {
+    LinkIndex li = topo_->host_at(dst_host).link;
+    out.push_back(DirectionalResource(topo_->link_at(li), li,
+                                      NodeId::Switch(dst_up.value().node.index)));
+  }
+  return out;
+}
+
+Result<uint64_t> FluidSimulator::StartFlow(uint32_t src_host, uint32_t dst_host,
+                                           double bytes, const SwitchPath& path,
+                                           std::function<void(uint64_t, TimeNs)> on_complete) {
+  auto resources = ResourcesFor(src_host, dst_host, path);
+  if (!resources.ok()) {
+    return resources.error();
+  }
+  Settle();
+  uint64_t id = next_id_++;
+  Flow flow;
+  flow.info.id = id;
+  flow.info.src_host = src_host;
+  flow.info.dst_host = dst_host;
+  flow.info.bytes_remaining = bytes;
+  flow.info.path = path;
+  flow.resources = std::move(resources.value());
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  Reallocate();
+  return id;
+}
+
+Status FluidSimulator::RepathFlow(uint64_t id, const SwitchPath& new_path) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return Error(ErrorCode::kNotFound, "no such flow");
+  }
+  auto resources =
+      ResourcesFor(it->second.info.src_host, it->second.info.dst_host, new_path);
+  if (!resources.ok()) {
+    return resources.error();
+  }
+  Settle();
+  it->second.info.path = new_path;
+  it->second.resources = std::move(resources.value());
+  Reallocate();
+  return Status::Ok();
+}
+
+Status FluidSimulator::StopFlow(uint64_t id) {
+  Settle();
+  if (flows_.erase(id) == 0) {
+    return Error(ErrorCode::kNotFound, "no such flow");
+  }
+  Reallocate();
+  return Status::Ok();
+}
+
+double FluidSimulator::FlowRateBps(uint64_t id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.info.rate_bps;
+}
+
+double FluidSimulator::BytesDelivered(uint32_t dst_host) const {
+  auto it = delivered_.find(dst_host);
+  return it == delivered_.end() ? 0.0 : it->second;
+}
+
+double FluidSimulator::LinkUtilization(LinkIndex li, int direction) const {
+  ResourceId rid = static_cast<uint64_t>(li) * 2 + static_cast<uint64_t>(direction);
+  double cap = ResourceCapacityBps(rid);
+  if (cap <= 0.0) {
+    return 0.0;
+  }
+  auto it = allocated_.find(rid);
+  return it == allocated_.end() ? 0.0 : it->second / cap;
+}
+
+void FluidSimulator::Settle() {
+  TimeNs now = sim_->Now();
+  double dt = ToSec(now - last_settle_);
+  last_settle_ = now;
+  if (dt <= 0.0) {
+    return;
+  }
+  for (auto& [id, flow] : flows_) {
+    double moved = flow.info.rate_bps * dt;
+    delivered_[flow.info.dst_host] += moved;
+    if (std::isfinite(flow.info.bytes_remaining)) {
+      flow.info.bytes_remaining = std::max(0.0, flow.info.bytes_remaining - moved);
+    }
+  }
+}
+
+void FluidSimulator::FinishDueFlows() {
+  std::vector<uint64_t> done;
+  for (auto& [id, flow] : flows_) {
+    if (std::isfinite(flow.info.bytes_remaining) && flow.info.bytes_remaining <= 1e-6) {
+      done.push_back(id);
+    }
+  }
+  for (uint64_t id : done) {
+    auto node = flows_.extract(id);
+    if (node.mapped().on_complete) {
+      node.mapped().on_complete(id, sim_->Now());
+    }
+  }
+}
+
+void FluidSimulator::Reallocate() {
+  FinishDueFlows();
+  allocated_.clear();
+
+  // Progressive filling. Build per-resource membership.
+  std::unordered_map<ResourceId, std::vector<uint64_t>> members;
+  std::unordered_map<ResourceId, double> rem_cap;
+  std::unordered_map<uint64_t, bool> frozen;
+  for (auto& [id, flow] : flows_) {
+    flow.info.rate_bps = 0.0;
+    frozen[id] = false;
+    for (ResourceId rid : flow.resources) {
+      members[rid].push_back(id);
+      rem_cap.emplace(rid, ResourceCapacityBps(rid));
+    }
+  }
+
+  size_t unfrozen = flows_.size();
+  std::unordered_map<ResourceId, size_t> live_count;
+  for (auto& [rid, flows] : members) {
+    live_count[rid] = flows.size();
+  }
+
+  while (unfrozen > 0) {
+    // Find the bottleneck: min remaining fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    ResourceId best_rid = UINT64_MAX;
+    for (auto& [rid, count] : live_count) {
+      if (count == 0) {
+        continue;
+      }
+      double share = rem_cap[rid] / static_cast<double>(count);
+      if (share < best_share) {
+        best_share = share;
+        best_rid = rid;
+      }
+    }
+    if (best_rid == UINT64_MAX) {
+      break;  // every remaining flow crosses only dead resources
+    }
+    // Freeze all unfrozen flows through the bottleneck at the fair share.
+    for (uint64_t id : members[best_rid]) {
+      if (frozen[id]) {
+        continue;
+      }
+      Flow& flow = flows_[id];
+      flow.info.rate_bps = best_share;
+      frozen[id] = true;
+      --unfrozen;
+      for (ResourceId rid : flow.resources) {
+        rem_cap[rid] -= best_share;
+        --live_count[rid];
+        allocated_[rid] += best_share;
+      }
+    }
+    live_count[best_rid] = 0;
+  }
+
+  // Schedule the next completion.
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (auto& [id, flow] : flows_) {
+    if (std::isfinite(flow.info.bytes_remaining) && flow.info.rate_bps > 0.0) {
+      min_dt = std::min(min_dt, flow.info.bytes_remaining / flow.info.rate_bps);
+    }
+  }
+  uint64_t epoch = ++alloc_epoch_;
+  if (std::isfinite(min_dt)) {
+    TimeNs dt_ns = static_cast<TimeNs>(min_dt * 1e9) + 1;
+    sim_->ScheduleAfter(dt_ns, [this, epoch] {
+      if (epoch != alloc_epoch_) {
+        return;  // superseded by a newer allocation
+      }
+      Settle();
+      Reallocate();
+    });
+  }
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,96 @@
+// Fluid (flow-level) network simulator: active flows share link capacity max-min
+// fairly (progressive filling), and the simulator advances directly from one flow
+// completion to the next. Used for the macro benchmarks (HiBench, aggregate
+// throughput) where packet-level detail would cost hours for no additional insight.
+//
+// Shares Topology with the packet-level world; paths come from the same routing
+// library, so a routing policy evaluated here is byte-for-byte the policy the host
+// agents implement.
+#ifndef DUMBNET_SRC_FLUID_FLUID_SIM_H_
+#define DUMBNET_SRC_FLUID_FLUID_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/shortest_path.h"
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+constexpr double kOpenEndedBytes = std::numeric_limits<double>::infinity();
+
+struct FluidFlowInfo {
+  uint64_t id = 0;
+  uint32_t src_host = 0;
+  uint32_t dst_host = 0;
+  double bytes_remaining = 0;
+  double rate_bps = 0;  // bytes per second, current allocation
+  SwitchPath path;
+};
+
+class FluidSimulator {
+ public:
+  FluidSimulator(Simulator* sim, Topology* topo);
+
+  // Starts a flow of `bytes` along `path` (src_host's edge switch first, dst_host's
+  // edge switch last). kOpenEndedBytes = runs until StopFlow. `on_complete`
+  // receives (flow id, completion time).
+  Result<uint64_t> StartFlow(uint32_t src_host, uint32_t dst_host, double bytes,
+                             const SwitchPath& path,
+                             std::function<void(uint64_t, TimeNs)> on_complete = nullptr);
+
+  // Moves a running flow onto a new path (flowlet rerouting).
+  Status RepathFlow(uint64_t id, const SwitchPath& new_path);
+
+  Status StopFlow(uint64_t id);
+
+  // Current max-min allocation for a flow, bytes/sec (0 if unknown or stalled).
+  double FlowRateBps(uint64_t id) const;
+
+  // Total bytes delivered to `dst` so far across all (finished and running) flows.
+  double BytesDelivered(uint32_t dst_host) const;
+
+  size_t active_flows() const { return flows_.size(); }
+
+  // Fraction of a directional link's capacity currently allocated (direction 0:
+  // a->b). For utilization reports.
+  double LinkUtilization(LinkIndex li, int direction) const;
+
+ private:
+  // A directional resource: 2*link + dir.
+  using ResourceId = uint64_t;
+
+  struct Flow {
+    FluidFlowInfo info;
+    std::vector<ResourceId> resources;
+    std::function<void(uint64_t, TimeNs)> on_complete;
+  };
+
+  Result<std::vector<ResourceId>> ResourcesFor(uint32_t src_host, uint32_t dst_host,
+                                               const SwitchPath& path) const;
+  double ResourceCapacityBps(ResourceId rid) const;
+
+  // Advances all flows to Now() at their current rates.
+  void Settle();
+  // Recomputes the max-min allocation and schedules the next completion.
+  void Reallocate();
+  void FinishDueFlows();
+
+  Simulator* sim_;
+  Topology* topo_;
+  std::unordered_map<uint64_t, Flow> flows_;
+  std::unordered_map<uint32_t, double> delivered_;
+  uint64_t next_id_ = 1;
+  TimeNs last_settle_ = 0;
+  uint64_t alloc_epoch_ = 0;
+  std::unordered_map<ResourceId, double> allocated_;  // after Reallocate
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_FLUID_FLUID_SIM_H_

@@ -1,0 +1,23 @@
+#include "src/fpga/resource_model.h"
+
+namespace dumbnet {
+
+FpgaResources DumbNetSwitchResources(uint32_t ports, const FpgaModelParams& params) {
+  FpgaResources out;
+  out.luts = params.dn_base_luts + params.dn_pop_luts * ports +
+             params.dn_demux_luts * ports * ports;
+  out.registers = params.dn_base_regs + params.dn_pop_regs * ports +
+                  params.dn_demux_regs * ports * ports;
+  return out;
+}
+
+FpgaResources OpenFlowSwitchResources(uint32_t ports, const FpgaModelParams& params) {
+  FpgaResources out;
+  out.luts = params.of_base_luts + params.of_port_luts * ports +
+             params.of_xbar_luts * ports * ports;
+  out.registers = params.of_base_regs + params.of_port_regs * ports +
+                  params.of_xbar_regs * ports * ports;
+  return out;
+}
+
+}  // namespace dumbnet

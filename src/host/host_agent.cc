@@ -1,0 +1,482 @@
+#include "src/host/host_agent.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+namespace {
+
+constexpr int kMaxPathRequestRetries = 10;
+
+// Stable 64-bit mix for link-event dedup ids.
+uint64_t MixEventId(uint64_t uid, PortNum port, uint64_t seq, bool up) {
+  uint64_t x = uid * 0x9e3779b97f4a7c15ULL;
+  x ^= (static_cast<uint64_t>(port) << 40) ^ (seq << 1) ^ (up ? 1 : 0);
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+HostAgent::HostAgent(Network* net, uint32_t host_index, HostAgentConfig config)
+    : net_(net),
+      sim_(&net->sim()),
+      host_index_(host_index),
+      mac_(net->topo().host_at(host_index).mac),
+      config_(config),
+      rng_(config.rng_seed ^ mac_),
+      path_table_(config.rng_seed ^ mac_ ^ 0xABCDULL) {
+  net->RegisterHostNode(host_index, this);
+}
+
+void HostAgent::SetRouteChooser(PathTable::RouteChooser chooser) {
+  path_table_.SetRouteChooser(std::move(chooser));
+}
+
+// ---------------------------------------------------------------------------------
+// Data path
+
+Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) {
+  if (dst_mac == mac_) {
+    return Error(ErrorCode::kInvalidArgument, "loopback send");
+  }
+  // The flow id is authoritative path-binding state; stamp it into the payload so
+  // a packet parked on a cache miss rebinds under the same identity when flushed.
+  payload.flow_id = flow_id;
+  auto route = path_table_.RouteFor(dst_mac, flow_id);
+  if (route.ok()) {
+    Packet pkt = MakeDumbNetPacket(mac_, dst_mac, route.value().tags, payload);
+    ++stats_.data_sent;
+    sim_->ScheduleAfter(config_.process_delay,
+                        [this, pkt = std::move(pkt)] { net_->SendFromHost(host_index_, pkt); });
+    return Status::Ok();
+  }
+  // Cache miss: park the packet and ask the controller (Section 5.2).
+  Packet pkt = MakeEthernetPacket(mac_, dst_mac, kEtherTypeDumbNet, payload);
+  pending_[dst_mac].push_back(std::move(pkt));
+  ++stats_.data_blocked;
+  if (bootstrapped_) {
+    RequestPath(dst_mac);
+  }
+  return Status::Ok();
+}
+
+Status HostAgent::SendOnPath(uint64_t dst_mac, const std::vector<uint64_t>& uid_path,
+                             DataPayload payload) {
+  auto dst = topo_cache_.Locate(dst_mac);
+  if (!dst.ok()) {
+    return dst.error();
+  }
+  if (config_.verify_routes) {
+    PathVerifier verifier(&topo_cache_.db(), VerifyPolicy{});
+    if (Status s = verifier.VerifyUidPath(uid_path); !s.ok()) {
+      ++stats_.verify_failures;
+      return s;
+    }
+  }
+  auto tags = topo_cache_.db().CompileTagsForUidPath(uid_path, dst.value().port);
+  if (!tags.ok()) {
+    return tags.error();
+  }
+  ++stats_.data_sent;
+  SendTags(std::move(tags.value()), dst_mac, payload);
+  return Status::Ok();
+}
+
+void HostAgent::SendTags(TagList tags, uint64_t dst_mac, Payload payload) {
+  Packet pkt = MakeDumbNetPacket(mac_, dst_mac, std::move(tags), std::move(payload));
+  sim_->ScheduleAfter(config_.process_delay,
+                      [this, pkt = std::move(pkt)] { net_->SendFromHost(host_index_, pkt); });
+}
+
+Status HostAgent::SendToController(Payload payload) {
+  if (!bootstrapped_) {
+    return Error(ErrorCode::kUnavailable, "not bootstrapped");
+  }
+  if (controller_mac_ == mac_) {
+    // The controller service runs on this very host; hand the payload over
+    // directly, skipping the fabric.
+    Packet pkt = MakeEthernetPacket(mac_, mac_, kEtherTypeDumbNet, std::move(payload));
+    if (control_handler_) {
+      control_handler_(pkt);
+    }
+    return Status::Ok();
+  }
+  // Prefer a cached (and therefore failure-repaired) route to the controller; the
+  // static bootstrap path is only the cold-start fallback. Without this, a failure
+  // on the bootstrap path would silently blackhole every path request.
+  auto route = path_table_.RouteFor(controller_mac_, /*flow_id=*/0xC0C0);
+  if (route.ok()) {
+    SendTags(route.value().tags, controller_mac_, std::move(payload));
+  } else {
+    SendTags(controller_tags_, controller_mac_, std::move(payload));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------------
+// Receive path
+
+void HostAgent::HandlePacket(const Packet& pkt, PortNum in_port) {
+  (void)in_port;  // hosts have a single NIC
+  if (pkt.eth.ether_type != kEtherTypeDumbNet) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  // Hop-limited fabric broadcast (stage-1 failure notification). Handling it is
+  // host software work like any other packet, so it pays the processing delay.
+  if (pkt.tags.empty()) {
+    if (const auto* ev_ptr = pkt.As<PortEventPayload>()) {
+      PortEventPayload ev = *ev_ptr;
+      sim_->ScheduleAfter(config_.process_delay, [this, ev] {
+        ProcessLinkState(ev.switch_uid, ev.port, ev.up, ev.origin_time,
+                         MixEventId(ev.switch_uid, ev.port, ev.event_seq, ev.up),
+                         /*from_fabric=*/true, /*from_mac=*/0);
+      });
+    }
+    return;
+  }
+  if (pkt.tags.size() == 1 && pkt.tags.front() == kPathEndTag) {
+    // Fully consumed path: this packet is for us. Strip ø and deliver (the kernel
+    // module's EtherType + ø check, Section 5.1).
+    sim_->ScheduleAfter(config_.process_delay, [this, pkt] { DeliverLocal(pkt); });
+    return;
+  }
+  // Tags remain: only discovery probes are allowed to hit a host mid-path — the
+  // remaining tags are the reply path (Section 4.1).
+  if (const auto* probe = pkt.As<ProbePayload>()) {
+    HandleTransitProbe(pkt, *probe);
+    return;
+  }
+  ++stats_.dropped_malformed;
+}
+
+void HostAgent::HandleTransitProbe(const Packet& pkt, const ProbePayload& probe) {
+  if (probe.origin_mac == mac_) {
+    // Our own probe touring back through us with leftover tags; treat as a bounce.
+    if (probe_event_handler_) {
+      probe_event_handler_(pkt);
+    }
+    return;
+  }
+  if (pkt.tags.front() == kIdQueryTag) {
+    // A reply path cannot begin with an ID query; this is a link probe that hit a
+    // host port. Stay silent.
+    return;
+  }
+  // Reply "I am <mac>" along the remaining tags verbatim (they already end in ø).
+  Packet reply;
+  reply.eth.src_mac = mac_;
+  reply.eth.dst_mac = probe.origin_mac;
+  reply.eth.ether_type = kEtherTypeDumbNet;
+  reply.tags = pkt.tags;
+  reply.payload = ProbeReplyPayload{probe.probe_id, mac_, pkt.tags,
+                                    bootstrapped_ ? controller_mac_ : 0};
+  ++stats_.probes_replied;
+  sim_->ScheduleAfter(config_.process_delay,
+                      [this, reply = std::move(reply)] { net_->SendFromHost(host_index_, reply); });
+}
+
+void HostAgent::DeliverLocal(const Packet& pkt) {
+  // A service running on this host (the controller) gets first refusal — except
+  // for link events and patches, which the agent processes itself (deduplicated
+  // link events are re-offered to the control handler by ProcessLinkState).
+  const bool agent_owned = pkt.As<LinkEventPayload>() != nullptr ||
+                           pkt.As<TopologyPatchPayload>() != nullptr;
+  if (!agent_owned && control_handler_ && control_handler_(pkt)) {
+    return;
+  }
+  if (const auto* data = pkt.As<DataPayload>()) {
+    ++stats_.data_received;
+    if (data_handler_) {
+      data_handler_(pkt, *data);
+    }
+    return;
+  }
+  if (const auto* probe = pkt.As<ProbePayload>()) {
+    if (probe->origin_mac == mac_ && probe_event_handler_) {
+      probe_event_handler_(pkt);  // bounced PM (scenario ii in Section 3.3)
+    }
+    // A foreign probe whose path ends exactly here has no reply path; drop.
+    return;
+  }
+  if (pkt.As<ProbeReplyPayload>() != nullptr || pkt.As<IdReplyPayload>() != nullptr) {
+    if (probe_event_handler_) {
+      probe_event_handler_(pkt);
+    }
+    return;
+  }
+  if (const auto* resp = pkt.As<PathResponsePayload>()) {
+    ++stats_.path_responses;
+    if (resp->graph != nullptr) {
+      (void)topo_cache_.Integrate(*resp->graph, resp->dst_location);
+    } else {
+      topo_cache_.UpsertHost(resp->dst_location);
+    }
+    outstanding_requests_.erase(resp->dst_mac);
+    if (Status s = InstallRoutesFor(resp->dst_mac); s.ok()) {
+      FlushPending(resp->dst_mac);
+    }
+    return;
+  }
+  if (const auto* boot = pkt.As<BootstrapPayload>()) {
+    ApplyBootstrap(*boot);
+    return;
+  }
+  if (const auto* ev = pkt.As<LinkEventPayload>()) {
+    ProcessLinkState(ev->switch_uid, ev->port, ev->up, ev->origin_time, ev->event_id,
+                     /*from_fabric=*/false, pkt.eth.src_mac);
+    return;
+  }
+  if (const auto* patch = pkt.As<TopologyPatchPayload>()) {
+    ApplyPatchLocally(*patch, pkt.eth.src_mac);
+    return;
+  }
+  ++stats_.dropped_malformed;
+}
+
+void HostAgent::ApplyPatchLocally(const TopologyPatchPayload& patch, uint64_t from_mac) {
+  if (patch.patch_seq <= last_patch_seq_) {
+    return;  // duplicate via another flood path
+  }
+  last_patch_seq_ = patch.patch_seq;
+  ++stats_.patches_applied;
+  static const std::vector<WireLink> kEmpty;
+  const auto& removed = patch.removed != nullptr ? *patch.removed : kEmpty;
+  const auto& added = patch.added != nullptr ? *patch.added : kEmpty;
+  topo_cache_.ApplyPatch(removed, added);
+  for (const WireLink& l : removed) {
+    RepairAfterLinkChange(l.uid_a, l.uid_b);
+  }
+  if (patch_hook_) {
+    patch_hook_(patch);
+  }
+  FloodToPeers(patch, from_mac);
+}
+
+// ---------------------------------------------------------------------------------
+// Failure handling (Section 4.2)
+
+void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
+                                 TimeNs origin_time, uint64_t event_id, bool from_fabric,
+                                 uint64_t from_mac) {
+  if (!seen_events_.insert(event_id).second) {
+    return;  // duplicate alarm, suppressed (host side of Section 4.2)
+  }
+  if (from_fabric) {
+    ++stats_.port_events_seen;
+  } else {
+    ++stats_.link_events_seen;
+  }
+
+  LinkEventPayload ev{event_id, switch_uid, port, up, origin_time};
+  if (link_event_hook_) {
+    link_event_hook_(ev, from_fabric);
+  }
+
+  // Update the cache and fail over *before* spending time flooding: the data path
+  // recovers first.
+  auto edge = topo_cache_.MarkLinkAt(switch_uid, port, up);
+  if (!up && edge.ok()) {
+    RepairAfterLinkChange(edge.value().first, edge.value().second);
+  }
+
+  // Relay to gossip peers (peer-to-peer flooding).
+  FloodToPeers(ev, from_mac);
+
+  // The controller service (if co-located) learns about it the same way.
+  if (control_handler_) {
+    Packet synthetic = MakeEthernetPacket(from_mac, mac_, kEtherTypeDumbNet, ev);
+    control_handler_(synthetic);
+  }
+}
+
+void HostAgent::RepairAfterLinkChange(uint64_t uid_a, uint64_t uid_b) {
+  std::vector<uint64_t> starved = path_table_.InvalidateEdge(uid_a, uid_b);
+  for (uint64_t dst : starved) {
+    // Local detours first (the cache already knows the link is down), controller
+    // as a last resort.
+    if (Status s = InstallRoutesFor(dst); !s.ok()) {
+      RequestPath(dst);
+    }
+  }
+}
+
+void HostAgent::FloodToPeers(const Payload& payload, uint64_t exclude_mac) {
+  for (const HostLocation& peer : gossip_peers_) {
+    if (peer.mac == exclude_mac || peer.mac == mac_) {
+      continue;
+    }
+    if (peer.switch_uid == self_.switch_uid) {
+      // Same-switch neighbors are reachable with a single tag, no cache needed.
+      SendTags({peer.port}, peer.mac, payload);
+      ++stats_.floods_sent;
+      continue;
+    }
+    auto route = path_table_.RouteFor(peer.mac, /*flow_id=*/peer.mac);
+    if (route.ok()) {
+      SendTags(route.value().tags, peer.mac, payload);
+      ++stats_.floods_sent;
+    }
+    // Best effort otherwise: the ring has enough redundancy to route around one
+    // unreachable peer.
+  }
+}
+
+// ---------------------------------------------------------------------------------
+// Bootstrap & controller protocol
+
+void HostAgent::ApplyBootstrap(const BootstrapPayload& bootstrap) {
+  self_ = bootstrap.self;
+  controller_mac_ = bootstrap.controller_mac;
+  controller_tags_ = bootstrap.path_to_controller;
+  if (!controller_tags_.empty() && controller_tags_.back() == kPathEndTag) {
+    controller_tags_.pop_back();
+  }
+  bootstrapped_ = true;
+  topo_cache_.UpsertHost(self_);
+  if (bootstrap.controller_location.mac != 0) {
+    topo_cache_.UpsertHost(bootstrap.controller_location);
+  }
+  if (controller_mac_ != mac_) {
+    // Warm a real path-graph-backed route to the controller so control traffic
+    // fails over like data traffic (see SendToController).
+    RequestPath(controller_mac_);
+  }
+  if (bootstrap.directory != nullptr) {
+    for (const HostLocation& loc : *bootstrap.directory) {
+      topo_cache_.UpsertHost(loc);
+    }
+    ComputeGossipPeers(*bootstrap.directory);
+  }
+  // Anything queued before bootstrap can now be requested.
+  for (const auto& [dst, queue] : pending_) {
+    if (!queue.empty()) {
+      RequestPath(dst);
+    }
+  }
+}
+
+void HostAgent::ComputeGossipPeers(const std::vector<HostLocation>& directory) {
+  gossip_peers_.clear();
+  // All hosts on our own switch ("starts from the hosts on the same switch").
+  std::vector<uint64_t> macs;
+  for (const HostLocation& loc : directory) {
+    if (loc.mac == mac_) {
+      continue;
+    }
+    if (loc.switch_uid == self_.switch_uid) {
+      gossip_peers_.push_back(loc);
+    }
+    macs.push_back(loc.mac);
+  }
+  // Plus `gossip_fanout` ring successors by MAC order, skipping same-switch hosts
+  // (already peers). The ring guarantees the flood reaches every switch.
+  macs.push_back(mac_);
+  std::sort(macs.begin(), macs.end());
+  auto self_it = std::find(macs.begin(), macs.end(), mac_);
+  size_t start = static_cast<size_t>(self_it - macs.begin());
+  uint32_t added = 0;
+  for (size_t i = 1; i < macs.size() && added < config_.gossip_fanout; ++i) {
+    uint64_t mac = macs[(start + i) % macs.size()];
+    if (mac == mac_) {
+      continue;
+    }
+    auto loc = std::find_if(directory.begin(), directory.end(),
+                            [mac](const HostLocation& l) { return l.mac == mac; });
+    if (loc == directory.end() || loc->switch_uid == self_.switch_uid) {
+      continue;
+    }
+    gossip_peers_.push_back(*loc);
+    ++added;
+    // Warm the route to this ring peer so failure floods do not stall on a
+    // controller query.
+    RequestPath(mac);
+  }
+}
+
+void HostAgent::RequestPath(uint64_t dst_mac) {
+  if (!bootstrapped_ || outstanding_requests_.count(dst_mac) > 0) {
+    return;
+  }
+  outstanding_requests_.insert(dst_mac);
+  ++stats_.path_requests;
+  (void)SendToController(PathRequestPayload{mac_, dst_mac});
+
+  // Retry loop with a bounded count; give up and drop queued packets after that.
+  auto retry = std::make_shared<std::function<void(int)>>();
+  *retry = [this, dst_mac, retry](int attempt) {
+    if (outstanding_requests_.count(dst_mac) == 0) {
+      return;  // answered
+    }
+    if (attempt >= kMaxPathRequestRetries) {
+      outstanding_requests_.erase(dst_mac);
+      pending_.erase(dst_mac);
+      DN_WARN << "host " << mac_ << ": giving up on path to " << dst_mac;
+      return;
+    }
+    ++stats_.path_requests;
+    (void)SendToController(PathRequestPayload{mac_, dst_mac});
+    sim_->ScheduleAfter(config_.request_timeout, [retry, attempt] { (*retry)(attempt + 1); });
+  };
+  sim_->ScheduleAfter(config_.request_timeout, [retry] { (*retry)(1); });
+}
+
+Status HostAgent::InstallRoutesFor(uint64_t dst_mac) {
+  auto entry = topo_cache_.BuildEntry(self_.switch_uid, dst_mac, config_.k_paths);
+  if (!entry.ok()) {
+    return entry.error();
+  }
+  if (!config_.cache_backup) {
+    entry.value().has_backup = false;
+    entry.value().backup = CachedRoute{};
+  }
+  if (config_.verify_routes) {
+    PathVerifier verifier(&topo_cache_.db(), VerifyPolicy{});
+    auto& paths = entry.value().paths;
+    size_t kept = 0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (verifier.VerifyUidPath(paths[i].uid_path).ok()) {
+        if (kept != i) {
+          paths[kept] = std::move(paths[i]);
+        }
+        ++kept;
+      } else {
+        ++stats_.verify_failures;
+      }
+    }
+    paths.resize(kept);
+    if (paths.empty() && !entry.value().has_backup) {
+      return Error(ErrorCode::kUnavailable, "all routes failed verification");
+    }
+  }
+  path_table_.Install(dst_mac, std::move(entry.value()));
+  return Status::Ok();
+}
+
+void HostAgent::FlushPending(uint64_t dst_mac) {
+  auto it = pending_.find(dst_mac);
+  if (it == pending_.end()) {
+    return;
+  }
+  std::deque<Packet> queue = std::move(it->second);
+  pending_.erase(it);
+  for (Packet& pkt : queue) {
+    const auto* data = pkt.As<DataPayload>();
+    uint64_t flow_id = data != nullptr ? data->flow_id : 0;
+    auto route = path_table_.RouteFor(dst_mac, flow_id);
+    if (!route.ok()) {
+      continue;
+    }
+    pkt.tags = route.value().tags;
+    pkt.tags.push_back(kPathEndTag);
+    ++stats_.data_sent;
+    sim_->ScheduleAfter(config_.process_delay,
+                        [this, p = std::move(pkt)] { net_->SendFromHost(host_index_, p); });
+  }
+}
+
+}  // namespace dumbnet

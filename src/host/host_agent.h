@@ -1,0 +1,186 @@
+// HostAgent: the DumbNet host stack (paper Sections 4 and 5). One per host. It
+// owns the data path (tag push/pop, ø validation), the two-level path cache
+// (TopoCache + PathTable), failure handling (fabric notifications + host-to-host
+// flooding + failover) and the client side of the controller protocol.
+//
+// Control-plane services that *run on* a host (the controller, the discovery
+// prober) plug in through SetControlHandler / the probe callbacks rather than
+// subclassing, mirroring the paper's service-daemon architecture.
+#ifndef DUMBNET_SRC_HOST_HOST_AGENT_H_
+#define DUMBNET_SRC_HOST_HOST_AGENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/host/path_table.h"
+#include "src/host/path_verifier.h"
+#include "src/host/topo_cache.h"
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace dumbnet {
+
+struct HostAgentConfig {
+  // k shortest paths cached per destination (Section 5.2).
+  uint32_t k_paths = 4;
+  // Ring-gossip fanout for host-to-host failure flooding (in addition to all
+  // same-switch hosts).
+  uint32_t gossip_fanout = 3;
+  // Host-side per-packet processing cost (DPDK pipeline).
+  TimeNs process_delay = Us(2);
+  // Re-issue a path request if unanswered for this long.
+  TimeNs request_timeout = Ms(50);
+  // Verify routes before installing them (can be disabled to measure its cost).
+  bool verify_routes = true;
+  // Cache the controller-provided backup path (Section 4.3). Disabling it is the
+  // ablation knob for "k shortest paths only" caching.
+  bool cache_backup = true;
+  uint64_t rng_seed = 42;
+};
+
+struct HostAgentStats {
+  uint64_t data_sent = 0;
+  uint64_t data_received = 0;
+  uint64_t data_blocked = 0;       // queued waiting for a path
+  uint64_t path_requests = 0;
+  uint64_t path_responses = 0;
+  uint64_t probes_replied = 0;
+  uint64_t port_events_seen = 0;   // deduplicated fabric notifications
+  uint64_t link_events_seen = 0;   // deduplicated host-flood events
+  uint64_t patches_applied = 0;
+  uint64_t floods_sent = 0;
+  uint64_t dropped_malformed = 0;
+  uint64_t verify_failures = 0;
+};
+
+class HostAgent : public NetNode {
+ public:
+  HostAgent(Network* net, uint32_t host_index, HostAgentConfig config = HostAgentConfig());
+
+  // --- Identity ----------------------------------------------------------------
+  uint64_t mac() const { return mac_; }
+  uint32_t host_index() const { return host_index_; }
+  bool bootstrapped() const { return bootstrapped_; }
+  const HostLocation& self_location() const { return self_; }
+
+  // --- Data path -----------------------------------------------------------------
+  // Sends application data to `dst_mac`. Uses the cached route bound to `flow_id`;
+  // on a cache miss the packet is queued and a path request goes to the controller.
+  Status Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload);
+
+  // Delivered application data (tags fully consumed, ø checked and removed).
+  using DataHandler = std::function<void(const Packet&, const DataPayload&)>;
+  void SetDataHandler(DataHandler handler) { data_handler_ = std::move(handler); }
+
+  // Pluggable routing function (Section 6.1): flowlet TE installs one.
+  void SetRouteChooser(PathTable::RouteChooser chooser);
+
+  // Rebinds a flow on its next packet (flowlet boundary).
+  void RebindFlow(uint64_t dst_mac, uint64_t flow_id) {
+    path_table_.ClearBinding(dst_mac, flow_id);
+  }
+
+  // Application-supplied explicit route (verified before use).
+  Status SendOnPath(uint64_t dst_mac, const std::vector<uint64_t>& uid_path,
+                    DataPayload payload);
+
+  // --- Raw sends (control plane, discovery) ---------------------------------------
+  // Sends a payload with explicit tags (ø appended internally).
+  void SendTags(TagList tags, uint64_t dst_mac, Payload payload);
+  Status SendToController(Payload payload);
+
+  // --- Bootstrap -------------------------------------------------------------------
+  // Normally arrives from the controller; also callable directly in tests.
+  void ApplyBootstrap(const BootstrapPayload& bootstrap);
+
+  // --- Control-plane plug-ins --------------------------------------------------------
+  // A service on this host (controller) sees every control payload first; return
+  // true to consume it.
+  using ControlHandler = std::function<bool(const Packet&)>;
+  void SetControlHandler(ControlHandler handler) { control_handler_ = std::move(handler); }
+
+  // Discovery prober hooks: invoked for id replies / probe replies / own bounced
+  // probes addressed to this host.
+  using ProbeEventHandler = std::function<void(const Packet&)>;
+  void SetProbeEventHandler(ProbeEventHandler handler) {
+    probe_event_handler_ = std::move(handler);
+  }
+
+  // --- Failure handling hooks (experiments measure these) ---------------------------
+  // Called once per *new* link event, with the source (fabric broadcast vs host
+  // flood) and the event's origin timestamp.
+  using LinkEventHook = std::function<void(const LinkEventPayload&, bool from_fabric)>;
+  void SetLinkEventHook(LinkEventHook hook) { link_event_hook_ = std::move(hook); }
+  using PatchHook = std::function<void(const TopologyPatchPayload&)>;
+  void SetPatchHook(PatchHook hook) { patch_hook_ = std::move(hook); }
+
+  // --- NetNode ------------------------------------------------------------------------
+  void HandlePacket(const Packet& pkt, PortNum in_port) override;
+
+  // --- Introspection -------------------------------------------------------------------
+  TopoCache& topo_cache() { return topo_cache_; }
+  PathTable& path_table() { return path_table_; }
+  const HostAgentStats& stats() const { return stats_; }
+  Network& net() { return *net_; }
+  Simulator& sim() { return *sim_; }
+  const std::vector<HostLocation>& gossip_peers() const { return gossip_peers_; }
+
+  // Floods a link event to gossip peers (also used by the controller service to
+  // disseminate patches). `exclude_mac` suppresses the echo back to the sender.
+  void FloodToPeers(const Payload& payload, uint64_t exclude_mac);
+
+  // Applies a topology patch to the local caches and re-floods it; entry point
+  // both for patches arriving off the wire and for a co-located controller
+  // injecting the patch it just built. `from_mac` is excluded from the re-flood.
+  void ApplyPatchLocally(const TopologyPatchPayload& patch, uint64_t from_mac);
+
+ private:
+  void DeliverLocal(const Packet& pkt);
+  void HandleOwnPacket(const Packet& pkt);
+  void HandleTransitProbe(const Packet& pkt, const ProbePayload& probe);
+  void ProcessLinkState(uint64_t switch_uid, PortNum port, bool up, TimeNs origin_time,
+                        uint64_t event_id, bool from_fabric, uint64_t from_mac);
+  void RepairAfterLinkChange(uint64_t uid_a, uint64_t uid_b);
+  void RequestPath(uint64_t dst_mac);
+  void FlushPending(uint64_t dst_mac);
+  void ComputeGossipPeers(const std::vector<HostLocation>& directory);
+  Status InstallRoutesFor(uint64_t dst_mac);
+
+  Network* net_;
+  Simulator* sim_;
+  uint32_t host_index_;
+  uint64_t mac_;
+  HostAgentConfig config_;
+  Rng rng_;
+
+  bool bootstrapped_ = false;
+  HostLocation self_;
+  uint64_t controller_mac_ = 0;
+  TagList controller_tags_;  // ø excluded
+
+  TopoCache topo_cache_;
+  PathTable path_table_;
+
+  DataHandler data_handler_;
+  ControlHandler control_handler_;
+  ProbeEventHandler probe_event_handler_;
+  LinkEventHook link_event_hook_;
+  PatchHook patch_hook_;
+
+  std::vector<HostLocation> gossip_peers_;
+  std::unordered_map<uint64_t, std::deque<Packet>> pending_;  // dst -> queued packets
+  std::unordered_set<uint64_t> outstanding_requests_;
+  std::unordered_set<uint64_t> seen_events_;  // link-event dedup
+  uint64_t last_patch_seq_ = 0;
+
+  HostAgentStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_HOST_HOST_AGENT_H_

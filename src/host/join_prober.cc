@@ -1,0 +1,74 @@
+#include "src/host/join_prober.h"
+
+namespace dumbnet {
+
+JoinProber::JoinProber(HostAgent* agent, JoinProberConfig config)
+    : agent_(agent), sim_(&agent->sim()), config_(config) {}
+
+void JoinProber::Start(std::function<void(const JoinResult&)> done) {
+  done_ = std::move(done);
+
+  agent_->SetProbeEventHandler([this](const Packet& pkt) {
+    if (const auto* id_reply = pkt.As<IdReplyPayload>()) {
+      auto it = inflight_.find(id_reply->probe_id);
+      if (it == inflight_.end() || attach_known_) {
+        return;
+      }
+      // Phase 1 resolved: the [0, p] probe that returned tells us our port and
+      // our switch's burned-in ID.
+      attach_known_ = true;
+      result_.self = HostLocation{agent_->mac(), id_reply->switch_uid, it->second};
+      inflight_.clear();
+      ProbeNeighborHosts();
+      return;
+    }
+    if (const auto* reply = pkt.As<ProbeReplyPayload>()) {
+      if (inflight_.count(reply->probe_id) == 0) {
+        return;
+      }
+      if (reply->controller_mac != 0 && result_.controller_mac == 0) {
+        result_.controller_mac = reply->controller_mac;
+        Finish();
+      }
+    }
+  });
+
+  // Phase 1: find our own attach point with combined probes 0-p-ø.
+  for (PortNum p = 1; p <= config_.max_ports; ++p) {
+    uint64_t id = next_probe_id_++;
+    inflight_.emplace(id, p);
+    ++result_.probes_sent;
+    agent_->SendTags({kIdQueryTag, p}, kBroadcastMac,
+                     ProbePayload{id, agent_->mac(), {kIdQueryTag, p, kPathEndTag}});
+  }
+  sim_->ScheduleAfter(config_.probe_timeout * 2, [this] { Finish(); });
+}
+
+void JoinProber::ProbeNeighborHosts() {
+  // Phase 2: host-probe every port of our own switch ([p, our_port]): neighbors
+  // reply with their identity and, if bootstrapped, the controller they know.
+  for (PortNum p = 1; p <= config_.max_ports; ++p) {
+    if (p == result_.self.port) {
+      continue;
+    }
+    uint64_t id = next_probe_id_++;
+    inflight_.emplace(id, p);
+    ++result_.probes_sent;
+    agent_->SendTags({p, result_.self.port}, kBroadcastMac,
+                     ProbePayload{id, agent_->mac(),
+                                  {p, result_.self.port, kPathEndTag}});
+  }
+}
+
+void JoinProber::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  agent_->SetProbeEventHandler(nullptr);
+  if (done_) {
+    done_(result_);
+  }
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,53 @@
+// Host join prober (paper Section 4.1: "other hosts just probe until they learn
+// the location of the controller"). A freshly plugged-in host uses the same
+// data-plane-only probing the controller does, but stops as soon as it knows
+// (i) its own attach point (switch UID + port) and (ii) the controller's identity,
+// learned from any already-bootstrapped neighbor's probe reply ("...and possibly
+// the controller if the new host knows", Section 3.3).
+#ifndef DUMBNET_SRC_HOST_JOIN_PROBER_H_
+#define DUMBNET_SRC_HOST_JOIN_PROBER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/host/host_agent.h"
+
+namespace dumbnet {
+
+struct JoinProberConfig {
+  uint8_t max_ports = 16;
+  TimeNs probe_timeout = Ms(50);
+};
+
+struct JoinResult {
+  HostLocation self;           // this host's attach point (uid + port)
+  uint64_t controller_mac = 0; // 0 if no neighbor knew a controller
+  uint64_t probes_sent = 0;
+};
+
+class JoinProber {
+ public:
+  JoinProber(HostAgent* agent, JoinProberConfig config = JoinProberConfig());
+
+  // Runs the probe sequence; `done` fires when both facts are known or the port
+  // scan exhausts. Claims the agent's probe-event handler while running.
+  void Start(std::function<void(const JoinResult&)> done);
+
+ private:
+  void ProbeNeighborHosts();
+  void Finish();
+
+  HostAgent* agent_;
+  Simulator* sim_;
+  JoinProberConfig config_;
+  std::function<void(const JoinResult&)> done_;
+  JoinResult result_;
+  bool attach_known_ = false;
+  bool finished_ = false;
+  uint64_t next_probe_id_ = 0x10C4;
+  std::unordered_map<uint64_t, PortNum> inflight_;  // probe id -> probed port
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_HOST_JOIN_PROBER_H_

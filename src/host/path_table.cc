@@ -1,0 +1,132 @@
+#include "src/host/path_table.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+bool CachedRoute::UsesEdge(uint64_t a, uint64_t b) const {
+  for (size_t i = 0; i + 1 < uid_path.size(); ++i) {
+    if ((uid_path[i] == a && uid_path[i + 1] == b) ||
+        (uid_path[i] == b && uid_path[i + 1] == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PathTable::Install(uint64_t dst_mac, PathTableEntry entry) {
+  entries_[dst_mac] = std::move(entry);
+}
+
+const PathTableEntry* PathTable::Find(uint64_t dst_mac) const {
+  auto it = entries_.find(dst_mac);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
+  auto it = entries_.find(dst_mac);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Error(ErrorCode::kNotFound, "no entry for destination");
+  }
+  PathTableEntry& entry = it->second;
+  if (entry.paths.empty() && !entry.has_backup) {
+    ++stats_.misses;
+    return Error(ErrorCode::kNotFound, "entry has no usable routes");
+  }
+
+  auto bound = entry.flow_binding.find(flow_id);
+  if (bound != entry.flow_binding.end()) {
+    if (bound->second == SIZE_MAX && entry.has_backup) {
+      ++stats_.hits;
+      return entry.backup;
+    }
+    if (bound->second < entry.paths.size()) {
+      ++stats_.hits;
+      return entry.paths[bound->second];
+    }
+    // Stale binding (path invalidated since); fall through and rebind.
+    entry.flow_binding.erase(bound);
+    ++stats_.rebinds;
+  }
+
+  size_t pick = SIZE_MAX;
+  if (chooser_) {
+    pick = chooser_(entry, flow_id);
+  }
+  if (pick >= entry.paths.size()) {
+    if (!entry.paths.empty()) {
+      // Default policy: load-balance uniformly over the *minimal-length* cached
+      // paths (the equal-cost set); longer k-shortest entries stay as failover
+      // material only.
+      size_t min_len = SIZE_MAX;
+      for (const CachedRoute& r : entry.paths) {
+        min_len = std::min(min_len, r.uid_path.size());
+      }
+      size_t count = 0;
+      for (const CachedRoute& r : entry.paths) {
+        count += (r.uid_path.size() == min_len) ? 1 : 0;
+      }
+      size_t target = rng_.PickIndex(count);
+      for (size_t i = 0; i < entry.paths.size(); ++i) {
+        if (entry.paths[i].uid_path.size() == min_len && target-- == 0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      // Only the backup remains.
+      ++stats_.backup_promotions;
+      entry.flow_binding[flow_id] = SIZE_MAX;
+      ++stats_.hits;
+      return entry.backup;
+    }
+  }
+  entry.flow_binding[flow_id] = pick;
+  ++stats_.hits;
+  return entry.paths[pick];
+}
+
+void PathTable::ClearBinding(uint64_t dst_mac, uint64_t flow_id) {
+  auto it = entries_.find(dst_mac);
+  if (it != entries_.end()) {
+    it->second.flow_binding.erase(flow_id);
+  }
+}
+
+std::vector<uint64_t> PathTable::InvalidateEdge(uint64_t a, uint64_t b) {
+  std::vector<uint64_t> starved;
+  for (auto& [mac, entry] : entries_) {
+    bool changed = false;
+    auto dead = [&](const CachedRoute& r) { return r.UsesEdge(a, b); };
+    size_t before = entry.paths.size();
+    entry.paths.erase(std::remove_if(entry.paths.begin(), entry.paths.end(), dead),
+                      entry.paths.end());
+    changed = entry.paths.size() != before;
+    if (entry.has_backup && dead(entry.backup)) {
+      entry.has_backup = false;
+      entry.backup = CachedRoute{};
+      changed = true;
+    }
+    if (changed) {
+      // All bindings into `paths` are suspect after the erase; drop them and let
+      // flows rebind (counted once per entry, not per flow, to stay cheap).
+      entry.flow_binding.clear();
+      ++stats_.rebinds;
+    }
+    if (entry.paths.empty()) {
+      if (entry.has_backup) {
+        // Promote the backup so the data path keeps flowing (Section 5.2:
+        // "caching backup paths allows the hosts to failover fast").
+        entry.paths.push_back(entry.backup);
+        entry.has_backup = false;
+        ++stats_.backup_promotions;
+      } else {
+        starved.push_back(mac);
+      }
+    }
+  }
+  return starved;
+}
+
+}  // namespace dumbnet

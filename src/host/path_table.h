@@ -1,0 +1,87 @@
+// PathTable: the per-destination route cache in every host's data path (paper
+// Section 5.2, Figure 4). Indexed by destination MAC; holds the k shortest paths
+// (for load balancing) plus the backup path, and remembers which path each flow is
+// bound to so a flow stays on one path unless rerouted.
+#ifndef DUMBNET_SRC_HOST_PATH_TABLE_H_
+#define DUMBNET_SRC_HOST_PATH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/tags.h"
+#include "src/routing/wire_types.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+
+// One compiled route: the UID-level path (for validity checks against link events)
+// and the ready-to-send tag list (ø excluded).
+struct CachedRoute {
+  std::vector<uint64_t> uid_path;
+  TagList tags;
+
+  // True if the route traverses the undirected switch edge (a, b).
+  bool UsesEdge(uint64_t a, uint64_t b) const;
+};
+
+struct PathTableEntry {
+  HostLocation dst;
+  std::vector<CachedRoute> paths;  // k shortest, preference order
+  CachedRoute backup;
+  bool has_backup = false;
+  // flow id -> index into `paths` (or SIZE_MAX = backup).
+  std::unordered_map<uint64_t, size_t> flow_binding;
+};
+
+struct PathTableStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t rebinds = 0;        // flows moved after invalidation
+  uint64_t backup_promotions = 0;
+};
+
+class PathTable {
+ public:
+  // Pluggable routing function (paper Section 6.1/6.2): picks a path index for a
+  // flow from an entry. Return SIZE_MAX to fall through to the default.
+  using RouteChooser = std::function<size_t(const PathTableEntry&, uint64_t flow_id)>;
+
+  explicit PathTable(uint64_t rng_seed = 1) : rng_(rng_seed) {}
+
+  void Install(uint64_t dst_mac, PathTableEntry entry);
+  void Remove(uint64_t dst_mac) { entries_.erase(dst_mac); }
+
+  bool Contains(uint64_t dst_mac) const { return entries_.count(dst_mac) > 0; }
+  const PathTableEntry* Find(uint64_t dst_mac) const;
+
+  // Returns the route for (dst, flow): keeps an existing binding when valid,
+  // otherwise picks one (chooser first, then uniform random over k) and binds.
+  // Counts a miss and returns kNotFound when no usable route exists.
+  Result<CachedRoute> RouteFor(uint64_t dst_mac, uint64_t flow_id);
+
+  // Rebinds `flow_id` to a fresh path choice on next use (flowlet boundary).
+  void ClearBinding(uint64_t dst_mac, uint64_t flow_id);
+
+  void SetRouteChooser(RouteChooser chooser) { chooser_ = std::move(chooser); }
+
+  // Drops every cached route that crosses the (a, b) switch edge; affected flows
+  // rebind on next use; backup is promoted into `paths` when the primaries die.
+  // Returns the destinations left with NO routes at all (caller should re-query).
+  std::vector<uint64_t> InvalidateEdge(uint64_t a, uint64_t b);
+
+  size_t size() const { return entries_.size(); }
+  const PathTableStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<uint64_t, PathTableEntry> entries_;
+  RouteChooser chooser_;
+  Rng rng_;
+  PathTableStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_HOST_PATH_TABLE_H_

@@ -1,0 +1,118 @@
+#include "src/host/path_verifier.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+Status PathVerifier::CheckSwitch(uint64_t uid, std::vector<uint64_t>& visited) const {
+  if (policy_.switch_allowed && !policy_.switch_allowed(uid)) {
+    return Error(ErrorCode::kPermissionDenied,
+                 "policy forbids switch " + std::to_string(uid));
+  }
+  if (policy_.forbid_loops) {
+    if (std::find(visited.begin(), visited.end(), uid) != visited.end()) {
+      return Error(ErrorCode::kInvalidArgument, "path revisits a switch");
+    }
+    visited.push_back(uid);
+  }
+  return Status::Ok();
+}
+
+Status PathVerifier::VerifyUidPath(const std::vector<uint64_t>& uid_path) const {
+  if (uid_path.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty path");
+  }
+  if (uid_path.size() > policy_.max_path_length) {
+    return Error(ErrorCode::kOutOfRange, "path exceeds maximum length");
+  }
+  std::vector<uint64_t> visited;
+  visited.reserve(uid_path.size());
+  if (Status s = CheckSwitch(uid_path.front(), visited); !s.ok()) {
+    return s;
+  }
+  for (size_t i = 0; i + 1 < uid_path.size(); ++i) {
+    if (Status s = CheckSwitch(uid_path[i + 1], visited); !s.ok()) {
+      return s;
+    }
+    // Consecutive switches must share an *up* link in the cached topology.
+    auto a = db_->IndexOf(uid_path[i]);
+    auto b = db_->IndexOf(uid_path[i + 1]);
+    if (!a.ok() || !b.ok()) {
+      return Error(ErrorCode::kNotFound, "path uses an unknown switch");
+    }
+    const Topology& mirror = db_->mirror();
+    const SwitchInfo& sw = mirror.switch_at(a.value());
+    bool linked = false;
+    for (PortNum p = 1; p <= sw.num_ports && !linked; ++p) {
+      LinkIndex li = sw.port_link[p];
+      if (li == kInvalidLink) {
+        continue;
+      }
+      const Link& l = mirror.link_at(li);
+      if (!l.up) {
+        continue;
+      }
+      const Endpoint& peer = l.Peer(NodeId::Switch(a.value()));
+      linked = peer.node.is_switch() && peer.node.index == b.value();
+    }
+    if (!linked) {
+      return Error(ErrorCode::kUnavailable, "no up link between consecutive switches");
+    }
+  }
+  return Status::Ok();
+}
+
+Status PathVerifier::VerifyTags(uint64_t src_uid, const TagList& tags) const {
+  if (tags.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty tag list");
+  }
+  if (tags.size() > policy_.max_path_length) {
+    return Error(ErrorCode::kOutOfRange, "tag list exceeds maximum length");
+  }
+  auto cur = db_->IndexOf(src_uid);
+  if (!cur.ok()) {
+    return Error(ErrorCode::kNotFound, "unknown source switch");
+  }
+  const Topology& mirror = db_->mirror();
+  std::vector<uint64_t> visited;
+  visited.reserve(tags.size());
+  uint32_t sw = cur.value();
+  if (Status s = CheckSwitch(db_->UidOf(sw), visited); !s.ok()) {
+    return s;
+  }
+  for (size_t i = 0; i < tags.size(); ++i) {
+    PortNum tag = tags[i];
+    if (tag == kPathEndTag) {
+      return Error(ErrorCode::kMalformed, "unexpected path terminator mid-path");
+    }
+    if (tag == kIdQueryTag) {
+      return Error(ErrorCode::kPermissionDenied, "application routes may not query IDs");
+    }
+    LinkIndex li = mirror.LinkAtPort(sw, tag);
+    const bool last = (i + 1 == tags.size());
+    if (li == kInvalidLink || !mirror.link_at(li).up) {
+      if (last) {
+        // Final hop exits to a host; the cached mirror does not model host links,
+        // so an unwired final port is acceptable.
+        return Status::Ok();
+      }
+      return Error(ErrorCode::kUnavailable, "tag crosses a down or unknown link");
+    }
+    const Endpoint& peer = mirror.link_at(li).Peer(NodeId::Switch(sw));
+    if (!peer.node.is_switch()) {
+      if (last) {
+        return Status::Ok();
+      }
+      return Error(ErrorCode::kInvalidArgument, "path exits fabric before final tag");
+    }
+    sw = peer.node.index;
+    if (Status s = CheckSwitch(db_->UidOf(sw), visited); !s.ok()) {
+      return s;
+    }
+  }
+  // All tags crossed switch-to-switch links: the "destination" is a switch, which
+  // is not a valid host route.
+  return Error(ErrorCode::kInvalidArgument, "path ends at a switch, not a host");
+}
+
+}  // namespace dumbnet

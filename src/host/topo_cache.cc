@@ -1,0 +1,131 @@
+#include "src/host/topo_cache.h"
+
+#include "src/routing/graph.h"
+#include "src/routing/shortest_path.h"
+
+namespace dumbnet {
+
+Status TopoCache::Integrate(const WirePathGraph& graph, const HostLocation& dst) {
+  if (Status s = db_.MergePathGraph(graph); !s.ok()) {
+    return s;
+  }
+  db_.UpsertHost(dst);
+  if (!graph.backup.empty()) {
+    backups_[dst.mac] = graph.backup;
+  }
+  return Status::Ok();
+}
+
+Result<std::pair<uint64_t, uint64_t>> TopoCache::MarkLinkAt(uint64_t switch_uid,
+                                                            PortNum port, bool up) {
+  auto idx = db_.IndexOf(switch_uid);
+  if (!idx.ok()) {
+    return idx.error();
+  }
+  LinkIndex li = db_.mirror().LinkAtPort(idx.value(), port);
+  if (li == kInvalidLink) {
+    return Error(ErrorCode::kNotFound, "link not cached");
+  }
+  const Link& l = db_.mirror().link_at(li);
+  db_.SetLinkState(switch_uid, port, up);
+  return std::pair<uint64_t, uint64_t>{db_.UidOf(l.a.node.index), db_.UidOf(l.b.node.index)};
+}
+
+void TopoCache::ApplyPatch(const std::vector<WireLink>& removed,
+                           const std::vector<WireLink>& added) {
+  for (const WireLink& l : removed) {
+    db_.SetLinkState(l.uid_a, l.port_a, false);
+  }
+  for (const WireLink& l : added) {
+    // AddLink marks pre-existing links up again and inserts new ones.
+    (void)db_.AddLink(l);
+  }
+}
+
+Result<CachedRoute> TopoCache::CompileUidPath(const std::vector<uint64_t>& uid_path,
+                                              PortNum final_port) const {
+  auto tags = db_.CompileTagsForUidPath(uid_path, final_port);
+  if (!tags.ok()) {
+    return tags.error();
+  }
+  CachedRoute route;
+  route.uid_path = uid_path;
+  route.tags = std::move(tags.value());
+  return route;
+}
+
+Result<std::vector<CachedRoute>> TopoCache::ComputeRoutes(uint64_t src_uid,
+                                                          uint64_t dst_mac,
+                                                          uint32_t k) const {
+  auto dst = db_.LocateHost(dst_mac);
+  if (!dst.ok()) {
+    return dst.error();
+  }
+  auto src_idx = db_.IndexOf(src_uid);
+  if (!src_idx.ok()) {
+    return src_idx.error();
+  }
+  auto dst_idx = db_.IndexOf(dst.value().switch_uid);
+  if (!dst_idx.ok()) {
+    return dst_idx.error();
+  }
+  SwitchGraph graph(db_.mirror());
+  auto paths = KShortestPaths(graph, src_idx.value(), dst_idx.value(), k);
+  if (!paths.ok()) {
+    return paths.error();
+  }
+  std::vector<CachedRoute> routes;
+  for (const SwitchPath& p : paths.value()) {
+    auto route = CompileUidPath(db_.PathToUids(p), dst.value().port);
+    if (route.ok()) {
+      routes.push_back(std::move(route.value()));
+    }
+  }
+  if (routes.empty()) {
+    return Error(ErrorCode::kUnavailable, "no compilable route in cache");
+  }
+  return routes;
+}
+
+Result<PathTableEntry> TopoCache::BuildEntry(uint64_t src_uid, uint64_t dst_mac,
+                                             uint32_t k) const {
+  auto dst = db_.LocateHost(dst_mac);
+  if (!dst.ok()) {
+    return dst.error();
+  }
+  auto routes = ComputeRoutes(src_uid, dst_mac, k);
+  if (!routes.ok()) {
+    return routes.error();
+  }
+  PathTableEntry entry;
+  entry.dst = dst.value();
+  entry.paths = std::move(routes.value());
+
+  // Attach the controller-provided backup when it is still compilable (i.e. its
+  // links are cached and up) and not identical to a cached primary.
+  auto backup_it = backups_.find(dst_mac);
+  if (backup_it != backups_.end()) {
+    auto backup = CompileUidPath(backup_it->second, dst.value().port);
+    if (backup.ok()) {
+      bool duplicate = false;
+      for (const CachedRoute& r : entry.paths) {
+        if (r.uid_path == backup.value().uid_path) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        entry.backup = std::move(backup.value());
+        entry.has_backup = true;
+      }
+    }
+  }
+  return entry;
+}
+
+size_t TopoCache::ApproxBytes() const {
+  // Switches: uid + index maps; links: endpoints + state; hosts: location records.
+  return db_.switch_count() * 24 + db_.link_count() * 20 + db_.host_count() * 24;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,65 @@
+// TopoCache: the host-side topology cache (paper Section 5.2). Aggregates every
+// path graph the controller has sent this host into one partial topology, serves
+// k-shortest-path computations over it, and applies link up/down marks from failure
+// notifications so recomputed routes avoid dead links.
+#ifndef DUMBNET_SRC_HOST_TOPO_CACHE_H_
+#define DUMBNET_SRC_HOST_TOPO_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/host/path_table.h"
+#include "src/routing/topo_db.h"
+#include "src/routing/wire_types.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+class TopoCache {
+ public:
+  TopoCache() = default;
+
+  // Merges a controller response: the path graph's switches/links plus the
+  // destination's location.
+  Status Integrate(const WirePathGraph& graph, const HostLocation& dst);
+
+  // Applies a link-state event heard from the fabric or the host flood. Unknown
+  // attach points are ignored. Returns the affected edge (uid pair) when known so
+  // the caller can purge its PathTable.
+  Result<std::pair<uint64_t, uint64_t>> MarkLinkAt(uint64_t switch_uid, PortNum port,
+                                                   bool up);
+
+  // Applies a controller topology patch.
+  void ApplyPatch(const std::vector<WireLink>& removed, const std::vector<WireLink>& added);
+
+  // Computes up to k shortest routes from `src_uid` to the destination over the
+  // cached (up) subgraph, compiled to tags. Fails if dst is not cached or
+  // unreachable within the cache.
+  Result<std::vector<CachedRoute>> ComputeRoutes(uint64_t src_uid, uint64_t dst_mac,
+                                                 uint32_t k) const;
+
+  // Builds a full PathTable entry (k paths + backup extracted from the last
+  // integrated graph for that destination when still valid).
+  Result<PathTableEntry> BuildEntry(uint64_t src_uid, uint64_t dst_mac, uint32_t k) const;
+
+  Result<HostLocation> Locate(uint64_t mac) const { return db_.LocateHost(mac); }
+  void UpsertHost(const HostLocation& loc) { db_.UpsertHost(loc); }
+
+  const TopoDb& db() const { return db_; }
+  TopoDb& db() { return db_; }
+
+  // Rough memory footprint in bytes (Section 7.3 discusses cache cost).
+  size_t ApproxBytes() const;
+
+ private:
+  Result<CachedRoute> CompileUidPath(const std::vector<uint64_t>& uid_path,
+                                     PortNum final_port) const;
+
+  TopoDb db_;
+  // Last backup path received per destination mac (UID form).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> backups_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_HOST_TOPO_CACHE_H_

@@ -1,0 +1,110 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+
+Network::Network(Simulator* sim, Topology* topo, NetworkConfig config)
+    : sim_(sim), topo_(topo), config_(config) {
+  dirs_.resize(topo_->link_count());
+  switch_nodes_.assign(topo_->switch_count(), nullptr);
+  host_nodes_.assign(topo_->host_count(), nullptr);
+  topo_->AddLinkObserver([this](LinkIndex li, bool up) { OnLinkStateChange(li, up); });
+}
+
+void Network::RegisterSwitchNode(uint32_t sw, NetNode* node) { switch_nodes_[sw] = node; }
+
+void Network::RegisterHostNode(uint32_t host, NetNode* node) { host_nodes_[host] = node; }
+
+void Network::SendFromSwitch(uint32_t sw, PortNum port, Packet pkt) {
+  LinkIndex li = topo_->LinkAtPort(sw, port);
+  if (li == kInvalidLink) {
+    ++stats_.dropped_unwired;
+    return;
+  }
+  Transmit(li, NodeId::Switch(sw), std::move(pkt));
+}
+
+void Network::SendFromHost(uint32_t host, Packet pkt) {
+  if (host >= topo_->host_count()) {
+    ++stats_.dropped_unwired;
+    return;
+  }
+  LinkIndex li = topo_->host_at(host).link;
+  if (li == kInvalidLink) {
+    ++stats_.dropped_unwired;
+    return;
+  }
+  if (pkt.sent_time == 0) {
+    pkt.sent_time = sim_->Now();
+  }
+  Transmit(li, NodeId::Host(host), std::move(pkt));
+}
+
+void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
+  const Link& link = topo_->link_at(li);
+  if (!link.up) {
+    ++stats_.dropped_link_down;
+    return;
+  }
+  const bool from_a = (link.a.node == from);
+  DirState& dir = dirs_[li][from_a ? 0 : 1];
+
+  const int64_t size = pkt.WireSize();
+  if (dir.queued_bytes + size > config_.queue_capacity_bytes) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+
+  const TimeNs now = sim_->Now();
+  const TimeNs start = std::max(now, dir.next_free);
+  const TimeNs tx_done = start + TransmitTimeNs(size, link.bandwidth_gbps);
+  const TimeNs arrival = tx_done + link.propagation_ns;
+  dir.next_free = tx_done;
+  dir.queued_bytes += size;
+
+  // Queue occupancy drains when serialization finishes.
+  sim_->ScheduleAt(tx_done, [this, li, from_a, size] {
+    dirs_[li][from_a ? 0 : 1].queued_bytes -= size;
+  });
+
+  const Endpoint to = from_a ? link.b : link.a;
+  sim_->ScheduleAt(arrival, [this, to, pkt = std::move(pkt)] { Deliver(to, pkt); });
+}
+
+void Network::Deliver(const Endpoint& to, const Packet& pkt) {
+  NetNode* node = to.node.is_switch() ? switch_nodes_[to.node.index]
+                                      : host_nodes_[to.node.index];
+  if (node == nullptr) {
+    ++stats_.dropped_unwired;
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += static_cast<uint64_t>(pkt.WireSize());
+  node->HandlePacket(pkt, to.port);
+}
+
+int64_t Network::QueueBacklog(LinkIndex li, const NodeId& from) const {
+  if (li >= dirs_.size()) {
+    return 0;
+  }
+  const Link& link = topo_->link_at(li);
+  return dirs_[li][link.a.node == from ? 0 : 1].queued_bytes;
+}
+
+void Network::OnLinkStateChange(LinkIndex li, bool up) {
+  const Link link = topo_->link_at(li);
+  sim_->ScheduleAfter(config_.link_detect_delay, [this, link, up] {
+    for (const Endpoint& e : {link.a, link.b}) {
+      NetNode* node = e.node.is_switch() ? switch_nodes_[e.node.index]
+                                         : host_nodes_[e.node.index];
+      if (node != nullptr) {
+        node->HandlePortChange(e.port, up);
+      }
+    }
+  });
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,94 @@
+// The simulated fabric: delivers packets across links with serialization,
+// propagation and bounded FIFO queueing, and tells attached nodes when their port
+// state changes (the "physical signal" DumbNet switches monitor).
+#ifndef DUMBNET_SRC_NET_NETWORK_H_
+#define DUMBNET_SRC_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+
+namespace dumbnet {
+
+// Anything attached to the fabric: a switch model or a host NIC.
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+
+  // A packet arrived on `in_port` (hosts always see port 1).
+  virtual void HandlePacket(const Packet& pkt, PortNum in_port) = 0;
+
+  // Physical port state changed (link failure/recovery), after detection delay.
+  virtual void HandlePortChange(PortNum port, bool up) {
+    (void)port;
+    (void)up;
+  }
+};
+
+struct NetworkConfig {
+  // Per-direction egress queue capacity. 512 KB ~ a shallow commodity switch buffer.
+  int64_t queue_capacity_bytes = 512 * 1024;
+  // Time from a physical link dying to the endpoints noticing (loss-of-signal).
+  TimeNs link_detect_delay = Ms(1);
+};
+
+struct NetworkStats {
+  uint64_t delivered = 0;
+  uint64_t dropped_link_down = 0;
+  uint64_t dropped_queue_full = 0;
+  uint64_t dropped_unwired = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, Topology* topo, NetworkConfig config = NetworkConfig());
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void RegisterSwitchNode(uint32_t sw, NetNode* node);
+  void RegisterHostNode(uint32_t host, NetNode* node);
+
+  // Emits a packet from switch `sw` out `port`. Silently drops (with stats) if the
+  // port is unwired or the link is down — exactly what real hardware does.
+  void SendFromSwitch(uint32_t sw, PortNum port, Packet pkt);
+
+  // Emits a packet from a host's single NIC.
+  void SendFromHost(uint32_t host, Packet pkt);
+
+  Simulator& sim() { return *sim_; }
+  Topology& topo() { return *topo_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  // Bytes currently queued for transmission on the (link, direction-from-`from`)
+  // egress — the physical signal ECN marking reads (no state added to switches).
+  int64_t QueueBacklog(LinkIndex li, const NodeId& from) const;
+
+ private:
+  void Transmit(LinkIndex li, const NodeId& from, Packet pkt);
+  void Deliver(const Endpoint& to, const Packet& pkt);
+  void OnLinkStateChange(LinkIndex li, bool up);
+
+  // Egress queue occupancy per link direction (0: a->b, 1: b->a).
+  struct DirState {
+    TimeNs next_free = 0;
+    int64_t queued_bytes = 0;
+  };
+
+  Simulator* sim_;
+  Topology* topo_;
+  NetworkConfig config_;
+  std::vector<std::array<DirState, 2>> dirs_;
+  std::vector<NetNode*> switch_nodes_;
+  std::vector<NetNode*> host_nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_NET_NETWORK_H_

@@ -1,0 +1,48 @@
+#include "src/routing/graph.h"
+
+namespace dumbnet {
+
+SwitchGraph::SwitchGraph(const Topology& topo) {
+  adj_.resize(topo.switch_count());
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    AddLink(topo, li);
+  }
+}
+
+SwitchGraph::SwitchGraph(const Topology& topo, const std::vector<LinkIndex>& allowed_links) {
+  adj_.resize(topo.switch_count());
+  for (LinkIndex li : allowed_links) {
+    if (li < topo.link_count()) {
+      AddLink(topo, li);
+    }
+  }
+}
+
+void SwitchGraph::AddLink(const Topology& topo, LinkIndex li) {
+  const Link& l = topo.link_at(li);
+  if (!l.up || !l.a.node.is_switch() || !l.b.node.is_switch()) {
+    return;
+  }
+  adj_[l.a.node.index].push_back(AdjEdge{l.b.node.index, l.a.port, l.b.port, li, 1.0});
+  adj_[l.b.node.index].push_back(AdjEdge{l.a.node.index, l.b.port, l.a.port, li, 1.0});
+}
+
+size_t SwitchGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& edges : adj_) {
+    n += edges.size();
+  }
+  return n;
+}
+
+void SwitchGraph::ScaleLinkWeight(LinkIndex link, double factor) {
+  for (auto& edges : adj_) {
+    for (AdjEdge& e : edges) {
+      if (e.link == link) {
+        e.weight *= factor;
+      }
+    }
+  }
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,53 @@
+// Switch-level graph view over a Topology, used by all routing algorithms.
+// Only up links appear; hosts are not vertices (they hang off their edge switch and
+// are handled at tag-compilation time).
+#ifndef DUMBNET_SRC_ROUTING_GRAPH_H_
+#define DUMBNET_SRC_ROUTING_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace dumbnet {
+
+constexpr uint32_t kNoVertex = UINT32_MAX;
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+struct AdjEdge {
+  uint32_t to = 0;        // peer switch index
+  PortNum out_port = 0;   // port on this switch
+  PortNum in_port = 0;    // port on the peer
+  LinkIndex link = kInvalidLink;
+  double weight = 1.0;
+};
+
+// Immutable adjacency snapshot. Rebuild after topology mutations (cheap: O(V+E)).
+class SwitchGraph {
+ public:
+  // Snapshot of all switches and all *up* inter-switch links.
+  explicit SwitchGraph(const Topology& topo);
+
+  // Subgraph snapshot: only the listed links (still only those that are up).
+  SwitchGraph(const Topology& topo, const std::vector<LinkIndex>& allowed_links);
+
+  size_t size() const { return adj_.size(); }
+  const std::vector<AdjEdge>& Neighbors(uint32_t s) const { return adj_[s]; }
+
+  // Total directed edge count (2x the undirected link count).
+  size_t edge_count() const;
+
+  // Multiplies the weight of every adjacency that uses `link` by `factor`;
+  // used to repel the backup path from the primary (Section 4.3).
+  void ScaleLinkWeight(LinkIndex link, double factor);
+
+ private:
+  void AddLink(const Topology& topo, LinkIndex li);
+
+  std::vector<std::vector<AdjEdge>> adj_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ROUTING_GRAPH_H_

@@ -1,0 +1,107 @@
+#include "src/routing/path_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dumbnet {
+
+Result<PathGraph> BuildPathGraph(const Topology& topo, const SwitchGraph& graph,
+                                 uint32_t src_switch, uint32_t dst_switch,
+                                 const PathGraphParams& params, Rng* rng) {
+  PathGraph out;
+  out.src_switch = src_switch;
+  out.dst_switch = dst_switch;
+
+  // (i) Primary: randomized shortest path.
+  auto primary = ShortestPath(graph, src_switch, dst_switch, rng);
+  if (!primary.ok()) {
+    return primary.error();
+  }
+  out.primary = std::move(primary.value());
+
+  // (ii) Backup: rerun with primary links made expensive.
+  {
+    SwitchGraph penalized = graph;
+    for (size_t i = 0; i + 1 < out.primary.size(); ++i) {
+      for (const AdjEdge& e : graph.Neighbors(out.primary[i])) {
+        if (e.to == out.primary[i + 1]) {
+          penalized.ScaleLinkWeight(e.link, params.backup_penalty);
+        }
+      }
+    }
+    auto backup = ShortestPath(penalized, src_switch, dst_switch, rng);
+    if (backup.ok()) {
+      out.backup = std::move(backup.value());
+    }
+    // A disconnected backup is not fatal: single-homed destinations have none.
+  }
+
+  // (iii) Local detours, Algorithm 1. Windows [p_i, p_{i+s}] advance by s/2; every
+  // vertex x with dist(a,x) + dist(x,b) <= s + ε joins the subgraph.
+  std::set<uint32_t> vertex_set(out.primary.begin(), out.primary.end());
+  vertex_set.insert(out.backup.begin(), out.backup.end());
+
+  const size_t l = out.primary.size();  // vertices on primary (hops = l-1)
+  const uint32_t s = std::max<uint32_t>(1, params.s);
+  const uint32_t step = std::max<uint32_t>(1, s / 2);
+  for (size_t i = 0; i < l; i += step) {
+    uint32_t a = out.primary[i];
+    uint32_t b = out.primary[std::min(i + s, l - 1)];
+    std::vector<uint32_t> da = BfsDistances(graph, a);
+    std::vector<uint32_t> db = BfsDistances(graph, b);
+    uint32_t budget = s + params.epsilon;
+    for (uint32_t x = 0; x < graph.size(); ++x) {
+      if (da[x] != UINT32_MAX && db[x] != UINT32_MAX && da[x] + db[x] <= budget) {
+        vertex_set.insert(x);
+      }
+    }
+    if (i + s >= l - 1) {
+      break;  // final window reached the destination
+    }
+  }
+
+  out.vertices.assign(vertex_set.begin(), vertex_set.end());
+
+  // Induced links: both endpoints in the vertex set.
+  std::set<LinkIndex> link_set;
+  for (uint32_t v : out.vertices) {
+    for (const AdjEdge& e : graph.Neighbors(v)) {
+      if (vertex_set.count(e.to) > 0) {
+        link_set.insert(e.link);
+      }
+    }
+  }
+  out.links.assign(link_set.begin(), link_set.end());
+  (void)topo;
+  return out;
+}
+
+namespace {
+
+uint64_t CountPathsDfs(const SwitchGraph& g, uint32_t u, uint32_t dst,
+                       std::vector<bool>& on_stack, uint64_t cap, uint64_t found) {
+  if (u == dst) {
+    return found + 1;
+  }
+  on_stack[u] = true;
+  for (const AdjEdge& e : g.Neighbors(u)) {
+    if (found >= cap) {
+      break;
+    }
+    if (!on_stack[e.to]) {
+      found = CountPathsDfs(g, e.to, dst, on_stack, cap, found);
+    }
+  }
+  on_stack[u] = false;
+  return found;
+}
+
+}  // namespace
+
+uint64_t CountPathsInSubgraph(const Topology& topo, const PathGraph& pg, uint64_t cap) {
+  SwitchGraph sub(topo, pg.links);
+  std::vector<bool> on_stack(sub.size(), false);
+  return CountPathsDfs(sub, pg.src_switch, pg.dst_switch, on_stack, cap, 0);
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,51 @@
+// Path graph (paper Section 4.3, Algorithm 1): the subgraph the controller hands a
+// host when it asks for a route. Contains (i) a primary shortest path, (ii) "s-step,
+// ε-good" local detours around every window of the primary, and (iii) a backup path
+// that avoids primary links where possible.
+#ifndef DUMBNET_SRC_ROUTING_PATH_GRAPH_H_
+#define DUMBNET_SRC_ROUTING_PATH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/graph.h"
+#include "src/routing/shortest_path.h"
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+
+struct PathGraphParams {
+  // Algorithm 1's constants: windows of `s` consecutive hops may be replaced by
+  // detours of length at most s + epsilon.
+  uint32_t s = 2;
+  uint32_t epsilon = 2;
+  // Weight multiplier applied to primary-path links before computing the backup,
+  // making reuse unlikely "unless it is unavoidable".
+  double backup_penalty = 16.0;
+};
+
+struct PathGraph {
+  uint32_t src_switch = 0;
+  uint32_t dst_switch = 0;
+  SwitchPath primary;
+  SwitchPath backup;
+  // All switches of the subgraph (primary ∪ detour sets ∪ backup), deduplicated.
+  std::vector<uint32_t> vertices;
+  // Induced up links among `vertices` (inter-switch only).
+  std::vector<LinkIndex> links;
+};
+
+// Builds the path graph between two switches. `graph` must be a current snapshot of
+// `topo`. Randomized equal-cost choices draw from `rng` when provided.
+Result<PathGraph> BuildPathGraph(const Topology& topo, const SwitchGraph& graph,
+                                 uint32_t src_switch, uint32_t dst_switch,
+                                 const PathGraphParams& params, Rng* rng = nullptr);
+
+// Counts distinct simple src→dst paths inside the path-graph subgraph, up to `cap`
+// (the subgraph can encode combinatorially many; Figure 12 reports this count).
+uint64_t CountPathsInSubgraph(const Topology& topo, const PathGraph& pg, uint64_t cap);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ROUTING_PATH_GRAPH_H_

@@ -1,0 +1,199 @@
+#include "src/routing/shortest_path.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+
+namespace dumbnet {
+
+std::vector<uint32_t> BfsDistances(const SwitchGraph& graph, uint32_t src) {
+  std::vector<uint32_t> dist(graph.size(), UINT32_MAX);
+  if (src >= graph.size()) {
+    return dist;
+  }
+  std::deque<uint32_t> q;
+  dist[src] = 0;
+  q.push_back(src);
+  while (!q.empty()) {
+    uint32_t u = q.front();
+    q.pop_front();
+    for (const AdjEdge& e : graph.Neighbors(u)) {
+      if (dist[e.to] == UINT32_MAX) {
+        dist[e.to] = dist[u] + 1;
+        q.push_back(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+struct DijkstraItem {
+  double cost;
+  uint64_t tiebreak;
+  uint32_t vertex;
+
+  bool operator>(const DijkstraItem& other) const {
+    if (cost != other.cost) {
+      return cost > other.cost;
+    }
+    return tiebreak > other.tiebreak;
+  }
+};
+
+// Shared Dijkstra core with optional banned vertices/edges (for Yen's spur search).
+Result<SwitchPath> DijkstraInternal(const SwitchGraph& graph, uint32_t src, uint32_t dst,
+                                    Rng* rng, const std::vector<bool>* banned_vertex,
+                                    const std::set<std::pair<uint32_t, uint32_t>>* banned_edge) {
+  if (src >= graph.size() || dst >= graph.size()) {
+    return Error(ErrorCode::kOutOfRange, "vertex out of range");
+  }
+  std::vector<double> cost(graph.size(), kInfCost);
+  std::vector<uint32_t> parent(graph.size(), kNoVertex);
+  std::priority_queue<DijkstraItem, std::vector<DijkstraItem>, std::greater<DijkstraItem>> pq;
+  cost[src] = 0.0;
+  pq.push({0.0, 0, src});
+  while (!pq.empty()) {
+    double c = pq.top().cost;
+    uint32_t u = pq.top().vertex;
+    pq.pop();
+    if (c > cost[u]) {
+      continue;
+    }
+    if (u == dst) {
+      break;
+    }
+    for (const AdjEdge& e : graph.Neighbors(u)) {
+      if (banned_vertex != nullptr && (*banned_vertex)[e.to]) {
+        continue;
+      }
+      if (banned_edge != nullptr &&
+          banned_edge->count({std::min(u, e.to), std::max(u, e.to)}) > 0) {
+        continue;
+      }
+      double nc = c + e.weight;
+      bool better = nc < cost[e.to];
+      // Randomized tie-break: replace an equal-cost parent with probability 1/2.
+      bool tie = !better && nc == cost[e.to] && rng != nullptr && rng->Bernoulli(0.5);
+      if (better || tie) {
+        cost[e.to] = nc;
+        parent[e.to] = u;
+        pq.push({nc, rng != nullptr ? rng->Next64() : 0, e.to});
+      }
+    }
+  }
+  if (cost[dst] == kInfCost) {
+    return Error(ErrorCode::kUnavailable, "destination unreachable");
+  }
+  SwitchPath path;
+  for (uint32_t v = dst; v != kNoVertex; v = parent[v]) {
+    path.push_back(v);
+    if (v == src) {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != src) {
+    return Error(ErrorCode::kInternal, "path reconstruction failed");
+  }
+  return path;
+}
+
+}  // namespace
+
+Result<SwitchPath> ShortestPath(const SwitchGraph& graph, uint32_t src, uint32_t dst,
+                                Rng* rng) {
+  return DijkstraInternal(graph, src, dst, rng, nullptr, nullptr);
+}
+
+Result<double> PathCost(const SwitchGraph& graph, const SwitchPath& path) {
+  if (path.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty path");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    bool found = false;
+    double best = kInfCost;
+    for (const AdjEdge& e : graph.Neighbors(path[i])) {
+      if (e.to == path[i + 1]) {
+        best = std::min(best, e.weight);
+        found = true;
+      }
+    }
+    if (!found) {
+      return Error(ErrorCode::kNotFound, "missing edge on path");
+    }
+    total += best;
+  }
+  return total;
+}
+
+Result<std::vector<SwitchPath>> KShortestPaths(const SwitchGraph& graph, uint32_t src,
+                                               uint32_t dst, uint32_t k) {
+  auto first = ShortestPath(graph, src, dst);
+  if (!first.ok()) {
+    return first.error();
+  }
+  std::vector<SwitchPath> result;
+  result.push_back(std::move(first.value()));
+  if (k <= 1) {
+    return result;
+  }
+
+  // Candidate pool ordered by cost; set dedups identical paths.
+  struct Candidate {
+    double cost;
+    SwitchPath path;
+    bool operator>(const Candidate& other) const { return cost > other.cost; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> candidates;
+  std::set<SwitchPath> seen(result.begin(), result.end());
+
+  while (result.size() < k) {
+    const SwitchPath& prev = result.back();
+    // Spur from every vertex of the previous path except the last.
+    for (size_t i = 0; i + 1 < prev.size(); ++i) {
+      uint32_t spur = prev[i];
+      SwitchPath root(prev.begin(), prev.begin() + static_cast<long>(i) + 1);
+
+      // Ban edges that would recreate an already-found path with this root, and ban
+      // root vertices (except the spur) to keep paths simple.
+      std::set<std::pair<uint32_t, uint32_t>> banned_edges;
+      for (const SwitchPath& p : result) {
+        if (p.size() > i + 1 && std::equal(root.begin(), root.end(), p.begin())) {
+          banned_edges.insert({std::min(p[i], p[i + 1]), std::max(p[i], p[i + 1])});
+        }
+      }
+      std::vector<bool> banned_vertex(graph.size(), false);
+      for (size_t j = 0; j < i; ++j) {
+        banned_vertex[prev[j]] = true;
+      }
+
+      auto spur_path = DijkstraInternal(graph, spur, dst, nullptr, &banned_vertex,
+                                        &banned_edges);
+      if (!spur_path.ok()) {
+        continue;
+      }
+      SwitchPath total = root;
+      total.insert(total.end(), spur_path.value().begin() + 1, spur_path.value().end());
+      if (seen.count(total) > 0) {
+        continue;
+      }
+      seen.insert(total);
+      auto cost = PathCost(graph, total);
+      if (cost.ok()) {
+        candidates.push({cost.value(), std::move(total)});
+      }
+    }
+    if (candidates.empty()) {
+      break;
+    }
+    result.push_back(candidates.top().path);
+    candidates.pop();
+  }
+  return result;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,40 @@
+// Shortest-path primitives: BFS hop distances, Dijkstra with randomized equal-cost
+// tie-breaking (the paper's primary-path generator), and Yen's k-shortest paths
+// (what TopoCache computes over its cached subgraph).
+#ifndef DUMBNET_SRC_ROUTING_SHORTEST_PATH_H_
+#define DUMBNET_SRC_ROUTING_SHORTEST_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/graph.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+
+// A path as a sequence of switch indices (src switch first, dst switch last).
+using SwitchPath = std::vector<uint32_t>;
+
+// Unweighted hop distances from `src` to every switch (kNoVertex-reachable entries
+// are UINT32_MAX).
+std::vector<uint32_t> BfsDistances(const SwitchGraph& graph, uint32_t src);
+
+// Dijkstra. When `rng` is non-null, ties between equal-cost relaxations are broken
+// uniformly at random, so repeated calls spread over ECMP paths (Section 4.3:
+// "randomizes the choice for equal cost links"). Returns an error if dst is
+// unreachable.
+Result<SwitchPath> ShortestPath(const SwitchGraph& graph, uint32_t src, uint32_t dst,
+                                Rng* rng = nullptr);
+
+// Yen's algorithm: up to k loop-free shortest paths in nondecreasing cost order.
+// Returns at least one path or an error if src/dst are disconnected.
+Result<std::vector<SwitchPath>> KShortestPaths(const SwitchGraph& graph, uint32_t src,
+                                               uint32_t dst, uint32_t k);
+
+// Total weight of a path under `graph`; error if an edge is missing.
+Result<double> PathCost(const SwitchGraph& graph, const SwitchPath& path);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ROUTING_SHORTEST_PATH_H_

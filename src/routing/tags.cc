@@ -1,0 +1,84 @@
+#include "src/routing/tags.h"
+
+namespace dumbnet {
+namespace {
+
+// Finds the output port on `from` of an up link to `to`; kPathEndTag if none.
+PortNum OutPortTo(const Topology& topo, uint32_t from, uint32_t to) {
+  const SwitchInfo& sw = topo.switch_at(from);
+  for (PortNum p = 1; p <= sw.num_ports; ++p) {
+    LinkIndex li = sw.port_link[p];
+    if (li == kInvalidLink) {
+      continue;
+    }
+    const Link& l = topo.link_at(li);
+    if (!l.up) {
+      continue;
+    }
+    const Endpoint& peer = l.Peer(NodeId::Switch(from));
+    if (peer.node.is_switch() && peer.node.index == to) {
+      return p;
+    }
+  }
+  return kPathEndTag;
+}
+
+}  // namespace
+
+Result<TagList> CompileSwitchTags(const Topology& topo, const SwitchPath& path) {
+  if (path.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty path");
+  }
+  TagList tags;
+  tags.reserve(path.size());
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    PortNum p = OutPortTo(topo, path[i], path[i + 1]);
+    if (p == kPathEndTag) {
+      return Error(ErrorCode::kUnavailable,
+                   "no up link S" + std::to_string(path[i]) + "->S" +
+                       std::to_string(path[i + 1]));
+    }
+    tags.push_back(p);
+  }
+  return tags;
+}
+
+Result<TagList> CompilePathTags(const Topology& topo, uint32_t src_host,
+                                const SwitchPath& path, uint32_t dst_host) {
+  auto src_up = topo.HostUplink(src_host);
+  if (!src_up.ok()) {
+    return src_up.error();
+  }
+  auto dst_up = topo.HostUplink(dst_host);
+  if (!dst_up.ok()) {
+    return dst_up.error();
+  }
+  if (path.empty() || src_up.value().node.index != path.front()) {
+    return Error(ErrorCode::kInvalidArgument, "path does not start at source's switch");
+  }
+  if (dst_up.value().node.index != path.back()) {
+    return Error(ErrorCode::kInvalidArgument, "path does not end at destination's switch");
+  }
+  auto tags = CompileSwitchTags(topo, path);
+  if (!tags.ok()) {
+    return tags;
+  }
+  TagList out = std::move(tags.value());
+  out.push_back(dst_up.value().port);  // final hop: last switch -> destination host
+  return out;
+}
+
+std::string TagsToString(const TagList& tags) {
+  std::string s;
+  for (PortNum t : tags) {
+    if (t == kIdQueryTag) {
+      s += "0-";
+    } else {
+      s += std::to_string(static_cast<int>(t)) + "-";
+    }
+  }
+  s += "\xC3\xB8";  // UTF-8 ø
+  return s;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,36 @@
+// Compilation between switch-level paths and DumbNet tag sequences.
+//
+// A tag sequence is what actually rides in the packet header: the output port at
+// each switch hop, ending with the port that reaches the destination host. The ø
+// terminator is appended by the packet layer, not stored here.
+#ifndef DUMBNET_SRC_ROUTING_TAGS_H_
+#define DUMBNET_SRC_ROUTING_TAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/routing/shortest_path.h"
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+using TagList = std::vector<PortNum>;
+
+// Compiles a host-to-host route: src_host's uplink switch must be path.front() and
+// dst_host's uplink switch must be path.back(). Each consecutive switch pair must
+// share an up link. Returns one tag per switch on the path.
+Result<TagList> CompilePathTags(const Topology& topo, uint32_t src_host,
+                                const SwitchPath& path, uint32_t dst_host);
+
+// Compiles only the inter-switch portion (no final host hop); used for probe
+// messages that end at a switch.
+Result<TagList> CompileSwitchTags(const Topology& topo, const SwitchPath& path);
+
+// Human-readable "2-3-5-ø" form used in logs and tests (always shows the ø).
+std::string TagsToString(const TagList& tags);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ROUTING_TAGS_H_

@@ -1,0 +1,168 @@
+#include "src/routing/topo_db.h"
+
+#include "src/routing/tags.h"
+
+namespace dumbnet {
+
+uint32_t TopoDb::EnsureSwitch(uint64_t uid, uint8_t num_ports) {
+  (void)num_ports;  // the mirror always allocates the full port space
+  auto it = uid_to_index_.find(uid);
+  if (it != uid_to_index_.end()) {
+    return it->second;
+  }
+  uint32_t index = mirror_.AddSwitch(kMaxPorts);
+  uid_to_index_.emplace(uid, index);
+  index_to_uid_.push_back(uid);
+  return index;
+}
+
+Result<LinkIndex> TopoDb::FindLinkAt(uint64_t uid, PortNum port) const {
+  auto idx = IndexOf(uid);
+  if (!idx.ok()) {
+    return idx.error();
+  }
+  LinkIndex li = mirror_.LinkAtPort(idx.value(), port);
+  if (li == kInvalidLink) {
+    return Error(ErrorCode::kNotFound, "no link recorded at that port");
+  }
+  return li;
+}
+
+Status TopoDb::AddLink(const WireLink& link) {
+  uint32_t a = EnsureSwitch(link.uid_a);
+  uint32_t b = EnsureSwitch(link.uid_b);
+
+  // Idempotence / rewiring: if either port already has a link, keep it when it is
+  // the same link, detach it when the wiring changed.
+  for (const auto& [sw, port] : {std::pair{a, link.port_a}, std::pair{b, link.port_b}}) {
+    LinkIndex existing = mirror_.LinkAtPort(sw, port);
+    if (existing == kInvalidLink) {
+      continue;
+    }
+    const Link& l = mirror_.link_at(existing);
+    const Endpoint& self = l.Side(NodeId::Switch(sw));
+    const Endpoint& peer = l.Peer(NodeId::Switch(sw));
+    bool same = self.port == port && peer.node.is_switch() &&
+                ((sw == a && peer.node.index == b && peer.port == link.port_b) ||
+                 (sw == b && peer.node.index == a && peer.port == link.port_a));
+    if (same) {
+      // Already known; make sure it is marked up again.
+      mirror_.SetLinkUp(existing, true);
+      return Status::Ok();
+    }
+    mirror_.DetachLink(existing);
+  }
+  auto r = mirror_.ConnectSwitches(a, link.port_a, b, link.port_b);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Status::Ok();
+}
+
+void TopoDb::SetLinkState(uint64_t uid, PortNum port, bool up) {
+  auto li = FindLinkAt(uid, port);
+  if (li.ok()) {
+    mirror_.SetLinkUp(li.value(), up);
+  }
+}
+
+void TopoDb::UpsertHost(const HostLocation& loc) { hosts_[loc.mac] = loc; }
+
+Status TopoDb::MergePathGraph(const WirePathGraph& graph) {
+  for (const WireLink& l : graph.links) {
+    if (Status s = AddLink(l); !s.ok()) {
+      return s;
+    }
+  }
+  // Endpoints appear even if the graph had no links (single-switch case).
+  EnsureSwitch(graph.src_uid);
+  EnsureSwitch(graph.dst_uid);
+  return Status::Ok();
+}
+
+Result<uint32_t> TopoDb::IndexOf(uint64_t uid) const {
+  auto it = uid_to_index_.find(uid);
+  if (it == uid_to_index_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown switch uid " + std::to_string(uid));
+  }
+  return it->second;
+}
+
+Result<HostLocation> TopoDb::LocateHost(uint64_t mac) const {
+  auto it = hosts_.find(mac);
+  if (it == hosts_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown host mac " + std::to_string(mac));
+  }
+  return it->second;
+}
+
+std::vector<HostLocation> TopoDb::Directory() const {
+  std::vector<HostLocation> out;
+  out.reserve(hosts_.size());
+  for (const auto& [mac, loc] : hosts_) {
+    out.push_back(loc);
+  }
+  return out;
+}
+
+bool TopoDb::HasLink(const WireLink& link) const {
+  auto li = FindLinkAt(link.uid_a, link.port_a);
+  if (!li.ok()) {
+    return false;
+  }
+  const Link& l = mirror_.link_at(li.value());
+  auto b = IndexOf(link.uid_b);
+  if (!b.ok()) {
+    return false;
+  }
+  const Endpoint& peer = l.Peer(NodeId::Switch(IndexOf(link.uid_a).value()));
+  return peer.node.is_switch() && peer.node.index == b.value() && peer.port == link.port_b;
+}
+
+Result<WireLink> TopoDb::LinkAt(uint64_t uid, PortNum port) const {
+  auto li = FindLinkAt(uid, port);
+  if (!li.ok()) {
+    return li.error();
+  }
+  const Link& l = mirror_.link_at(li.value());
+  return WireLink{UidOf(l.a.node.index), l.a.port, UidOf(l.b.node.index), l.b.port};
+}
+
+std::vector<uint64_t> TopoDb::PathToUids(const std::vector<uint32_t>& path) const {
+  std::vector<uint64_t> out;
+  out.reserve(path.size());
+  for (uint32_t i : path) {
+    out.push_back(UidOf(i));
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> TopoDb::PathFromUids(const std::vector<uint64_t>& path) const {
+  std::vector<uint32_t> out;
+  out.reserve(path.size());
+  for (uint64_t uid : path) {
+    auto idx = IndexOf(uid);
+    if (!idx.ok()) {
+      return idx.error();
+    }
+    out.push_back(idx.value());
+  }
+  return out;
+}
+
+Result<std::vector<PortNum>> TopoDb::CompileTagsForUidPath(const std::vector<uint64_t>& path,
+                                                           PortNum final_port) const {
+  auto indices = PathFromUids(path);
+  if (!indices.ok()) {
+    return indices.error();
+  }
+  auto tags = CompileSwitchTags(mirror_, indices.value());
+  if (!tags.ok()) {
+    return tags.error();
+  }
+  std::vector<PortNum> out = std::move(tags.value());
+  out.push_back(final_port);
+  return out;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,83 @@
+// TopoDb: a topology store keyed by discovered switch UIDs and host MACs.
+//
+// Both sides of the control plane use it: the controller's global topology database
+// is a TopoDb fed by the discovery service; each host's TopoCache wraps a (partial)
+// TopoDb fed by path-graph responses. Internally it maintains a Topology mirror so
+// all routing algorithms (shortest path, k-SP, path graph) run on it unchanged.
+#ifndef DUMBNET_SRC_ROUTING_TOPO_DB_H_
+#define DUMBNET_SRC_ROUTING_TOPO_DB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/wire_types.h"
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+class TopoDb {
+ public:
+  TopoDb() = default;
+
+  // Registers a switch if unseen; returns its local mirror index either way.
+  // `num_ports` grows a previously seen switch if a higher port shows up.
+  uint32_t EnsureSwitch(uint64_t uid, uint8_t num_ports = kMaxPorts);
+
+  // Records a link; idempotent. Both switches are auto-registered.
+  Status AddLink(const WireLink& link);
+
+  // Marks the link at (uid, port) up/down. Unknown attach points are ignored (a
+  // notification can outrun the patch that introduces the link).
+  void SetLinkState(uint64_t uid, PortNum port, bool up);
+
+  // Records (or moves) a host.
+  void UpsertHost(const HostLocation& loc);
+
+  // Merges a path graph received from the controller: its switches and links all
+  // become part of this db. Links are marked up.
+  Status MergePathGraph(const WirePathGraph& graph);
+
+  // --- Lookups ---------------------------------------------------------------
+  bool KnowsSwitch(uint64_t uid) const { return uid_to_index_.count(uid) > 0; }
+  Result<uint32_t> IndexOf(uint64_t uid) const;
+  uint64_t UidOf(uint32_t index) const { return index_to_uid_[index]; }
+  Result<HostLocation> LocateHost(uint64_t mac) const;
+  std::vector<HostLocation> Directory() const;
+
+  size_t switch_count() const { return index_to_uid_.size(); }
+  size_t host_count() const { return hosts_.size(); }
+  size_t link_count() const { return mirror_.link_count(); }
+
+  // True if a link between (uid_a, port_a) and (uid_b, port_b) is recorded.
+  bool HasLink(const WireLink& link) const;
+
+  // The full link descriptor plugged into (uid, port), if any.
+  Result<WireLink> LinkAt(uint64_t uid, PortNum port) const;
+
+  // The Topology mirror routing algorithms run against. Switch indices in the
+  // mirror correspond to UidOf()/IndexOf().
+  const Topology& mirror() const { return mirror_; }
+
+  // Converts a mirror-index path to UIDs and back.
+  std::vector<uint64_t> PathToUids(const std::vector<uint32_t>& path) const;
+  Result<std::vector<uint32_t>> PathFromUids(const std::vector<uint64_t>& path) const;
+
+  // Compiles a UID path into routing tags: the out-port at each switch, then
+  // `final_port` (the destination host's attach port). ø not included.
+  Result<std::vector<PortNum>> CompileTagsForUidPath(const std::vector<uint64_t>& path,
+                                                     PortNum final_port) const;
+
+ private:
+  Result<LinkIndex> FindLinkAt(uint64_t uid, PortNum port) const;
+
+  Topology mirror_;
+  std::unordered_map<uint64_t, uint32_t> uid_to_index_;
+  std::vector<uint64_t> index_to_uid_;
+  std::unordered_map<uint64_t, HostLocation> hosts_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ROUTING_TOPO_DB_H_

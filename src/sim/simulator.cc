@@ -1,0 +1,86 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dumbnet {
+
+EventHandle Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;  // a timestamp in the past fires immediately; time never rewinds
+  }
+  uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return EventHandle(id);
+}
+
+EventHandle Simulator::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::Cancel(EventHandle handle) {
+  if (handle.id_ != 0) {
+    cancelled_.push_back(handle.id_);
+  }
+}
+
+bool Simulator::IsCancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) {
+    return false;
+  }
+  // Swap-erase: cancellation lists stay tiny (outstanding timers only).
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+bool Simulator::Step() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  --live_events_;
+  if (IsCancelled(ev.id)) {
+    return false;
+  }
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t ran = 0;
+  while (!queue_.empty()) {
+    if (Step()) {
+      ++ran;
+    }
+  }
+  return ran;
+}
+
+uint64_t Simulator::RunUntil(TimeNs deadline) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (Step()) {
+      ++ran;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+uint64_t Simulator::RunSteps(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    if (Step()) {
+      ++ran;
+    }
+  }
+  return ran;
+}
+
+}  // namespace dumbnet

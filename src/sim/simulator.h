@@ -1,0 +1,93 @@
+// Discrete-event simulation engine: a virtual clock plus a priority queue of
+// callbacks. Single-threaded; events with equal timestamps fire in scheduling order
+// so runs are deterministic.
+#ifndef DUMBNET_SRC_SIM_SIMULATOR_H_
+#define DUMBNET_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dumbnet {
+
+// Handle that lets a scheduled event be cancelled (e.g. a retransmit timer that the
+// ack beat to the punch). Cancellation is lazy: the event stays queued but is skipped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `at` (>= Now()).
+  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn);
+
+  // Cancels a pending event; no-op if it already ran or was cancelled.
+  void Cancel(EventHandle handle);
+
+  // Runs events until the queue is empty. Returns the number of events executed.
+  uint64_t Run();
+
+  // Runs events with timestamp <= deadline; the clock ends at exactly `deadline`
+  // (even if the queue drains early), so periodic samplers see a full window.
+  uint64_t RunUntil(TimeNs deadline);
+
+  // Executes at most `max_events` events.
+  uint64_t RunSteps(uint64_t max_events);
+
+  bool Empty() const { return live_events_ == 0; }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    uint64_t id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops and runs the front event if it is not cancelled. Returns true if an event
+  // actually executed.
+  bool Step();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  uint64_t live_events_ = 0;
+
+  bool IsCancelled(uint64_t id);
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_SIM_SIMULATOR_H_

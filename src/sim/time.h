@@ -1,0 +1,31 @@
+// Virtual time. All simulator timestamps are integer nanoseconds to keep event
+// ordering exact and platform-independent.
+#ifndef DUMBNET_SRC_SIM_TIME_H_
+#define DUMBNET_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace dumbnet {
+
+using TimeNs = int64_t;
+
+constexpr TimeNs kNsPerUs = 1000;
+constexpr TimeNs kNsPerMs = 1000 * 1000;
+constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr TimeNs Us(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Ms(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Sec(int64_t s) { return s * kNsPerSec; }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+// Serialization delay of `bytes` on a link of `gbps` gigabits per second.
+constexpr TimeNs TransmitTimeNs(int64_t bytes, double gbps) {
+  return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_SIM_TIME_H_

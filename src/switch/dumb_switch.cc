@@ -1,0 +1,159 @@
+#include "src/switch/dumb_switch.h"
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+
+DumbSwitch::DumbSwitch(Network* net, uint32_t index, DumbSwitchConfig config)
+    : net_(net),
+      sim_(&net->sim()),
+      index_(index),
+      uid_(net->topo().switch_at(index).uid),
+      num_ports_(net->topo().switch_at(index).num_ports),
+      config_(config),
+      port_tx_packets_(static_cast<size_t>(num_ports_) + 1, 0),
+      port_tx_bytes_(static_cast<size_t>(num_ports_) + 1, 0),
+      alarms_(static_cast<size_t>(num_ports_) + 1) {
+  net->RegisterSwitchNode(index, this);
+}
+
+bool DumbSwitch::PortIsUp(PortNum port) const {
+  LinkIndex li = net_->topo().LinkAtPort(index_, port);
+  return li != kInvalidLink && net_->topo().link_at(li).up;
+}
+
+void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
+  if (pkt.eth.ether_type != kEtherTypeDumbNet) {
+    // The dumb switch speaks only DumbNet; a mixed MPLS deployment would pass other
+    // traffic through the legacy pipeline, which we do not model here.
+    ++stats_.dropped_foreign;
+    return;
+  }
+  // Hop-limited broadcast notifications carry no tags.
+  if (pkt.tags.empty()) {
+    if (const auto* ev = pkt.As<PortEventPayload>(); ev != nullptr && ev->hops_left > 0) {
+      Packet relay = pkt;
+      auto* relay_ev = std::get_if<PortEventPayload>(&relay.payload);
+      relay_ev->hops_left = static_cast<uint8_t>(ev->hops_left - 1);
+      ++stats_.notifications_relayed;
+      FloodNotification(relay, in_port);
+    }
+    return;
+  }
+  uint64_t probe_id = 0;
+  if (const auto* probe = pkt.As<ProbePayload>()) {
+    probe_id = probe->probe_id;
+  }
+  ForwardTagged(pkt, probe_id);
+}
+
+void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id) {
+  const PortNum tag = pkt.tags.front();
+  if (tag == kPathEndTag) {
+    // ø reached a switch: the path was one hop short. Drop.
+    ++stats_.dropped_bad_tag;
+    return;
+  }
+  pkt.tags.erase(pkt.tags.begin());
+
+  if (tag == kIdQueryTag) {
+    // Reply with our unique ID along the remaining tags (paper Section 4.1). The
+    // reply is itself a tagged packet that we forward through the normal pipeline.
+    if (pkt.tags.empty()) {
+      ++stats_.dropped_bad_tag;
+      return;
+    }
+    Packet reply;
+    reply.eth.src_mac = uid_;  // switches have no MAC; the UID is informational
+    reply.eth.dst_mac = kBroadcastMac;
+    reply.eth.ether_type = kEtherTypeDumbNet;
+    reply.tags = std::move(pkt.tags);
+    reply.payload = IdReplyPayload{transit_probe_id, uid_};
+    reply.sent_time = pkt.sent_time;
+    ++stats_.id_replies;
+    ForwardTagged(std::move(reply), transit_probe_id);
+    return;
+  }
+
+  if (tag > num_ports_) {
+    ++stats_.dropped_bad_tag;
+    return;
+  }
+  if (!PortIsUp(tag)) {
+    ++stats_.dropped_port_down;
+    return;
+  }
+  // ECN marking: if the egress queue this packet is about to join is deep, set
+  // Congestion Experienced on data packets. Reads the physical queue only — no
+  // switch state involved.
+  if (config_.enable_ecn) {
+    if (auto* data = std::get_if<DataPayload>(&pkt.payload);
+        data != nullptr && !data->is_ack) {
+      LinkIndex li = net_->topo().LinkAtPort(index_, tag);
+      if (li != kInvalidLink &&
+          net_->QueueBacklog(li, NodeId::Switch(index_)) > config_.ecn_threshold_bytes) {
+        data->ecn = true;
+      }
+    }
+  }
+  ++stats_.forwarded;
+  ++port_tx_packets_[tag];
+  port_tx_bytes_[tag] += static_cast<uint64_t>(pkt.WireSize());
+  sim_->ScheduleAfter(config_.forwarding_delay, [this, tag, pkt = std::move(pkt)] {
+    net_->SendFromSwitch(index_, tag, pkt);
+  });
+}
+
+void DumbSwitch::HandlePortChange(PortNum port, bool up) {
+  if (port >= alarms_.size()) {
+    return;
+  }
+  AlarmState& alarm = alarms_[port];
+  const TimeNs now = sim_->Now();
+  if (now - alarm.last_sent >= config_.alarm_suppression) {
+    EmitAlarm(port, up);
+    return;
+  }
+  // Within the suppression window: remember the latest state and (once) schedule a
+  // trailing alarm at the window edge. A flapping link thus produces one alarm per
+  // second carrying its most recent state.
+  ++stats_.alarms_suppressed;
+  alarm.pending_state = up;
+  if (!alarm.pending) {
+    alarm.pending = true;
+    TimeNs fire_at = alarm.last_sent + config_.alarm_suppression;
+    sim_->ScheduleAt(fire_at, [this, port] {
+      AlarmState& a = alarms_[port];
+      if (a.pending) {
+        a.pending = false;
+        EmitAlarm(port, a.pending_state);
+      }
+    });
+  }
+}
+
+void DumbSwitch::EmitAlarm(PortNum port, bool up) {
+  AlarmState& alarm = alarms_[port];
+  alarm.last_sent = sim_->Now();
+  Packet pkt;
+  pkt.eth.src_mac = uid_;
+  pkt.eth.dst_mac = kBroadcastMac;
+  pkt.eth.ether_type = kEtherTypeDumbNet;
+  pkt.payload = PortEventPayload{uid_,        port,       up, config_.notify_hops,
+                                 alarm.seq++, sim_->Now()};
+  ++stats_.notifications_sent;
+  FloodNotification(pkt, kPathEndTag);
+}
+
+void DumbSwitch::FloodNotification(const Packet& pkt, PortNum skip) {
+  for (PortNum p = 1; p <= num_ports_; ++p) {
+    if (p == skip || !PortIsUp(p)) {
+      continue;
+    }
+    sim_->ScheduleAfter(config_.forwarding_delay, [this, p, pkt] {
+      net_->SendFromSwitch(index_, p, pkt);
+    });
+  }
+}
+
+}  // namespace dumbnet

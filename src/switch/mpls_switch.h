@@ -1,0 +1,75 @@
+// The paper's first physical switch implementation (Section 5.3): a commodity
+// Ethernet switch with static MPLS rules, "statically map[ping] the MPLS labels to
+// the physical port numbers". DumbNet tags ride as an MPLS label stack; normal
+// Ethernet traffic coexists through the legacy learning pipeline — this is the
+// incremental-deployment story of Section 3.1.
+//
+// Differences from the pure DumbNet ASIC/FPGA switch:
+//   * label (tag) forwarding goes through the same fast path — label k maps to
+//     port k by static rule, so the data plane is still stateless;
+//   * the tag-0 ID query is "converted to a UDP packet and handled by the switch's
+//     CPU": the slow path costs extra latency;
+//   * unknown EtherTypes are bridged by MAC learning instead of dropped.
+#ifndef DUMBNET_SRC_SWITCH_MPLS_SWITCH_H_
+#define DUMBNET_SRC_SWITCH_MPLS_SWITCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace dumbnet {
+
+struct MplsSwitchConfig {
+  // Fast-path (label pop + static rule) latency: commodity ASIC cut-through.
+  TimeNs forwarding_delay = 600;
+  // Slow path: ID queries punt to the switch CPU.
+  TimeNs cpu_delay = Us(200);
+  uint8_t notify_hops = 5;
+  TimeNs alarm_suppression = Sec(1);
+  TimeNs mac_age_time = Sec(300);
+};
+
+struct MplsSwitchStats {
+  uint64_t label_forwarded = 0;
+  uint64_t ethernet_forwarded = 0;
+  uint64_t ethernet_flooded = 0;
+  uint64_t cpu_id_replies = 0;
+  uint64_t notifications_sent = 0;
+  uint64_t dropped = 0;
+};
+
+class MplsSwitch : public NetNode {
+ public:
+  MplsSwitch(Network* net, uint32_t index, MplsSwitchConfig config = MplsSwitchConfig());
+
+  void HandlePacket(const Packet& pkt, PortNum in_port) override;
+  void HandlePortChange(PortNum port, bool up) override;
+
+  uint64_t uid() const { return uid_; }
+  const MplsSwitchStats& stats() const { return stats_; }
+
+ private:
+  void ForwardLabeled(Packet pkt, uint64_t transit_probe_id);
+  void BridgeEthernet(const Packet& pkt, PortNum in_port);
+  bool PortIsUp(PortNum port) const;
+
+  Network* net_;
+  Simulator* sim_;
+  uint32_t index_;
+  uint64_t uid_;
+  uint8_t num_ports_;
+  MplsSwitchConfig config_;
+  MplsSwitchStats stats_;
+
+  std::unordered_map<uint64_t, std::pair<PortNum, TimeNs>> mac_table_;
+  std::vector<TimeNs> last_alarm_;
+  std::vector<uint64_t> alarm_seq_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_SWITCH_MPLS_SWITCH_H_

@@ -1,0 +1,306 @@
+#include "src/topo/generators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dumbnet {
+
+Result<LeafSpineTopo> MakeLeafSpine(const LeafSpineConfig& config) {
+  if (config.num_spine == 0 || config.num_leaf == 0) {
+    return Error(ErrorCode::kInvalidArgument, "leaf-spine needs at least one of each tier");
+  }
+  if (config.num_spine + config.hosts_per_leaf > config.switch_ports) {
+    return Error(ErrorCode::kInvalidArgument, "leaf switch port budget exceeded");
+  }
+  if (config.num_leaf > config.switch_ports) {
+    return Error(ErrorCode::kInvalidArgument, "spine switch port budget exceeded");
+  }
+
+  LeafSpineTopo out;
+  out.topo.SetIdSpace(config.id_space);
+  for (uint32_t i = 0; i < config.num_spine; ++i) {
+    out.spines.push_back(out.topo.AddSwitch(config.switch_ports));
+  }
+  for (uint32_t i = 0; i < config.num_leaf; ++i) {
+    out.leaves.push_back(out.topo.AddSwitch(config.switch_ports));
+  }
+  // Leaf port p (1..num_spine) -> spine p; spine port l+1 -> leaf l.
+  for (uint32_t l = 0; l < config.num_leaf; ++l) {
+    for (uint32_t s = 0; s < config.num_spine; ++s) {
+      auto r = out.topo.ConnectSwitches(out.leaves[l], static_cast<PortNum>(s + 1),
+                                        out.spines[s], static_cast<PortNum>(l + 1),
+                                        config.uplink_gbps);
+      if (!r.ok()) {
+        return r.error();
+      }
+    }
+  }
+  out.hosts.resize(config.num_leaf);
+  for (uint32_t l = 0; l < config.num_leaf; ++l) {
+    for (uint32_t h = 0; h < config.hosts_per_leaf; ++h) {
+      uint32_t host = out.topo.AddHost();
+      auto r = out.topo.AttachHost(host, out.leaves[l],
+                                   static_cast<PortNum>(config.num_spine + 1 + h),
+                                   config.host_gbps);
+      if (!r.ok()) {
+        return r.error();
+      }
+      out.hosts[l].push_back(host);
+    }
+  }
+  return out;
+}
+
+Result<LeafSpineTopo> MakePaperTestbed() {
+  LeafSpineConfig config;
+  config.num_spine = 2;
+  config.num_leaf = 5;
+  config.hosts_per_leaf = 5;
+  config.switch_ports = 64;
+  auto base = MakeLeafSpine(config);
+  if (!base.ok()) {
+    return base;
+  }
+  LeafSpineTopo out = std::move(base.value());
+  // Two extra servers on the first leaf bring the total to 27 (controller + spare).
+  for (int i = 0; i < 2; ++i) {
+    uint32_t host = out.topo.AddHost();
+    auto r = out.topo.AttachHost(host, out.leaves[0],
+                                 static_cast<PortNum>(config.num_spine + 6 + i));
+    if (!r.ok()) {
+      return r.error();
+    }
+    out.hosts[0].push_back(host);
+  }
+  return out;
+}
+
+Result<FatTreeTopo> MakeFatTree(const FatTreeConfig& config) {
+  const uint32_t k = config.k;
+  if (k < 2 || k % 2 != 0) {
+    return Error(ErrorCode::kInvalidArgument, "fat-tree k must be even and >= 2");
+  }
+  if (k > kMaxPorts) {
+    return Error(ErrorCode::kInvalidArgument, "fat-tree k exceeds max port count");
+  }
+  const uint32_t half = k / 2;
+
+  FatTreeTopo out;
+  out.topo.SetIdSpace(config.id_space);
+  // Core: (k/2)^2 switches. Aggregation/edge: k/2 each per pod.
+  for (uint32_t i = 0; i < half * half; ++i) {
+    out.core.push_back(out.topo.AddSwitch(static_cast<uint8_t>(k)));
+  }
+  for (uint32_t pod = 0; pod < k; ++pod) {
+    for (uint32_t i = 0; i < half; ++i) {
+      out.aggregation.push_back(out.topo.AddSwitch(static_cast<uint8_t>(k)));
+    }
+    for (uint32_t i = 0; i < half; ++i) {
+      out.edge.push_back(out.topo.AddSwitch(static_cast<uint8_t>(k)));
+    }
+  }
+
+  // Wiring convention (all ports 1-based):
+  //   edge:  ports 1..k/2 -> hosts, ports k/2+1..k -> aggs in pod
+  //   agg:   ports 1..k/2 -> edges in pod, ports k/2+1..k -> cores
+  //   core:  port (pod+1) -> pod
+  // Core j (j = a*half + b) connects to aggregation switch a of every pod, using
+  // agg port half+1+b.
+  for (uint32_t pod = 0; pod < k; ++pod) {
+    for (uint32_t a = 0; a < half; ++a) {
+      uint32_t agg = out.aggregation[pod * half + a];
+      for (uint32_t e = 0; e < half; ++e) {
+        uint32_t edge = out.edge[pod * half + e];
+        auto r = out.topo.ConnectSwitches(agg, static_cast<PortNum>(e + 1), edge,
+                                          static_cast<PortNum>(half + 1 + a),
+                                          config.link_gbps);
+        if (!r.ok()) {
+          return r.error();
+        }
+      }
+      for (uint32_t b = 0; b < half; ++b) {
+        uint32_t core = out.core[a * half + b];
+        auto r = out.topo.ConnectSwitches(agg, static_cast<PortNum>(half + 1 + b), core,
+                                          static_cast<PortNum>(pod + 1), config.link_gbps);
+        if (!r.ok()) {
+          return r.error();
+        }
+      }
+    }
+  }
+
+  if (config.attach_hosts) {
+    for (uint32_t pod = 0; pod < k; ++pod) {
+      for (uint32_t e = 0; e < half; ++e) {
+        uint32_t edge = out.edge[pod * half + e];
+        for (uint32_t h = 0; h < half; ++h) {
+          uint32_t host = out.topo.AddHost();
+          auto r = out.topo.AttachHost(host, edge, static_cast<PortNum>(h + 1),
+                                       config.link_gbps);
+          if (!r.ok()) {
+            return r.error();
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<CubeTopo> MakeCube(const CubeConfig& config) {
+  const auto [nx, ny, nz] = config.dims;
+  if (nx == 0 || ny == 0 || nz == 0) {
+    return Error(ErrorCode::kInvalidArgument, "cube dimensions must be positive");
+  }
+  if (6 + config.hosts_per_switch > config.switch_ports) {
+    return Error(ErrorCode::kInvalidArgument, "cube switch port budget exceeded");
+  }
+
+  CubeTopo out;
+  out.topo.SetIdSpace(config.id_space);
+  out.dims = config.dims;
+  for (uint32_t i = 0; i < nx * ny * nz; ++i) {
+    out.topo.AddSwitch(config.switch_ports);
+  }
+
+  // Ports 1..6 carry the +x,-x,+y,-y,+z,-z neighbors; 7.. carry hosts.
+  // We wire each positive-direction edge once, from the lower-coordinate side.
+  auto wire = [&](uint32_t a, uint32_t b, PortNum pa, PortNum pb) -> Status {
+    auto r = out.topo.ConnectSwitches(a, pa, b, pb, config.link_gbps);
+    if (!r.ok()) {
+      return r.error();
+    }
+    return Status::Ok();
+  };
+
+  for (uint32_t x = 0; x < nx; ++x) {
+    for (uint32_t y = 0; y < ny; ++y) {
+      for (uint32_t z = 0; z < nz; ++z) {
+        uint32_t self = out.At(x, y, z);
+        // +x neighbor: self port 1 <-> neighbor port 2.
+        if (x + 1 < nx) {
+          if (auto s = wire(self, out.At(x + 1, y, z), 1, 2); !s.ok()) {
+            return s.error();
+          }
+        } else if (config.wrap && nx > 2) {
+          if (auto s = wire(self, out.At(0, y, z), 1, 2); !s.ok()) {
+            return s.error();
+          }
+        }
+        // +y neighbor: port 3 <-> 4.
+        if (y + 1 < ny) {
+          if (auto s = wire(self, out.At(x, y + 1, z), 3, 4); !s.ok()) {
+            return s.error();
+          }
+        } else if (config.wrap && ny > 2) {
+          if (auto s = wire(self, out.At(x, 0, z), 3, 4); !s.ok()) {
+            return s.error();
+          }
+        }
+        // +z neighbor: port 5 <-> 6.
+        if (z + 1 < nz) {
+          if (auto s = wire(self, out.At(x, y, z + 1), 5, 6); !s.ok()) {
+            return s.error();
+          }
+        } else if (config.wrap && nz > 2) {
+          if (auto s = wire(self, out.At(x, y, 0), 5, 6); !s.ok()) {
+            return s.error();
+          }
+        }
+      }
+    }
+  }
+
+  for (uint32_t s = 0; s < out.topo.switch_count(); ++s) {
+    for (uint32_t h = 0; h < config.hosts_per_switch; ++h) {
+      uint32_t host = out.topo.AddHost();
+      auto r = out.topo.AttachHost(host, s, static_cast<PortNum>(7 + h), config.link_gbps);
+      if (!r.ok()) {
+        return r.error();
+      }
+      out.hosts.push_back(host);
+    }
+  }
+  return out;
+}
+
+Result<JellyfishTopo> MakeJellyfish(const JellyfishConfig& config) {
+  if (config.network_degree >= config.switch_ports) {
+    return Error(ErrorCode::kInvalidArgument, "network degree must leave host ports free");
+  }
+  if (config.network_degree + config.hosts_per_switch > config.switch_ports) {
+    return Error(ErrorCode::kInvalidArgument, "jellyfish switch port budget exceeded");
+  }
+  if (static_cast<uint64_t>(config.num_switches) * config.network_degree % 2 != 0) {
+    return Error(ErrorCode::kInvalidArgument, "num_switches * degree must be even");
+  }
+
+  JellyfishTopo out;
+  out.topo.SetIdSpace(config.id_space);
+  Rng rng(config.seed);
+  for (uint32_t i = 0; i < config.num_switches; ++i) {
+    out.topo.AddSwitch(config.switch_ports);
+  }
+
+  // Standard jellyfish construction: repeatedly pair random free ports of distinct,
+  // not-yet-adjacent switches. Free network ports on switch s are 1..network_degree.
+  std::vector<uint8_t> used(config.num_switches, 0);  // network ports consumed so far
+  std::set<std::pair<uint32_t, uint32_t>> adjacent;
+  auto is_adjacent = [&](uint32_t a, uint32_t b) {
+    return adjacent.count({std::min(a, b), std::max(a, b)}) > 0;
+  };
+
+  std::vector<uint32_t> open;
+  for (uint32_t i = 0; i < config.num_switches; ++i) {
+    open.push_back(i);
+  }
+
+  int stale = 0;
+  while (open.size() >= 2 && stale < 10000) {
+    uint32_t ai = static_cast<uint32_t>(rng.PickIndex(open.size()));
+    uint32_t bi = static_cast<uint32_t>(rng.PickIndex(open.size()));
+    uint32_t a = open[ai];
+    uint32_t b = open[bi];
+    if (a == b || is_adjacent(a, b)) {
+      ++stale;
+      continue;
+    }
+    stale = 0;
+    auto r = out.topo.ConnectSwitches(a, static_cast<PortNum>(used[a] + 1), b,
+                                      static_cast<PortNum>(used[b] + 1), config.link_gbps);
+    if (!r.ok()) {
+      return r.error();
+    }
+    adjacent.insert({std::min(a, b), std::max(a, b)});
+    ++used[a];
+    ++used[b];
+    // Drop saturated switches from the open list (order matters: erase larger index
+    // first so the smaller one stays valid).
+    std::vector<uint32_t> victims;
+    if (used[a] >= config.network_degree) {
+      victims.push_back(a);
+    }
+    if (used[b] >= config.network_degree) {
+      victims.push_back(b);
+    }
+    for (uint32_t v : victims) {
+      open.erase(std::remove(open.begin(), open.end(), v), open.end());
+    }
+  }
+
+  for (uint32_t s = 0; s < config.num_switches; ++s) {
+    for (uint32_t h = 0; h < config.hosts_per_switch; ++h) {
+      uint32_t host = out.topo.AddHost();
+      auto r = out.topo.AttachHost(host, s,
+                                   static_cast<PortNum>(config.network_degree + 1 + h),
+                                   config.link_gbps);
+      if (!r.ok()) {
+        return r.error();
+      }
+      out.hosts.push_back(host);
+    }
+  }
+  return out;
+}
+
+}  // namespace dumbnet

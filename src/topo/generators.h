@@ -1,0 +1,107 @@
+// Topology generators for the shapes used in the paper's evaluation:
+//   - leaf-spine (the 7-switch / 27-server testbed, Section 7),
+//   - fat-tree(k) (Figure 8a, Table 2),
+//   - 3-D cube / torus grids (Figures 8, 12),
+//   - jellyfish-style random regular graphs (irregular-topology tests).
+//
+// Generators return the Topology plus role annotations (which switches are spines,
+// cores, ...) so experiments can pick failure points and measure uplinks.
+#ifndef DUMBNET_SRC_TOPO_GENERATORS_H_
+#define DUMBNET_SRC_TOPO_GENERATORS_H_
+
+#include <array>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+
+struct LeafSpineConfig {
+  uint32_t num_spine = 2;
+  uint32_t num_leaf = 5;
+  uint32_t hosts_per_leaf = 5;
+  uint8_t switch_ports = 64;
+  double uplink_gbps = 10.0;
+  double host_gbps = 10.0;
+  uint32_t id_space = 0;  // disjoint UID/MAC space (multi-fabric deployments)
+};
+
+struct LeafSpineTopo {
+  Topology topo;
+  std::vector<uint32_t> spines;
+  std::vector<uint32_t> leaves;
+  // hosts[i] = hosts attached to leaves[i].
+  std::vector<std::vector<uint32_t>> hosts;
+};
+
+// Builds a 2-tier leaf-spine fabric; every leaf connects to every spine once.
+Result<LeafSpineTopo> MakeLeafSpine(const LeafSpineConfig& config);
+
+// The paper's testbed: 2 spines, 5 leaves, 5 servers per leaf (25 workload hosts),
+// plus 2 extra hosts on the first leaf (27 total; one acts as controller).
+Result<LeafSpineTopo> MakePaperTestbed();
+
+struct FatTreeConfig {
+  uint32_t k = 4;            // must be even; 5k^2/4 switches, k^3/4 hosts
+  bool attach_hosts = true;  // large control-plane experiments skip hosts
+  double link_gbps = 10.0;
+  uint32_t id_space = 0;  // disjoint UID/MAC space (multi-fabric deployments)
+};
+
+struct FatTreeTopo {
+  Topology topo;
+  std::vector<uint32_t> core;
+  std::vector<uint32_t> aggregation;
+  std::vector<uint32_t> edge;
+};
+
+// Standard 3-tier fat-tree: k pods, (k/2)^2 cores, k/2 agg + k/2 edge per pod,
+// k/2 hosts per edge switch.
+Result<FatTreeTopo> MakeFatTree(const FatTreeConfig& config);
+
+struct CubeConfig {
+  std::array<uint32_t, 3> dims = {8, 8, 8};
+  bool wrap = false;          // true = torus
+  uint32_t hosts_per_switch = 1;
+  uint8_t switch_ports = 64;  // physical ports; only 6+hosts are wired
+  double link_gbps = 10.0;
+  uint32_t id_space = 0;  // disjoint UID/MAC space (multi-fabric deployments)
+};
+
+struct CubeTopo {
+  Topology topo;
+  // switch index at grid coordinate (x, y, z).
+  uint32_t At(uint32_t x, uint32_t y, uint32_t z) const {
+    return (x * dims[1] + y) * dims[2] + z;
+  }
+  std::array<uint32_t, 3> dims;
+  std::vector<uint32_t> hosts;
+};
+
+// 3-D grid of switches; each links to its +/-1 neighbors per axis (wrapping if
+// torus). Matches the paper's "cube" emulation topologies.
+Result<CubeTopo> MakeCube(const CubeConfig& config);
+
+struct JellyfishConfig {
+  uint32_t num_switches = 64;
+  uint8_t switch_ports = 16;
+  uint8_t network_degree = 8;  // ports used for switch-to-switch random wiring
+  uint32_t hosts_per_switch = 2;
+  uint64_t seed = 1;
+  double link_gbps = 10.0;
+  uint32_t id_space = 0;  // disjoint UID/MAC space (multi-fabric deployments)
+};
+
+struct JellyfishTopo {
+  Topology topo;
+  std::vector<uint32_t> hosts;
+};
+
+// Random regular-ish graph built with the standard jellyfish pairing procedure.
+Result<JellyfishTopo> MakeJellyfish(const JellyfishConfig& config);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_TOPO_GENERATORS_H_

@@ -1,0 +1,191 @@
+#include "src/topo/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dumbnet {
+
+std::string SerializeTopology(const Topology& topo) {
+  std::ostringstream os;
+  os << "# dumbnet topology: " << topo.switch_count() << " switches, "
+     << topo.host_count() << " hosts, " << topo.link_count() << " links\n";
+  for (uint32_t s = 0; s < topo.switch_count(); ++s) {
+    os << "switch " << static_cast<int>(topo.switch_at(s).num_ports) << "\n";
+  }
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    os << "host\n";
+  }
+  // Links in index order so `down <index>` lines stay stable. Host attachments are
+  // links too; emit whichever form matches.
+  std::vector<LinkIndex> downs;
+  std::vector<LinkIndex> emitted;  // original index -> emitted order
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    const Link& l = topo.link_at(li);
+    if (l.detached) {
+      continue;
+    }
+    if (l.a.node.is_switch() && l.b.node.is_switch()) {
+      os << "link S" << l.a.node.index << " " << static_cast<int>(l.a.port) << " S"
+         << l.b.node.index << " " << static_cast<int>(l.b.port) << " "
+         << l.bandwidth_gbps << " " << l.propagation_ns << "\n";
+    } else {
+      const Endpoint& host_end = l.a.node.is_host() ? l.a : l.b;
+      const Endpoint& sw_end = l.a.node.is_host() ? l.b : l.a;
+      os << "attach H" << host_end.node.index << " S" << sw_end.node.index << " "
+         << static_cast<int>(sw_end.port) << " " << l.bandwidth_gbps << "\n";
+    }
+    if (!l.up) {
+      downs.push_back(static_cast<LinkIndex>(emitted.size()));
+    }
+    emitted.push_back(li);
+  }
+  for (LinkIndex d : downs) {
+    os << "down " << d << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+Error ParseError(size_t line_no, const std::string& message) {
+  return Error(ErrorCode::kMalformed,
+               "line " + std::to_string(line_no) + ": " + message);
+}
+
+// Parses "S12" / "H3" style node references.
+Result<uint32_t> ParseIndex(const std::string& token, char prefix, size_t line_no) {
+  if (token.size() < 2 || token[0] != prefix) {
+    return ParseError(line_no, std::string("expected ") + prefix + "<index>, got '" +
+                                   token + "'");
+  }
+  try {
+    return static_cast<uint32_t>(std::stoul(token.substr(1)));
+  } catch (...) {
+    return ParseError(line_no, "bad index in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Result<Topology> ParseTopology(const std::string& text) {
+  Topology topo;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool idspace_allowed = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') {
+      continue;
+    }
+    if (kind == "idspace") {
+      uint32_t space = 0;
+      if (!(ls >> space)) {
+        return ParseError(line_no, "idspace needs a number");
+      }
+      if (!idspace_allowed) {
+        return ParseError(line_no, "idspace must precede all nodes");
+      }
+      topo.SetIdSpace(space);
+      continue;
+    }
+    if (kind == "switch") {
+      int ports = 0;
+      if (!(ls >> ports) || ports < 1 || ports > kMaxPorts) {
+        return ParseError(line_no, "switch needs a port count in [1,254]");
+      }
+      topo.AddSwitch(static_cast<uint8_t>(ports));
+      idspace_allowed = false;
+      continue;
+    }
+    if (kind == "host") {
+      topo.AddHost();
+      idspace_allowed = false;
+      continue;
+    }
+    if (kind == "link") {
+      std::string a, b;
+      int port_a = 0, port_b = 0;
+      double gbps = 10.0;
+      int64_t prop = 500;
+      if (!(ls >> a >> port_a >> b >> port_b)) {
+        return ParseError(line_no, "link needs S<a> <port> S<b> <port>");
+      }
+      ls >> gbps >> prop;  // optional
+      auto ia = ParseIndex(a, 'S', line_no);
+      auto ib = ParseIndex(b, 'S', line_no);
+      if (!ia.ok()) {
+        return ia.error();
+      }
+      if (!ib.ok()) {
+        return ib.error();
+      }
+      auto r = topo.Connect(Endpoint{NodeId::Switch(ia.value()), static_cast<PortNum>(port_a)},
+                            Endpoint{NodeId::Switch(ib.value()), static_cast<PortNum>(port_b)},
+                            gbps, prop);
+      if (!r.ok()) {
+        return ParseError(line_no, r.error().message());
+      }
+      continue;
+    }
+    if (kind == "attach") {
+      std::string h, s;
+      int port = 0;
+      double gbps = 10.0;
+      if (!(ls >> h >> s >> port)) {
+        return ParseError(line_no, "attach needs H<h> S<s> <port>");
+      }
+      ls >> gbps;
+      auto ih = ParseIndex(h, 'H', line_no);
+      auto is = ParseIndex(s, 'S', line_no);
+      if (!ih.ok()) {
+        return ih.error();
+      }
+      if (!is.ok()) {
+        return is.error();
+      }
+      auto r = topo.AttachHost(ih.value(), is.value(), static_cast<PortNum>(port), gbps);
+      if (!r.ok()) {
+        return ParseError(line_no, r.error().message());
+      }
+      continue;
+    }
+    if (kind == "down") {
+      LinkIndex li = 0;
+      if (!(ls >> li) || li >= topo.link_count()) {
+        return ParseError(line_no, "down needs a valid link index");
+      }
+      topo.SetLinkUp(li, false);
+      continue;
+    }
+    return ParseError(line_no, "unknown directive '" + kind + "'");
+  }
+  if (Status s = topo.Validate(); !s.ok()) {
+    return Error(ErrorCode::kMalformed, "validation failed: " + s.error().message());
+  }
+  return topo;
+}
+
+Status SaveTopology(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Error(ErrorCode::kUnavailable, "cannot open " + path);
+  }
+  out << SerializeTopology(topo);
+  return out.good() ? Status::Ok()
+                    : Status(Error(ErrorCode::kUnavailable, "write failed: " + path));
+}
+
+Result<Topology> LoadTopology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTopology(buffer.str());
+}
+
+}  // namespace dumbnet

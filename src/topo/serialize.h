@@ -1,0 +1,37 @@
+// Topology (de)serialization in a line-oriented text format, so fabrics can be
+// described in files, diffed, and loaded by tools:
+//
+//   # comment
+//   idspace 0
+//   switch <num_ports>            # index assigned in order, 0-based
+//   host                          # index assigned in order, 0-based
+//   link S<a> <port_a> S<b> <port_b> [gbps] [prop_ns]
+//   attach H<h> S<s> <port> [gbps]
+//   down <link_index>             # mark a previously declared link down
+//
+// Serialization round-trips everything Topology models (including down links);
+// detached links are skipped.
+#ifndef DUMBNET_SRC_TOPO_SERIALIZE_H_
+#define DUMBNET_SRC_TOPO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+// Writes `topo` in the text format.
+std::string SerializeTopology(const Topology& topo);
+
+// Parses the text format. Returns the first error with a line number.
+Result<Topology> ParseTopology(const std::string& text);
+
+// File helpers.
+Status SaveTopology(const Topology& topo, const std::string& path);
+Result<Topology> LoadTopology(const std::string& path);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_TOPO_SERIALIZE_H_

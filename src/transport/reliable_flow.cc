@@ -1,0 +1,182 @@
+#include "src/transport/reliable_flow.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+// --------------------------------------------------------------------------------
+// Channels
+
+DumbNetChannel::DumbNetChannel(HostAgent* agent) : agent_(agent) {
+  agent_->SetDataHandler([this](const Packet& pkt, const DataPayload& data) {
+    auto it = handlers_.find(data.flow_id);
+    if (it != handlers_.end()) {
+      it->second(pkt.eth.src_mac, data);
+    } else if (default_handler_) {
+      default_handler_(pkt.eth.src_mac, data);
+    }
+  });
+}
+
+void DumbNetChannel::SendSegment(uint64_t dst_mac, const DataPayload& segment) {
+  (void)agent_->Send(dst_mac, segment.flow_id, segment);
+}
+
+void DumbNetChannel::SetSegmentHandler(uint64_t flow_id, SegmentHandler handler) {
+  handlers_[flow_id] = std::move(handler);
+}
+
+EthernetChannel::EthernetChannel(EthernetHost* host, Simulator* sim)
+    : host_(host), sim_(sim) {
+  host_->SetFrameHandler([this](const Packet& pkt, const DataPayload& data) {
+    auto it = handlers_.find(data.flow_id);
+    if (it != handlers_.end()) {
+      it->second(pkt.eth.src_mac, data);
+    } else if (default_handler_) {
+      default_handler_(pkt.eth.src_mac, data);
+    }
+  });
+}
+
+void EthernetChannel::SendSegment(uint64_t dst_mac, const DataPayload& segment) {
+  host_->SendFrame(dst_mac, segment);
+}
+
+void EthernetChannel::SetSegmentHandler(uint64_t flow_id, SegmentHandler handler) {
+  handlers_[flow_id] = std::move(handler);
+}
+
+// --------------------------------------------------------------------------------
+// Sender
+
+ReliableFlowSender::ReliableFlowSender(TransportChannel* channel, uint64_t flow_id,
+                                       uint64_t dst_mac, FlowConfig config)
+    : channel_(channel),
+      sim_(&channel->sim()),
+      flow_id_(flow_id),
+      dst_mac_(dst_mac),
+      config_(config) {
+  channel_->SetSegmentHandler(flow_id_, [this](uint64_t, const DataPayload& seg) {
+    if (seg.is_ack) {
+      OnAck(seg);
+    }
+  });
+}
+
+void ReliableFlowSender::Start(std::function<void()> on_complete) {
+  on_complete_ = std::move(on_complete);
+  running_ = true;
+  PumpWindow();
+  ArmTimer();
+}
+
+void ReliableFlowSender::Stop() {
+  running_ = false;
+  ++timer_epoch_;
+}
+
+void ReliableFlowSender::PumpWindow() {
+  if (!running_) {
+    return;
+  }
+  const uint64_t total_segments =
+      config_.total_bytes == 0
+          ? UINT64_MAX
+          : (static_cast<uint64_t>(config_.total_bytes) +
+             static_cast<uint64_t>(config_.segment_bytes) - 1) /
+                static_cast<uint64_t>(config_.segment_bytes);
+  while (next_seq_ < acked_seq_ + config_.window_segments && next_seq_ < total_segments) {
+    SendSegmentAt(next_seq_);
+    ++next_seq_;
+  }
+}
+
+void ReliableFlowSender::SendSegmentAt(uint64_t seq) {
+  DataPayload seg;
+  seg.flow_id = flow_id_;
+  seg.seq = seq;
+  seg.is_ack = false;
+  seg.bytes = config_.segment_bytes;
+  if (seq < progress_.segments_sent) {
+    ++progress_.retransmissions;
+  }
+  progress_.segments_sent = std::max(progress_.segments_sent, seq + 1);
+  channel_->SendSegment(dst_mac_, seg);
+}
+
+void ReliableFlowSender::OnAck(const DataPayload& ack) {
+  if (!running_) {
+    return;
+  }
+  if (ack.ecn) {
+    ++progress_.ecn_acks;
+  }
+  if (ack.ack <= acked_seq_) {
+    return;
+  }
+  acked_seq_ = ack.ack;
+  progress_.bytes_acked =
+      acked_seq_ * static_cast<uint64_t>(config_.segment_bytes);
+  if (config_.total_bytes != 0 && progress_.bytes_acked >= config_.total_bytes) {
+    progress_.bytes_acked = config_.total_bytes;
+    progress_.finished = true;
+    running_ = false;
+    ++timer_epoch_;
+    if (on_complete_) {
+      on_complete_();
+    }
+    return;
+  }
+  ArmTimer();
+  PumpWindow();
+}
+
+void ReliableFlowSender::ArmTimer() {
+  uint64_t epoch = ++timer_epoch_;
+  sim_->ScheduleAfter(config_.rto, [this, epoch] {
+    if (epoch != timer_epoch_ || !running_) {
+      return;
+    }
+    if (acked_seq_ < next_seq_) {
+      // Go-back-N: rewind and resend the whole outstanding window.
+      ++progress_.timeouts;
+      next_seq_ = acked_seq_;
+      PumpWindow();
+    }
+    ArmTimer();
+  });
+}
+
+// --------------------------------------------------------------------------------
+// Receiver
+
+ReliableFlowReceiver::ReliableFlowReceiver(TransportChannel* channel, uint64_t flow_id)
+    : channel_(channel), flow_id_(flow_id) {
+  channel_->SetSegmentHandler(flow_id_, [this](uint64_t src_mac, const DataPayload& seg) {
+    if (!seg.is_ack) {
+      OnSegment(src_mac, seg);
+    }
+  });
+}
+
+void ReliableFlowReceiver::OnSegment(uint64_t src_mac, const DataPayload& seg) {
+  ++segments_received_;
+  if (seg.seq == expected_seq_) {
+    ++expected_seq_;
+    bytes_received_ += static_cast<uint64_t>(seg.bytes);
+    if (hook_) {
+      hook_(static_cast<uint64_t>(seg.bytes));
+    }
+  }
+  // Cumulative ack (also re-acks duplicates so a lost ack cannot wedge the flow).
+  // An ECN mark on the data segment is echoed back to the sender (RFC 3168 style).
+  DataPayload ack;
+  ack.flow_id = flow_id_;
+  ack.ack = expected_seq_;
+  ack.is_ack = true;
+  ack.bytes = 64;
+  ack.ecn = seg.ecn;
+  channel_->SendSegment(src_mac, ack);
+}
+
+}  // namespace dumbnet

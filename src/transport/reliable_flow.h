@@ -1,0 +1,149 @@
+// A small reliable transport for the packet-level experiments: fixed-window,
+// cumulative-ack, go-back-N retransmission. It is deliberately simpler than TCP —
+// the paper's failover experiments (Figure 11b) need a transport that stalls when
+// its path blackholes and resumes once the host agent fails over, which this
+// captures with minimal machinery.
+//
+// The transport is channel-agnostic: it runs over a DumbNet host agent or a
+// baseline Ethernet host through the TransportChannel interface.
+#ifndef DUMBNET_SRC_TRANSPORT_RELIABLE_FLOW_H_
+#define DUMBNET_SRC_TRANSPORT_RELIABLE_FLOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/baseline/ethernet_switch.h"
+#include "src/host/host_agent.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace dumbnet {
+
+// Abstract one-way segment pipe between two hosts.
+class TransportChannel {
+ public:
+  virtual ~TransportChannel() = default;
+
+  virtual void SendSegment(uint64_t dst_mac, const DataPayload& segment) = 0;
+  using SegmentHandler = std::function<void(uint64_t src_mac, const DataPayload&)>;
+  virtual void SetSegmentHandler(uint64_t flow_id, SegmentHandler handler) = 0;
+  // Fallback for segments whose flow id has no registered handler (receivers that
+  // accept flows they have not seen before, e.g. pHost).
+  virtual void SetDefaultSegmentHandler(SegmentHandler handler) { (void)handler; }
+  virtual Simulator& sim() = 0;
+};
+
+// Channel over a DumbNet host agent. Demuxes inbound segments by flow id. The
+// agent's data handler is claimed by this channel; create one channel per host and
+// register all flows with it.
+class DumbNetChannel : public TransportChannel {
+ public:
+  explicit DumbNetChannel(HostAgent* agent);
+
+  void SendSegment(uint64_t dst_mac, const DataPayload& segment) override;
+  void SetSegmentHandler(uint64_t flow_id, SegmentHandler handler) override;
+  void SetDefaultSegmentHandler(SegmentHandler handler) override {
+    default_handler_ = std::move(handler);
+  }
+  Simulator& sim() override { return agent_->sim(); }
+
+ private:
+  HostAgent* agent_;
+  std::unordered_map<uint64_t, SegmentHandler> handlers_;
+  SegmentHandler default_handler_;
+};
+
+// Channel over a baseline Ethernet host.
+class EthernetChannel : public TransportChannel {
+ public:
+  EthernetChannel(EthernetHost* host, Simulator* sim);
+
+  void SendSegment(uint64_t dst_mac, const DataPayload& segment) override;
+  void SetSegmentHandler(uint64_t flow_id, SegmentHandler handler) override;
+  void SetDefaultSegmentHandler(SegmentHandler handler) override {
+    default_handler_ = std::move(handler);
+  }
+  Simulator& sim() override { return *sim_; }
+
+ private:
+  EthernetHost* host_;
+  Simulator* sim_;
+  std::unordered_map<uint64_t, SegmentHandler> handlers_;
+  SegmentHandler default_handler_;
+};
+
+struct FlowConfig {
+  int64_t segment_bytes = 1460;
+  uint32_t window_segments = 48;
+  TimeNs rto = Ms(15);
+  // 0 = open-ended flow (runs until Stop()).
+  uint64_t total_bytes = 0;
+};
+
+struct FlowProgress {
+  uint64_t bytes_acked = 0;
+  uint64_t segments_sent = 0;
+  uint64_t retransmissions = 0;
+  uint64_t timeouts = 0;
+  uint64_t ecn_acks = 0;  // acks carrying an echoed Congestion Experienced mark
+  bool finished = false;
+};
+
+// Sender half. The receiver half is implicit: ReliableFlowReceiver acknowledges
+// in-order segments on the reverse channel.
+class ReliableFlowSender {
+ public:
+  ReliableFlowSender(TransportChannel* channel, uint64_t flow_id, uint64_t dst_mac,
+                     FlowConfig config = FlowConfig());
+
+  void Start(std::function<void()> on_complete = nullptr);
+  void Stop();
+
+  const FlowProgress& progress() const { return progress_; }
+  uint64_t flow_id() const { return flow_id_; }
+
+ private:
+  void PumpWindow();
+  void SendSegmentAt(uint64_t seq);
+  void OnAck(const DataPayload& ack);
+  void ArmTimer();
+
+  TransportChannel* channel_;
+  Simulator* sim_;
+  uint64_t flow_id_;
+  uint64_t dst_mac_;
+  FlowConfig config_;
+
+  uint64_t next_seq_ = 0;   // next new segment to send
+  uint64_t acked_seq_ = 0;  // cumulative: all < acked_seq_ delivered
+  uint64_t timer_epoch_ = 0;
+  bool running_ = false;
+  std::function<void()> on_complete_;
+  FlowProgress progress_;
+};
+
+class ReliableFlowReceiver {
+ public:
+  ReliableFlowReceiver(TransportChannel* channel, uint64_t flow_id);
+
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t segments_received() const { return segments_received_; }
+
+  // Called on every in-order byte delivery, for throughput sampling.
+  void SetProgressHook(std::function<void(uint64_t bytes)> hook) { hook_ = std::move(hook); }
+
+ private:
+  void OnSegment(uint64_t src_mac, const DataPayload& seg);
+
+  TransportChannel* channel_;
+  uint64_t flow_id_;
+  uint64_t expected_seq_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t segments_received_ = 0;
+  std::function<void(uint64_t)> hook_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_TRANSPORT_RELIABLE_FLOW_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logger. Defaults to kWarn so simulations stay quiet; tests and
+// examples raise verbosity explicitly. Not thread-safe by design: the simulator is
+// single-threaded and benchmarks set the level once up front.
+#ifndef DUMBNET_SRC_UTIL_LOGGING_H_
+#define DUMBNET_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dumbnet {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global minimum level; messages below it are discarded (and their stream
+// formatting skipped via the macro's level check).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates one message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dumbnet
+
+#define DN_LOG(level)                                                      \
+  if (static_cast<int>(::dumbnet::LogLevel::level) <                       \
+      static_cast<int>(::dumbnet::GetLogLevel())) {                        \
+  } else                                                                   \
+    ::dumbnet::internal::LogMessage(::dumbnet::LogLevel::level, __FILE__,  \
+                                    __LINE__)                              \
+        .stream()
+
+#define DN_DEBUG DN_LOG(kDebug)
+#define DN_INFO DN_LOG(kInfo)
+#define DN_WARN DN_LOG(kWarn)
+#define DN_ERROR DN_LOG(kError)
+
+#endif  // DUMBNET_SRC_UTIL_LOGGING_H_

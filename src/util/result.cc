@@ -1,0 +1,31 @@
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrorCode::kExhausted:
+      return "exhausted";
+    case ErrorCode::kMalformed:
+      return "malformed";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,118 @@
+// Lightweight Result<T> error handling used across all DumbNet module boundaries.
+//
+// Public APIs in this codebase do not throw exceptions; fallible operations return
+// Result<T>, which either holds a value or an Error (code + human-readable message).
+#ifndef DUMBNET_SRC_UTIL_RESULT_H_
+#define DUMBNET_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dumbnet {
+
+// Error codes used across the library. Kept as one enum so call sites can switch on
+// failure classes without caring which module produced them.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnavailable,      // e.g. link down, port down, controller unreachable
+  kPermissionDenied, // e.g. path verifier rejects an application route
+  kExhausted,        // e.g. queue full, tag stack overflow
+  kMalformed,        // e.g. bad packet header
+  kInternal,
+};
+
+// Returns a stable, lowercase identifier for an error code (for logs and tests).
+const char* ErrorCodeName(ErrorCode code);
+
+// An error: a code plus a message. Cheap to move, fine to copy.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: holds either a T or an Error.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and errors keeps call sites terse:
+  //   return Error(ErrorCode::kNotFound, "no such switch");
+  //   return path;
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+  // Returns the value or a fallback, never asserting.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(value_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Result<void> analogue for operations with no payload.
+class Status {
+ public:
+  Status() : error_(ErrorCode::kOk, "") {}
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return error_.code() == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return error_;
+  }
+  ErrorCode code() const { return error_.code(); }
+
+  std::string ToString() const { return ok() ? "ok" : error_.ToString(); }
+
+ private:
+  Error error_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_UTIL_RESULT_H_

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (ECMP tie-breaking, workload arrivals,
+// jellyfish wiring, flowlet path picks) draws from an explicitly seeded Rng so that
+// simulations are reproducible bit-for-bit. We implement SplitMix64 (for seeding)
+// and xoshiro256** (for the stream) rather than using std::mt19937 because their
+// output is specified exactly and is stable across standard libraries.
+#ifndef DUMBNET_SRC_UTIL_RNG_H_
+#define DUMBNET_SRC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dumbnet {
+
+// SplitMix64: tiny generator used to expand a 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  // Raw 64 random bits.
+  uint64_t Next64();
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift rejection method.
+  // bound must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Pareto-distributed double with scale xm (>0) and shape alpha (>0); heavy-tailed
+  // flow sizes in workload models use this.
+  double Pareto(double xm, double alpha);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Picks a uniformly random element index; container must be non-empty.
+  size_t PickIndex(size_t size) { return static_cast<size_t>(UniformInt(size)); }
+
+  // Derives an independent child generator (stable function of parent state+salt);
+  // used to give each host/flow its own stream.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_UTIL_RNG_H_

@@ -1,0 +1,139 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dumbnet {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::AddAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void SampleSet::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  SortIfNeeded();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  SortIfNeeded();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  if (p <= 0.0) {
+    return samples_.front();
+  }
+  if (p >= 100.0) {
+    return samples_.back();
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  SortIfNeeded();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    size_t idx = std::min(samples_.size() - 1,
+                          static_cast<size_t>(frac * static_cast<double>(samples_.size())));
+    out.emplace_back(samples_[idx], frac);
+  }
+  return out;
+}
+
+double SampleSet::FractionBelow(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+    return;
+  }
+  size_t i = static_cast<size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) {
+    i = counts_.size() - 1;
+  }
+  ++counts_[i];
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << BucketLow(i) << ", " << BucketLow(i) + width_ << "): " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,93 @@
+// Statistics collectors used by the benchmark harness: online mean/variance,
+// exact-sample percentile/CDF collectors, and fixed-bucket histograms.
+#ifndef DUMBNET_SRC_UTIL_STATS_H_
+#define DUMBNET_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dumbnet {
+
+// Welford online mean/variance; O(1) memory.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores every sample; supports exact percentiles and CDF dumps. Fine for the
+// tens-of-thousands of samples our experiments produce.
+class SampleSet {
+ public:
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Exact percentile with linear interpolation; p in [0,100].
+  double Percentile(double p) const;
+
+  // Returns (value, cumulative fraction) pairs at `points` evenly spaced quantiles,
+  // suitable for printing a CDF curve.
+  std::vector<std::pair<double, double>> Cdf(size_t points = 100) const;
+
+  // Fraction of samples <= x.
+  double FractionBelow(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  uint64_t total() const { return total_; }
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_UTIL_STATS_H_

@@ -1,0 +1,166 @@
+#include "src/workload/hibench.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+std::vector<FlowSpec> PermutationTraffic(const std::vector<uint32_t>& hosts, double bytes,
+                                         Rng& rng) {
+  std::vector<uint32_t> dsts = hosts;
+  // Derangement-ish: shuffle until no host maps to itself (cheap for small N).
+  bool ok = false;
+  while (!ok) {
+    rng.Shuffle(dsts);
+    ok = true;
+    for (size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] == dsts[i]) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  std::vector<FlowSpec> out;
+  out.reserve(hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    out.push_back(FlowSpec{hosts[i], dsts[i], bytes});
+  }
+  return out;
+}
+
+std::vector<FlowSpec> AllToAllTraffic(const std::vector<uint32_t>& hosts,
+                                      double bytes_per_pair) {
+  std::vector<FlowSpec> out;
+  out.reserve(hosts.size() * (hosts.size() - 1));
+  for (uint32_t src : hosts) {
+    for (uint32_t dst : hosts) {
+      if (src != dst) {
+        out.push_back(FlowSpec{src, dst, bytes_per_pair});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FlowSpec> IncastTraffic(const std::vector<uint32_t>& senders, uint32_t sink,
+                                    double bytes) {
+  std::vector<FlowSpec> out;
+  for (uint32_t src : senders) {
+    if (src != sink) {
+      out.push_back(FlowSpec{src, sink, bytes});
+    }
+  }
+  return out;
+}
+
+const char* HiBenchWorkloadName(HiBenchWorkload kind) {
+  switch (kind) {
+    case HiBenchWorkload::kAggregation:
+      return "Aggregation";
+    case HiBenchWorkload::kJoin:
+      return "Join";
+    case HiBenchWorkload::kPagerank:
+      return "Pagerank";
+    case HiBenchWorkload::kTerasort:
+      return "Terasort";
+    case HiBenchWorkload::kWordcount:
+      return "Wordcount";
+  }
+  return "?";
+}
+
+std::vector<HiBenchWorkload> AllHiBenchWorkloads() {
+  return {HiBenchWorkload::kAggregation, HiBenchWorkload::kJoin, HiBenchWorkload::kPagerank,
+          HiBenchWorkload::kTerasort, HiBenchWorkload::kWordcount};
+}
+
+namespace {
+
+// A shuffle stage: every mapper host sends to every reducer host; per-pair volume
+// is `unit * volume`, skewed by a Pareto factor when `skew > 0` (hot keys).
+JobStage MakeShuffle(const std::string& name, const std::vector<uint32_t>& hosts,
+                     double unit, double volume, double skew, double compute, Rng& rng) {
+  JobStage stage;
+  stage.name = name;
+  stage.compute_seconds = compute;
+  for (uint32_t src : hosts) {
+    for (uint32_t dst : hosts) {
+      if (src == dst) {
+        continue;
+      }
+      double factor = 1.0;
+      if (skew > 0) {
+        // Pareto with mean ~1: xm = (alpha-1)/alpha for alpha > 1.
+        double alpha = 1.0 + 1.0 / skew;
+        factor = rng.Pareto((alpha - 1.0) / alpha, alpha);
+        factor = std::min(factor, 25.0);  // cap monsters so stages terminate
+      }
+      stage.flows.push_back(FlowSpec{src, dst, unit * volume * factor});
+    }
+  }
+  return stage;
+}
+
+// Replicated output writes: every host streams its partition to `replicas` other
+// hosts (HDFS write pipeline).
+JobStage MakeReplicatedWrite(const std::string& name, const std::vector<uint32_t>& hosts,
+                             double bytes, int replicas, double compute, Rng& rng) {
+  JobStage stage;
+  stage.name = name;
+  stage.compute_seconds = compute;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    for (int r = 1; r <= replicas; ++r) {
+      size_t dst = (i + static_cast<size_t>(rng.UniformRange(1, (int64_t)hosts.size() - 1))) %
+                   hosts.size();
+      if (hosts[dst] == hosts[i]) {
+        dst = (dst + 1) % hosts.size();
+      }
+      stage.flows.push_back(FlowSpec{hosts[i], hosts[dst], bytes});
+    }
+  }
+  return stage;
+}
+
+}  // namespace
+
+HiBenchJob MakeHiBenchJob(HiBenchWorkload kind, const std::vector<uint32_t>& hosts,
+                          Rng& rng, const HiBenchScale& scale) {
+  HiBenchJob job;
+  job.name = HiBenchWorkloadName(kind);
+  const double u = scale.unit_bytes;
+  const double c = scale.compute_scale;
+
+  switch (kind) {
+    case HiBenchWorkload::kAggregation:
+      // Scan + heavy skewed shuffle into aggregators + small output.
+      job.stages.push_back(MakeShuffle("shuffle", hosts, u, 0.8, 1.4, 8 * c, rng));
+      job.stages.push_back(MakeReplicatedWrite("output", hosts, 0.1 * u, 2, 4 * c, rng));
+      break;
+    case HiBenchWorkload::kJoin:
+      // Two tables shuffled to the join sites, then output.
+      job.stages.push_back(MakeShuffle("shuffle-left", hosts, u, 0.5, 1.0, 6 * c, rng));
+      job.stages.push_back(MakeShuffle("shuffle-right", hosts, u, 0.35, 1.0, 4 * c, rng));
+      job.stages.push_back(MakeReplicatedWrite("output", hosts, 0.1 * u, 2, 3 * c, rng));
+      break;
+    case HiBenchWorkload::kPagerank:
+      // Iterative: three superstep shuffles of moderate, uniform volume.
+      for (int iter = 0; iter < 3; ++iter) {
+        job.stages.push_back(MakeShuffle("iteration-" + std::to_string(iter), hosts, u,
+                                         0.35, 0.0, 5 * c, rng));
+      }
+      break;
+    case HiBenchWorkload::kTerasort:
+      // The big one: full uniform shuffle of the whole dataset, then replicated
+      // output of the sorted runs.
+      job.stages.push_back(MakeShuffle("shuffle", hosts, u, 1.0, 0.6, 6 * c, rng));
+      job.stages.push_back(MakeReplicatedWrite("output", hosts, 0.4 * u, 2, 4 * c, rng));
+      break;
+    case HiBenchWorkload::kWordcount:
+      // Map-heavy: combiners shrink the shuffle to a small fraction.
+      job.stages.push_back(MakeShuffle("shuffle", hosts, u, 0.12, 0.3, 14 * c, rng));
+      job.stages.push_back(MakeReplicatedWrite("output", hosts, 0.05 * u, 2, 3 * c, rng));
+      break;
+  }
+  return job;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,80 @@
+// Workload models.
+//
+// Substitution note (DESIGN.md): the paper drives its macro evaluation with Intel
+// HiBench on Hadoop, using it "to capture the flow dependencies in real-world
+// applications". We model the five benchmarked workloads (Figure 13) as flow DAGs:
+// sequential stages with a barrier between them, each stage a set of host-to-host
+// flows whose shape (all-to-all shuffle, replicated writes, iterative rounds) and
+// relative volume follow the published HiBench traffic characterization. Per-stage
+// compute time is charged identically under every network policy, exactly like
+// real map/reduce slots would be.
+#ifndef DUMBNET_SRC_WORKLOAD_HIBENCH_H_
+#define DUMBNET_SRC_WORKLOAD_HIBENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dumbnet {
+
+struct FlowSpec {
+  uint32_t src_host = 0;
+  uint32_t dst_host = 0;
+  double bytes = 0;
+};
+
+// --- Generic traffic patterns (micro benchmarks & tests) ---------------------------
+
+// Random permutation: every host sends to exactly one other host.
+std::vector<FlowSpec> PermutationTraffic(const std::vector<uint32_t>& hosts, double bytes,
+                                         Rng& rng);
+
+// Full mesh: every ordered pair exchanges `bytes_per_pair`.
+std::vector<FlowSpec> AllToAllTraffic(const std::vector<uint32_t>& hosts,
+                                      double bytes_per_pair);
+
+// N-to-1 incast into `sink`.
+std::vector<FlowSpec> IncastTraffic(const std::vector<uint32_t>& senders, uint32_t sink,
+                                    double bytes);
+
+// --- HiBench flow-DAG models --------------------------------------------------------
+
+enum class HiBenchWorkload {
+  kAggregation,
+  kJoin,
+  kPagerank,
+  kTerasort,
+  kWordcount,
+};
+
+const char* HiBenchWorkloadName(HiBenchWorkload kind);
+std::vector<HiBenchWorkload> AllHiBenchWorkloads();
+
+struct JobStage {
+  std::string name;
+  std::vector<FlowSpec> flows;
+  double compute_seconds = 0;  // fixed compute charged after the stage's flows finish
+};
+
+struct HiBenchJob {
+  std::string name;
+  std::vector<JobStage> stages;  // sequential, barrier between stages
+};
+
+struct HiBenchScale {
+  // Bytes of shuffle traffic per (mapper, reducer) pair in the reference Terasort;
+  // other workloads scale relative to it.
+  double unit_bytes = 8e6;
+  double compute_scale = 1.0;
+};
+
+// Builds the flow DAG for one workload over `hosts` (mappers and reducers are both
+// spread across all hosts, as Hadoop does with its slots).
+HiBenchJob MakeHiBenchJob(HiBenchWorkload kind, const std::vector<uint32_t>& hosts,
+                          Rng& rng, const HiBenchScale& scale = HiBenchScale());
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WORKLOAD_HIBENCH_H_

@@ -1,0 +1,210 @@
+#include "src/workload/job_runner.h"
+
+#include <algorithm>
+
+#include "src/routing/graph.h"
+#include "src/util/logging.h"
+
+namespace dumbnet {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Shared plumbing for the k-shortest-path-based policies: resolves edge switches
+// and computes (then memoizes) the equal-cost shortest path set per switch pair.
+class KspPolicyState {
+ public:
+  KspPolicyState(const Topology* topo, uint32_t k) : topo_(topo), k_(k) {}
+
+  Result<std::vector<SwitchPath>> PathsBetween(uint32_t src_host, uint32_t dst_host) {
+    auto src_up = topo_->HostUplink(src_host);
+    auto dst_up = topo_->HostUplink(dst_host);
+    if (!src_up.ok() || !dst_up.ok()) {
+      return Error(ErrorCode::kNotFound, "host not attached");
+    }
+    uint32_t a = src_up.value().node.index;
+    uint32_t b = dst_up.value().node.index;
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    SwitchGraph graph(*topo_);
+    auto paths = KShortestPaths(graph, a, b, k_);
+    if (!paths.ok()) {
+      return paths.error();
+    }
+    // Keep only the equal-cost minimal set: that is what ECMP and flowlet TE
+    // actually spread over.
+    size_t min_len = SIZE_MAX;
+    for (const SwitchPath& p : paths.value()) {
+      min_len = std::min(min_len, p.size());
+    }
+    std::vector<SwitchPath> minimal;
+    for (SwitchPath& p : paths.value()) {
+      if (p.size() == min_len) {
+        minimal.push_back(std::move(p));
+      }
+    }
+    cache_[key] = minimal;
+    return minimal;
+  }
+
+ private:
+  const Topology* topo_;
+  uint32_t k_;
+  std::unordered_map<uint64_t, std::vector<SwitchPath>> cache_;
+};
+
+}  // namespace
+
+PathPolicy MakeFlowletPolicy(const Topology* topo, uint32_t k, uint64_t seed) {
+  auto state = std::make_shared<KspPolicyState>(topo, k);
+  return [state, seed](uint32_t src, uint32_t dst, uint64_t flow_id,
+                       uint64_t flowlet) -> Result<SwitchPath> {
+    auto paths = state->PathsBetween(src, dst);
+    if (!paths.ok()) {
+      return paths.error();
+    }
+    size_t pick = static_cast<size_t>(Mix(Mix(flow_id, flowlet), seed) %
+                                      paths.value().size());
+    return paths.value()[pick];
+  };
+}
+
+PathPolicy MakeSinglePathPolicy(const Topology* topo, uint64_t seed) {
+  auto state = std::make_shared<KspPolicyState>(topo, 4);
+  return [state, seed](uint32_t src, uint32_t dst, uint64_t /*flow_id*/,
+                       uint64_t /*flowlet*/) -> Result<SwitchPath> {
+    auto paths = state->PathsBetween(src, dst);
+    if (!paths.ok()) {
+      return paths.error();
+    }
+    // One fixed path per flow for its whole life — and to model the paper's
+    // "single path" variant (no per-flow spreading from the path cache), the pick
+    // depends only on the host pair, not the flow.
+    size_t pick = static_cast<size_t>(
+        Mix(Mix(static_cast<uint64_t>(src) << 32 | dst, 0), seed) % paths.value().size());
+    return paths.value()[pick];
+  };
+}
+
+PathPolicy MakeEcmpPolicy(const Topology* topo, uint32_t k, uint64_t seed) {
+  auto state = std::make_shared<KspPolicyState>(topo, k);
+  return [state, seed](uint32_t src, uint32_t dst, uint64_t flow_id,
+                       uint64_t /*flowlet*/) -> Result<SwitchPath> {
+    auto paths = state->PathsBetween(src, dst);
+    if (!paths.ok()) {
+      return paths.error();
+    }
+    // Per-flow hash, sticky for the flow's lifetime (ignores flowlets).
+    size_t pick =
+        static_cast<size_t>(Mix(flow_id, seed ^ 0xECEC) % paths.value().size());
+    return paths.value()[pick];
+  };
+}
+
+FluidJobRunner::FluidJobRunner(Simulator* sim, Topology* topo, FluidSimulator* fluid,
+                               PathPolicy policy, JobRunnerConfig config)
+    : sim_(sim), topo_(topo), fluid_(fluid), policy_(std::move(policy)), config_(config) {}
+
+void FluidJobRunner::RunJob(const HiBenchJob& job,
+                            std::function<void(const JobResult&)> on_done) {
+  job_ = &job;
+  on_done_ = std::move(on_done);
+  result_ = JobResult{};
+  result_.name = job.name;
+  job_start_ = sim_->Now();
+  ++repath_epoch_;
+  if (config_.flowlet_interval > 0) {
+    uint64_t epoch = repath_epoch_;
+    sim_->ScheduleAfter(config_.flowlet_interval, [this, epoch] {
+      if (epoch == repath_epoch_) {
+        RepathTick();
+      }
+    });
+  }
+  StartStage(0);
+}
+
+void FluidJobRunner::StartStage(size_t index) {
+  if (index >= job_->stages.size()) {
+    ++repath_epoch_;  // stop the repath ticker
+    result_.duration = sim_->Now() - job_start_;
+    if (on_done_) {
+      on_done_(result_);
+    }
+    return;
+  }
+  const JobStage& stage = job_->stages[index];
+  stage_start_ = sim_->Now();
+  active_.clear();
+  remaining_flows_ = stage.flows.size();
+  if (remaining_flows_ == 0) {
+    FinishStage(index);
+    return;
+  }
+  for (const FlowSpec& spec : stage.flows) {
+    uint64_t flow_id = next_flow_id_++;
+    auto path = policy_(spec.src_host, spec.dst_host, flow_id, 0);
+    if (!path.ok()) {
+      DN_WARN << "job " << job_->name << ": no path for flow, skipping";
+      --remaining_flows_;
+      continue;
+    }
+    auto started = fluid_->StartFlow(
+        spec.src_host, spec.dst_host, spec.bytes, path.value(),
+        [this, index](uint64_t fid, TimeNs) {
+          active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                       [fid](const ActiveFlow& f) {
+                                         return f.fluid_id == fid;
+                                       }),
+                        active_.end());
+          if (--remaining_flows_ == 0) {
+            FinishStage(index);
+          }
+        });
+    if (started.ok()) {
+      active_.push_back(ActiveFlow{started.value(), spec.src_host, spec.dst_host,
+                                   flow_id, 0});
+    } else {
+      --remaining_flows_;
+    }
+  }
+  if (remaining_flows_ == 0 && active_.empty()) {
+    FinishStage(index);
+  }
+}
+
+void FluidJobRunner::FinishStage(size_t index) {
+  const JobStage& stage = job_->stages[index];
+  TimeNs compute = static_cast<TimeNs>(stage.compute_seconds * 1e9);
+  sim_->ScheduleAfter(compute, [this, index] {
+    result_.stage_durations.push_back(sim_->Now() - stage_start_);
+    StartStage(index + 1);
+  });
+}
+
+void FluidJobRunner::RepathTick() {
+  uint64_t epoch = repath_epoch_;
+  for (ActiveFlow& flow : active_) {
+    ++flow.flowlet;
+    auto path = policy_(flow.src, flow.dst, flow.flow_id, flow.flowlet);
+    if (path.ok()) {
+      (void)fluid_->RepathFlow(flow.fluid_id, path.value());
+    }
+  }
+  sim_->ScheduleAfter(config_.flowlet_interval, [this, epoch] {
+    if (epoch == repath_epoch_) {
+      RepathTick();
+    }
+  });
+}
+
+}  // namespace dumbnet

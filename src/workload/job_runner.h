@@ -1,0 +1,86 @@
+// FluidJobRunner: executes a HiBench flow DAG on the fluid simulator under a
+// pluggable routing policy — the harness behind Figure 13. The three policies the
+// paper compares (DumbNet flowlet TE, DumbNet single-path, conventional ECMP) are
+// provided as factory functions; all use the same routing library the host agents
+// run, so policy differences are real routing differences, not modelling ones.
+#ifndef DUMBNET_SRC_WORKLOAD_JOB_RUNNER_H_
+#define DUMBNET_SRC_WORKLOAD_JOB_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/fluid/fluid_sim.h"
+#include "src/routing/shortest_path.h"
+#include "src/workload/hibench.h"
+
+namespace dumbnet {
+
+// Chooses a switch path for (flow, flowlet). `flowlet` increments when the runner
+// re-paths (0 for the first placement); a policy that ignores it is single-path.
+using PathPolicy =
+    std::function<Result<SwitchPath>(uint32_t src_host, uint32_t dst_host,
+                                     uint64_t flow_id, uint64_t flowlet)>;
+
+// DumbNet with flowlet TE: k shortest paths, deterministic (flow, flowlet) pick.
+PathPolicy MakeFlowletPolicy(const Topology* topo, uint32_t k, uint64_t seed);
+// DumbNet without TE: the flow stays on one randomly chosen shortest path.
+PathPolicy MakeSinglePathPolicy(const Topology* topo, uint64_t seed);
+// Conventional fabric: per-flow ECMP hash over equal-cost shortest paths.
+PathPolicy MakeEcmpPolicy(const Topology* topo, uint32_t k, uint64_t seed);
+
+struct JobRunnerConfig {
+  // 0 disables re-pathing (single-path / ECMP policies); otherwise active flows
+  // are re-pathed on this period, the fluid-level rendering of flowlet switching.
+  TimeNs flowlet_interval = 0;
+};
+
+struct JobResult {
+  std::string name;
+  TimeNs duration = 0;
+  std::vector<TimeNs> stage_durations;
+};
+
+class FluidJobRunner {
+ public:
+  FluidJobRunner(Simulator* sim, Topology* topo, FluidSimulator* fluid, PathPolicy policy,
+                 JobRunnerConfig config = JobRunnerConfig());
+
+  // Starts the job; `on_done` fires with the result when the last stage ends.
+  // Only one job at a time per runner.
+  void RunJob(const HiBenchJob& job, std::function<void(const JobResult&)> on_done);
+
+ private:
+  void StartStage(size_t index);
+  void FinishStage(size_t index);
+  void RepathTick();
+
+  Simulator* sim_;
+  Topology* topo_;
+  FluidSimulator* fluid_;
+  PathPolicy policy_;
+  JobRunnerConfig config_;
+
+  const HiBenchJob* job_ = nullptr;
+  std::function<void(const JobResult&)> on_done_;
+  JobResult result_;
+  TimeNs job_start_ = 0;
+  TimeNs stage_start_ = 0;
+  size_t remaining_flows_ = 0;
+  uint64_t next_flow_id_ = 1;
+  uint64_t repath_epoch_ = 0;
+
+  struct ActiveFlow {
+    uint64_t fluid_id;
+    uint32_t src;
+    uint32_t dst;
+    uint64_t flow_id;
+    uint64_t flowlet;
+  };
+  std::vector<ActiveFlow> active_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WORKLOAD_JOB_RUNNER_H_

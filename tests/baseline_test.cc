@@ -1,0 +1,168 @@
+// Tests for the baseline Ethernet fabric: MAC learning, loop suppression via STP,
+// and reconvergence after failures (the machinery behind Figure 11b's baseline).
+#include "src/baseline/ethernet_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+struct EthFixture {
+  explicit EthFixture(Topology t, EthernetSwitchConfig config = EthernetSwitchConfig())
+      : topo(std::move(t)) {
+    net = std::make_unique<Network>(&sim, &topo);
+    for (uint32_t s = 0; s < topo.switch_count(); ++s) {
+      switches.push_back(std::make_unique<EthernetSwitch>(net.get(), s, config));
+    }
+    for (uint32_t h = 0; h < topo.host_count(); ++h) {
+      hosts.push_back(std::make_unique<EthernetHost>(net.get(), h));
+    }
+  }
+
+  // Let STP converge from cold start.
+  void Warm() { sim.RunUntil(sim.Now() + Sec(1)); }
+
+  Topology topo;
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<EthernetSwitch>> switches;
+  std::vector<std::unique_ptr<EthernetHost>> hosts;
+};
+
+// Triangle of switches (a loop!) with one host each.
+Topology Triangle() {
+  Topology t;
+  for (int i = 0; i < 3; ++i) {
+    t.AddSwitch(8);
+  }
+  t.ConnectSwitches(0, 1, 1, 1).value();
+  t.ConnectSwitches(1, 2, 2, 1).value();
+  t.ConnectSwitches(2, 2, 0, 2).value();
+  for (uint32_t i = 0; i < 3; ++i) {
+    uint32_t h = t.AddHost();
+    t.AttachHost(h, i, 5).value();
+  }
+  return t;
+}
+
+TEST(EthernetSwitchTest, LearningUnicastAfterFlood) {
+  EthFixture f(Triangle());
+  f.Warm();
+  int got = 0;
+  f.hosts[2]->SetFrameHandler([&](const Packet&, const DataPayload&) { ++got; });
+
+  // First frame floods; reply teaches the path; second frame is unicast.
+  f.hosts[0]->SendFrame(f.hosts[2]->mac(), DataPayload{1, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(50));
+  EXPECT_EQ(got, 1);
+  f.hosts[2]->SendFrame(f.hosts[0]->mac(), DataPayload{2, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(50));
+  uint64_t flooded_before = 0;
+  for (auto& sw : f.switches) {
+    flooded_before += sw->stats().flooded;
+  }
+  f.hosts[0]->SendFrame(f.hosts[2]->mac(), DataPayload{3, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(50));
+  EXPECT_EQ(got, 2);
+  uint64_t flooded_after = 0;
+  for (auto& sw : f.switches) {
+    flooded_after += sw->stats().flooded;
+  }
+  EXPECT_EQ(flooded_after, flooded_before);  // unicast now, no new floods
+}
+
+TEST(EthernetSwitchTest, StpBlocksTheLoop) {
+  EthFixture f(Triangle());
+  f.Warm();
+  // Exactly one of the three inter-switch link *sides* must be blocked: count
+  // forwarding inter-switch ports; a 3-cycle with STP keeps 2 of 3 links.
+  int blocked_sides = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (PortNum p = 1; p <= 2; ++p) {
+      if (f.topo.LinkAtPort(s, p) == kInvalidLink) {
+        continue;
+      }
+      if (f.switches[s]->port_state(p) != EthernetSwitch::PortState::kForwarding) {
+        ++blocked_sides;
+      }
+    }
+  }
+  EXPECT_GE(blocked_sides, 1);
+  // Exactly one root bridge.
+  int roots = 0;
+  for (auto& sw : f.switches) {
+    roots += sw->IsRootBridge() ? 1 : 0;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(EthernetSwitchTest, BroadcastDoesNotStorm) {
+  EthFixture f(Triangle());
+  f.Warm();
+  uint64_t delivered_before = f.net->stats().delivered;
+  f.hosts[0]->SendFrame(kBroadcastMac, DataPayload{1, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(200));
+  // A storm would generate an unbounded packet count; with STP the broadcast
+  // visits each segment a bounded number of times (plus background BPDUs).
+  uint64_t data_frames = f.net->stats().delivered - delivered_before;
+  EXPECT_LT(data_frames, 600u);  // BPDU background over 200 ms dominates
+}
+
+TEST(EthernetSwitchTest, ReconvergesAfterLinkFailure) {
+  EthFixture f(Triangle());
+  f.Warm();
+  int got = 0;
+  f.hosts[1]->SetFrameHandler([&](const Packet&, const DataPayload&) { ++got; });
+  f.hosts[0]->SendFrame(f.hosts[1]->mac(), DataPayload{1, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(100));
+  ASSERT_EQ(got, 1);
+
+  // Cut the direct S0-S1 link; STP must open the blocked path via S2.
+  f.topo.SetLinkUp(f.topo.LinkAtPort(0, 1), false);
+  f.sim.RunUntil(f.sim.Now() + Sec(2));
+
+  f.hosts[0]->SendFrame(f.hosts[1]->mac(), DataPayload{2, 0, 0, false, 100});
+  f.sim.RunUntil(f.sim.Now() + Ms(100));
+  EXPECT_EQ(got, 2);
+}
+
+TEST(EthernetSwitchTest, TopologyChangeFlushesMacTables) {
+  EthFixture f(Triangle());
+  f.Warm();
+  uint64_t flushes_before = 0;
+  for (auto& sw : f.switches) {
+    flushes_before += sw->stats().mac_flushes;
+  }
+  f.topo.SetLinkUp(f.topo.LinkAtPort(0, 1), false);
+  f.sim.RunUntil(f.sim.Now() + Sec(1));
+  uint64_t flushes_after = 0;
+  for (auto& sw : f.switches) {
+    flushes_after += sw->stats().mac_flushes;
+  }
+  EXPECT_GT(flushes_after, flushes_before);
+}
+
+TEST(EthernetSwitchTest, PlainLearningModeOnTree) {
+  // STP off on a loop-free topology: still works.
+  Topology t;
+  t.AddSwitch(8);
+  t.AddSwitch(8);
+  t.ConnectSwitches(0, 1, 1, 1).value();
+  uint32_t h0 = t.AddHost();
+  uint32_t h1 = t.AddHost();
+  t.AttachHost(h0, 0, 5).value();
+  t.AttachHost(h1, 1, 5).value();
+  EthernetSwitchConfig config;
+  config.run_stp = false;
+  EthFixture f(std::move(t), config);
+  int got = 0;
+  f.hosts[1]->SetFrameHandler([&](const Packet&, const DataPayload&) { ++got; });
+  f.hosts[0]->SendFrame(f.hosts[1]->mac(), DataPayload{});
+  f.sim.Run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace dumbnet

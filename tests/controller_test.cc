@@ -1,0 +1,215 @@
+// End-to-end control-plane tests: controller bring-up (discovery + bootstrap),
+// path queries answered with path graphs, host-to-host data delivery, and the
+// two-stage failure handling pipeline of Section 4.2.
+#include "src/ctrl/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+#include "tests/test_fabric.h"
+
+namespace dumbnet {
+namespace {
+
+DiscoveryConfig FastDiscovery(uint8_t max_ports) {
+  DiscoveryConfig config;
+  config.max_ports = max_ports;
+  config.pm_send_cost = Us(1);
+  config.pm_recv_cost = Us(1);
+  config.probe_timeout = Ms(20);
+  return config;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  void BringUp() {
+    auto testbed = MakePaperTestbed();
+    ASSERT_TRUE(testbed.ok());
+    spines_ = testbed.value().spines;
+    leaves_ = testbed.value().leaves;
+    fabric_ = std::make_unique<TestFabric>(std::move(testbed.value().topo));
+    controller_ =
+        &fabric_->AddController(kControllerHost, ControllerConfig(), FastDiscovery(16));
+    bool ready = false;
+    controller_->Start([&] { ready = true; });
+    fabric_->sim().Run();
+    ASSERT_TRUE(ready);
+  }
+
+  static constexpr uint32_t kControllerHost = 25;
+
+  std::unique_ptr<TestFabric> fabric_;
+  ControllerService* controller_ = nullptr;
+  std::vector<uint32_t> spines_;
+  std::vector<uint32_t> leaves_;
+};
+
+TEST_F(ControllerTest, BootstrapsEveryHost) {
+  BringUp();
+  for (uint32_t h = 0; h < fabric_->host_count(); ++h) {
+    EXPECT_TRUE(fabric_->agent(h).bootstrapped()) << "host " << h;
+  }
+  // 26 remote bootstraps (the controller itself is local).
+  EXPECT_EQ(controller_->stats().bootstraps_sent, 26u);
+}
+
+TEST_F(ControllerTest, ColdSendTriggersQueryThenDelivers) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);   // leaf 0
+  HostAgent& dst = fabric_->agent(12);  // leaf 2
+
+  int received = 0;
+  dst.SetDataHandler([&](const Packet& pkt, const DataPayload& data) {
+    EXPECT_EQ(pkt.eth.src_mac, src.mac());
+    EXPECT_EQ(data.flow_id, 77u);
+    ++received;
+  });
+  ASSERT_TRUE(src.Send(dst.mac(), 77, DataPayload{77, 1, 0, false, 1000}).ok());
+  fabric_->sim().Run();
+
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(src.stats().path_requests, 1u);
+  EXPECT_TRUE(src.path_table().Contains(dst.mac()));
+}
+
+TEST_F(ControllerTest, WarmSendsSkipController) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);
+  HostAgent& dst = fabric_->agent(12);
+  int received = 0;
+  dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
+
+  ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
+  fabric_->sim().Run();
+  uint64_t queries_after_first = controller_->stats().queries_served;
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
+  }
+  fabric_->sim().Run();
+  EXPECT_EQ(received, 11);
+  EXPECT_EQ(controller_->stats().queries_served, queries_after_first);
+}
+
+TEST_F(ControllerTest, PathGraphGivesMultiplePathsAcrossSpines) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);
+  HostAgent& dst = fabric_->agent(12);
+  ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
+  fabric_->sim().Run();
+
+  const PathTableEntry* entry = src.path_table().Find(dst.mac());
+  ASSERT_NE(entry, nullptr);
+  // Two spines => at least two minimal (leaf-spine-leaf) paths among the cached k.
+  EXPECT_GE(entry->paths.size(), 2u);
+  size_t minimal = 0;
+  for (const CachedRoute& route : entry->paths) {
+    EXPECT_GE(route.uid_path.size(), 3u);
+    minimal += route.uid_path.size() == 3u ? 1 : 0;
+  }
+  EXPECT_EQ(minimal, 2u);
+}
+
+TEST_F(ControllerTest, StageOneNotificationReachesHostsBeforePatch) {
+  BringUp();
+  TimeNs fail_notify = 0;
+  TimeNs patch_notify = 0;
+  HostAgent& observer = fabric_->agent(20);  // leaf 4
+  observer.SetLinkEventHook([&](const LinkEventPayload& ev, bool) {
+    if (!ev.up && fail_notify == 0) {
+      fail_notify = observer.sim().Now();
+    }
+  });
+  observer.SetPatchHook([&](const TopologyPatchPayload&) {
+    if (patch_notify == 0) {
+      patch_notify = observer.sim().Now();
+    }
+  });
+
+  // Cut spine0 <-> leaf0.
+  LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
+  ASSERT_NE(li, kInvalidLink);
+  TimeNs cut_at = fabric_->sim().Now();
+  fabric_->topo().SetLinkUp(li, false);
+  fabric_->sim().Run();
+
+  ASSERT_GT(fail_notify, 0) << "stage-1 notification never arrived";
+  ASSERT_GT(patch_notify, 0) << "stage-2 patch never arrived";
+  EXPECT_LT(fail_notify, patch_notify);
+  // Both within tens of milliseconds of the cut.
+  EXPECT_LT(patch_notify - cut_at, Ms(100));
+}
+
+TEST_F(ControllerTest, FailoverReroutesTrafficAroundDeadSpine) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);   // leaf 0
+  HostAgent& dst = fabric_->agent(12);  // leaf 2
+  int received = 0;
+  dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
+
+  ASSERT_TRUE(src.Send(dst.mac(), 5, DataPayload{}).ok());
+  fabric_->sim().Run();
+  ASSERT_EQ(received, 1);
+
+  // Cut BOTH links that leaf0 has to spine 0; all surviving paths go via spine 1.
+  LinkIndex l0 = fabric_->topo().LinkAtPort(leaves_[0], 1);  // leaf0 -> spine0
+  ASSERT_NE(l0, kInvalidLink);
+  fabric_->topo().SetLinkUp(l0, false);
+  fabric_->sim().Run();
+
+  // Every flow must still get through, whatever path the flow had been bound to.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(src.Send(dst.mac(), 100 + i, DataPayload{}).ok());
+  }
+  fabric_->sim().Run();
+  EXPECT_EQ(received, 9);
+
+  // And no cached route may cross the dead edge.
+  const PathTableEntry* entry = src.path_table().Find(dst.mac());
+  ASSERT_NE(entry, nullptr);
+  ASSERT_FALSE(entry->paths.empty());
+  uint64_t leaf0_uid = fabric_->topo().switch_at(leaves_[0]).uid;
+  uint64_t spine0_uid = fabric_->topo().switch_at(spines_[0]).uid;
+  for (const CachedRoute& route : entry->paths) {
+    EXPECT_FALSE(route.UsesEdge(leaf0_uid, spine0_uid));
+  }
+}
+
+TEST_F(ControllerTest, LinkRestorationFlowsBackViaPatch) {
+  BringUp();
+  LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
+  fabric_->topo().SetLinkUp(li, false);
+  fabric_->sim().Run();
+
+  int restored_patches = 0;
+  fabric_->agent(10).SetPatchHook([&](const TopologyPatchPayload& patch) {
+    if (patch.added != nullptr && !patch.added->empty()) {
+      ++restored_patches;
+    }
+  });
+  fabric_->topo().SetLinkUp(li, true);
+  fabric_->sim().Run();
+  EXPECT_GE(restored_patches, 1);
+  EXPECT_GE(controller_->stats().reprobes, 1u);
+}
+
+TEST_F(ControllerTest, ReplicatedLogMirrorsTopologyEvents) {
+  BringUp();
+  ReplicatedLog log(&fabric_->sim(), ReplicatedLogConfig{3, Us(200)});
+  controller_->AttachLog(&log);
+
+  LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
+  fabric_->topo().SetLinkUp(li, false);
+  fabric_->sim().Run();
+
+  EXPECT_GE(log.committed_index(), 1u);
+  // A standby applying replica 1's log sees the link down.
+  TopoDb standby = controller_->db();
+  ReplicatedLog::ApplyTo(log.ReplicaLog(1), standby);
+  uint64_t spine_uid = fabric_->topo().switch_at(spines_[0]).uid;
+  auto link = standby.LinkAt(spine_uid, 1);
+  ASSERT_TRUE(link.ok());
+}
+
+}  // namespace
+}  // namespace dumbnet

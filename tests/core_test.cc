@@ -1,0 +1,86 @@
+// Tests of the SimulatedFabric assembly (src/core) — the public entry point.
+#include "src/core/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+TEST(SimulatedFabricTest, BringUpViaDiscovery) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  SimulatedFabric fabric(std::move(tb.value().topo));
+  DiscoveryConfig discovery;
+  discovery.max_ports = 16;
+  discovery.pm_send_cost = Us(1);
+  discovery.pm_recv_cost = Us(1);
+  discovery.probe_timeout = Ms(20);
+  ASSERT_TRUE(fabric.BringUp(25, ControllerConfig(), discovery));
+  EXPECT_TRUE(fabric.has_controller());
+  for (uint32_t h = 0; h < fabric.host_count(); ++h) {
+    EXPECT_TRUE(fabric.agent(h).bootstrapped());
+  }
+}
+
+TEST(SimulatedFabricTest, BringUpAdoptedIsInstant) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  SimulatedFabric fabric(std::move(tb.value().topo));
+  fabric.BringUpAdopted(0);
+  // No probing: far fewer packets than discovery needs.
+  EXPECT_LT(fabric.net().stats().delivered, 2000u);
+  EXPECT_EQ(fabric.controller().db().switch_count(), 7u);
+}
+
+TEST(SimulatedFabricTest, AccessorsAreConsistent) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  SimulatedFabric fabric(std::move(tb.value().topo));
+  EXPECT_EQ(fabric.host_count(), fabric.topo().host_count());
+  EXPECT_EQ(fabric.switch_count(), fabric.topo().switch_count());
+  for (uint32_t h = 0; h < fabric.host_count(); ++h) {
+    EXPECT_EQ(fabric.agent(h).mac(), fabric.topo().host_at(h).mac);
+  }
+  for (uint32_t s = 0; s < fabric.switch_count(); ++s) {
+    EXPECT_EQ(fabric.dumb_switch(s).uid(), fabric.topo().switch_at(s).uid);
+  }
+}
+
+TEST(SimulatedFabricTest, TwoFabricsAreIndependent) {
+  LeafSpineConfig a_config;
+  a_config.num_spine = 1;
+  a_config.num_leaf = 1;
+  a_config.hosts_per_leaf = 2;
+  a_config.switch_ports = 8;
+  LeafSpineConfig b_config = a_config;
+  b_config.id_space = 1;
+  auto a = MakeLeafSpine(a_config);
+  auto b = MakeLeafSpine(b_config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  SimulatedFabric fab_a(std::move(a.value().topo));
+  SimulatedFabric fab_b(std::move(b.value().topo));
+  EXPECT_NE(fab_a.agent(0).mac(), fab_b.agent(0).mac());
+  EXPECT_NE(fab_a.dumb_switch(0).uid(), fab_b.dumb_switch(0).uid());
+}
+
+TEST(SimulatedFabricTest, DeterministicRuns) {
+  auto run = [] {
+    auto tb = MakePaperTestbed();
+    SimulatedFabric fabric(std::move(tb.value().topo));
+    fabric.BringUpAdopted(25);
+    for (uint32_t h = 0; h < 10; ++h) {
+      (void)fabric.agent(h).Send(fabric.agent((h + 7) % 25).mac(), h, DataPayload{});
+    }
+    fabric.sim().Run();
+    return std::pair(fabric.net().stats().delivered, fabric.sim().Now());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace dumbnet

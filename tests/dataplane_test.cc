@@ -1,0 +1,134 @@
+// Tests of the software packet pipeline (Figure 9/10 measurement substrate).
+#include "src/dataplane/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+namespace dumbnet {
+namespace {
+
+std::vector<uint8_t> MakePayload(size_t n) {
+  std::vector<uint8_t> payload(n);
+  std::iota(payload.begin(), payload.end(), 0);
+  return payload;
+}
+
+TEST(ChecksumTest, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 2ddf0, folded dddf2 -> ~ = 220d.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(SoftwarePipeline::Checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+  const uint8_t data[] = {0x01, 0x02, 0x03};
+  // 0102 + 0300 = 0402 -> ~ = fbfd.
+  EXPECT_EQ(SoftwarePipeline::Checksum(data, sizeof(data)), 0xfbfd);
+}
+
+TEST(FramePoolTest, AcquireReleaseRecycles) {
+  FramePool pool(2);
+  EXPECT_EQ(pool.available(), 2u);
+  uint8_t* a = pool.Acquire();
+  uint8_t* b = pool.Acquire();
+  EXPECT_EQ(pool.available(), 0u);
+  pool.Release(a);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.Acquire(), a);  // LIFO
+  pool.Release(a);
+  pool.Release(b);
+}
+
+class PipelineModeTest : public ::testing::TestWithParam<PipelineMode> {};
+
+TEST_P(PipelineModeTest, TxRxRoundTrip) {
+  FramePool pool(4);
+  SoftwarePipeline pipeline(GetParam(), &pool);
+  auto payload = MakePayload(1400);
+  TagList tags;  // at the receiver all transit tags are consumed
+  size_t len = 0;
+  uint8_t* frame = pipeline.ProcessTx(payload.data(), payload.size(), tags, &len);
+  ASSERT_NE(frame, nullptr);
+  EXPECT_GT(len, payload.size());
+
+  auto off = pipeline.ProcessRx(frame, len);
+  ASSERT_TRUE(off.ok()) << off.error().ToString();
+  EXPECT_EQ(std::memcmp(frame + off.value(), payload.data(), payload.size()), 0);
+  pool.Release(frame);
+  EXPECT_EQ(pipeline.stats().tx_frames, 1u);
+  EXPECT_EQ(pipeline.stats().rx_frames, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PipelineModeTest,
+                         ::testing::Values(PipelineMode::kNoopDpdk, PipelineMode::kMplsOnly,
+                                           PipelineMode::kDumbNet),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PipelineMode::kNoopDpdk:
+                               return "NoopDpdk";
+                             case PipelineMode::kMplsOnly:
+                               return "MplsOnly";
+                             case PipelineMode::kDumbNet:
+                               return "DumbNet";
+                           }
+                           return "?";
+                         });
+
+TEST(PipelineTest, DumbNetRxRejectsUnconsumedTags) {
+  FramePool pool(4);
+  SoftwarePipeline pipeline(PipelineMode::kDumbNet, &pool);
+  auto payload = MakePayload(100);
+  TagList tags{3, 5};  // transit tags still present: ø is not first
+  size_t len = 0;
+  uint8_t* frame = pipeline.ProcessTx(payload.data(), payload.size(), tags, &len);
+  auto off = pipeline.ProcessRx(frame, len);
+  EXPECT_FALSE(off.ok());
+  EXPECT_EQ(pipeline.stats().rx_rejected, 1u);
+  pool.Release(frame);
+}
+
+TEST(PipelineTest, CorruptionDetected) {
+  FramePool pool(4);
+  SoftwarePipeline pipeline(PipelineMode::kNoopDpdk, &pool);
+  auto payload = MakePayload(256);
+  size_t len = 0;
+  uint8_t* frame = pipeline.ProcessTx(payload.data(), payload.size(), {}, &len);
+  frame[50] ^= 0xFF;  // bit flip
+  auto off = pipeline.ProcessRx(frame, len);
+  EXPECT_FALSE(off.ok());
+  EXPECT_EQ(off.error().code(), ErrorCode::kMalformed);
+  pool.Release(frame);
+}
+
+TEST(PipelineTest, WrongEtherTypeRejected) {
+  FramePool pool(4);
+  SoftwarePipeline noop(PipelineMode::kNoopDpdk, &pool);
+  SoftwarePipeline mpls(PipelineMode::kMplsOnly, &pool);
+  auto payload = MakePayload(64);
+  size_t len = 0;
+  uint8_t* frame = noop.ProcessTx(payload.data(), payload.size(), {}, &len);
+  EXPECT_FALSE(mpls.ProcessRx(frame, len).ok());
+  pool.Release(frame);
+}
+
+TEST(PipelineTest, FrameSizesByMode) {
+  FramePool pool(8);
+  auto payload = MakePayload(1000);
+  size_t noop_len = 0, mpls_len = 0, dn_len = 0;
+  SoftwarePipeline noop(PipelineMode::kNoopDpdk, &pool);
+  SoftwarePipeline mpls(PipelineMode::kMplsOnly, &pool);
+  SoftwarePipeline dn(PipelineMode::kDumbNet, &pool);
+  uint8_t* f1 = noop.ProcessTx(payload.data(), payload.size(), {}, &noop_len);
+  uint8_t* f2 = mpls.ProcessTx(payload.data(), payload.size(), {}, &mpls_len);
+  TagList tags{1, 2, 3};
+  uint8_t* f3 = dn.ProcessTx(payload.data(), payload.size(), tags, &dn_len);
+  EXPECT_EQ(mpls_len, noop_len + 4);      // one MPLS label
+  EXPECT_EQ(dn_len, noop_len + 3 + 1);    // three tags + ø
+  pool.Release(f1);
+  pool.Release(f2);
+  pool.Release(f3);
+}
+
+}  // namespace
+}  // namespace dumbnet

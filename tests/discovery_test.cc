@@ -1,0 +1,215 @@
+// End-to-end tests of the topology discovery protocol (Section 4.1): a controller
+// host probes the fabric through real simulated dumb switches and must reconstruct
+// the exact ground-truth topology.
+#include "src/ctrl/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+#include "tests/test_fabric.h"
+
+namespace dumbnet {
+namespace {
+
+// Fast probing for unit tests: small CPU costs, short timeouts.
+DiscoveryConfig FastDiscovery(uint8_t max_ports) {
+  DiscoveryConfig config;
+  config.max_ports = max_ports;
+  config.pm_send_cost = Us(1);
+  config.pm_recv_cost = Us(1);
+  config.probe_timeout = Ms(20);
+  return config;
+}
+
+// Checks that `db` matches the ground truth `topo` exactly: same switches, same
+// links (including port numbers), same host locations.
+void ExpectDiscoveredExactly(const TopoDb& db, const Topology& topo) {
+  EXPECT_EQ(db.switch_count(), topo.switch_count());
+  EXPECT_EQ(db.host_count(), topo.host_count());
+
+  size_t truth_links = topo.InterSwitchLinkCount();
+  size_t db_links = 0;
+  for (LinkIndex li = 0; li < db.mirror().link_count(); ++li) {
+    if (!db.mirror().link_at(li).detached) {
+      ++db_links;
+    }
+  }
+  EXPECT_EQ(db_links, truth_links);
+
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    const Link& l = topo.link_at(li);
+    if (!l.a.node.is_switch() || !l.b.node.is_switch()) {
+      continue;
+    }
+    WireLink wl{topo.switch_at(l.a.node.index).uid, l.a.port,
+                topo.switch_at(l.b.node.index).uid, l.b.port};
+    WireLink reversed{wl.uid_b, wl.port_b, wl.uid_a, wl.port_a};
+    EXPECT_TRUE(db.HasLink(wl) || db.HasLink(reversed))
+        << "missing link " << l.a.ToString() << " <-> " << l.b.ToString();
+  }
+
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    auto loc = db.LocateHost(topo.host_at(h).mac);
+    ASSERT_TRUE(loc.ok()) << "host H" << h << " undiscovered";
+    auto truth = topo.HostUplink(h);
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(loc.value().switch_uid, topo.switch_at(truth.value().node.index).uid);
+    EXPECT_EQ(loc.value().port, truth.value().port);
+  }
+}
+
+TEST(DiscoveryTest, SingleSwitchTwoHosts) {
+  Topology topo;
+  uint32_t sw = topo.AddSwitch(8);
+  uint32_t h0 = topo.AddHost();
+  uint32_t h1 = topo.AddHost();
+  ASSERT_TRUE(topo.AttachHost(h0, sw, 3).ok());
+  ASSERT_TRUE(topo.AttachHost(h1, sw, 7).ok());
+
+  TestFabric fabric(std::move(topo));
+  DiscoveryService discovery(&fabric.agent(0), FastDiscovery(8));
+  bool done = false;
+  discovery.Start([&] { done = true; });
+  fabric.sim().Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(discovery.attach_port(), 3);
+  ExpectDiscoveredExactly(discovery.db(), fabric.topo());
+}
+
+TEST(DiscoveryTest, PaperExampleTopology) {
+  // Figure 1 of the paper: 5 switches, ambiguous return paths between S1/S2.
+  Topology topo;
+  uint32_t s1 = topo.AddSwitch(8);
+  uint32_t s2 = topo.AddSwitch(8);
+  uint32_t s3 = topo.AddSwitch(8);
+  uint32_t s4 = topo.AddSwitch(8);
+  uint32_t s5 = topo.AddSwitch(8);
+  ASSERT_TRUE(topo.ConnectSwitches(s3, 1, s1, 1).ok());
+  ASSERT_TRUE(topo.ConnectSwitches(s3, 2, s2, 1).ok());  // S1,S2 same return path
+  ASSERT_TRUE(topo.ConnectSwitches(s1, 2, s4, 1).ok());
+  ASSERT_TRUE(topo.ConnectSwitches(s2, 2, s4, 2).ok());
+  ASSERT_TRUE(topo.ConnectSwitches(s2, 3, s5, 1).ok());
+  ASSERT_TRUE(topo.ConnectSwitches(s4, 3, s5, 2).ok());
+
+  uint32_t c3 = topo.AddHost();  // controller on S3 port 5 (not port 9: 8-port switch)
+  ASSERT_TRUE(topo.AttachHost(c3, s3, 5).ok());
+  uint32_t h1 = topo.AddHost();
+  ASSERT_TRUE(topo.AttachHost(h1, s1, 5).ok());
+  uint32_t h4 = topo.AddHost();
+  ASSERT_TRUE(topo.AttachHost(h4, s4, 5).ok());
+  uint32_t h5 = topo.AddHost();
+  ASSERT_TRUE(topo.AttachHost(h5, s5, 5).ok());
+
+  TestFabric fabric(std::move(topo));
+  DiscoveryService discovery(&fabric.agent(0), FastDiscovery(8));
+  bool done = false;
+  discovery.Start([&] { done = true; });
+  fabric.sim().Run();
+
+  ASSERT_TRUE(done);
+  ExpectDiscoveredExactly(discovery.db(), fabric.topo());
+  // The ambiguity machinery must have rejected at least one false candidate.
+  EXPECT_GT(discovery.stats().rejected_ambiguous, 0u);
+}
+
+TEST(DiscoveryTest, PaperTestbedLeafSpine) {
+  auto testbed = MakePaperTestbed();
+  ASSERT_TRUE(testbed.ok());
+  TestFabric fabric(std::move(testbed.value().topo));
+  // Host 25 is one of the two extra hosts on leaf 0: use it as controller.
+  DiscoveryService discovery(&fabric.agent(25), FastDiscovery(16));
+  bool done = false;
+  discovery.Start([&] { done = true; });
+  fabric.sim().Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(discovery.db().switch_count(), 7u);
+  EXPECT_EQ(discovery.db().host_count(), 27u);
+  ExpectDiscoveredExactly(discovery.db(), fabric.topo());
+}
+
+TEST(DiscoveryTest, CubeTopology) {
+  CubeConfig config;
+  config.dims = {3, 3, 3};
+  config.hosts_per_switch = 1;
+  config.switch_ports = 8;
+  auto cube = MakeCube(config);
+  ASSERT_TRUE(cube.ok());
+  TestFabric fabric(std::move(cube.value().topo));
+  DiscoveryService discovery(&fabric.agent(13), FastDiscovery(8));  // center-ish
+  bool done = false;
+  discovery.Start([&] { done = true; });
+  fabric.sim().Run();
+
+  ASSERT_TRUE(done);
+  ExpectDiscoveredExactly(discovery.db(), fabric.topo());
+}
+
+TEST(DiscoveryTest, FatTreeK4) {
+  FatTreeConfig config;
+  config.k = 4;
+  auto ft = MakeFatTree(config);
+  ASSERT_TRUE(ft.ok());
+  TestFabric fabric(std::move(ft.value().topo));
+  DiscoveryService discovery(&fabric.agent(0), FastDiscovery(4));
+  bool done = false;
+  discovery.Start([&] { done = true; });
+  fabric.sim().Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(discovery.db().switch_count(), 20u);
+  EXPECT_EQ(discovery.db().host_count(), 16u);
+  ExpectDiscoveredExactly(discovery.db(), fabric.topo());
+}
+
+TEST(DiscoveryTest, ProbeComplexityIsNPSquared) {
+  // The PM count must scale as N * P^2 (Section 4.1's analysis, Figure 8b).
+  auto run = [](uint8_t ports) {
+    CubeConfig config;
+    config.dims = {2, 2, 2};
+    config.switch_ports = ports;
+    auto cube = MakeCube(config);
+    TestFabric fabric(std::move(cube.value().topo));
+    DiscoveryService discovery(&fabric.agent(0), FastDiscovery(ports));
+    discovery.Start(nullptr);
+    fabric.sim().Run();
+    return discovery.stats().probes_sent;
+  };
+  uint64_t p8 = run(8);
+  uint64_t p16 = run(16);
+  // Quadrupling expected when doubling P (plus lower-order host-probe terms).
+  double ratio = static_cast<double>(p16) / static_cast<double>(p8);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(DiscoveryTest, ReprobeFindsRestoredLink) {
+  auto testbed = MakePaperTestbed();
+  ASSERT_TRUE(testbed.ok());
+  uint32_t spine0 = testbed.value().spines[0];
+  TestFabric fabric(std::move(testbed.value().topo));
+  DiscoveryService discovery(&fabric.agent(25), FastDiscovery(16));
+  discovery.Start(nullptr);
+  fabric.sim().Run();
+  ASSERT_TRUE(discovery.complete());
+
+  // Kill a leaf0-spine0 link, then restore it and ask discovery to re-probe.
+  LinkIndex li = fabric.topo().LinkAtPort(spine0, 1);
+  ASSERT_NE(li, kInvalidLink);
+  fabric.topo().SetLinkUp(li, false);
+  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+  fabric.topo().SetLinkUp(li, true);
+  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+
+  uint64_t spine_uid = fabric.topo().switch_at(spine0).uid;
+  bool reprobed = false;
+  discovery.ReprobePort(spine_uid, 1, [&] { reprobed = true; });
+  fabric.sim().Run();
+  EXPECT_TRUE(reprobed);
+  auto link = discovery.db().LinkAt(spine_uid, 1);
+  ASSERT_TRUE(link.ok());
+}
+
+}  // namespace
+}  // namespace dumbnet

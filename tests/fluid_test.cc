@@ -1,0 +1,137 @@
+// Tests of the fluid (max-min fair) flow simulator.
+#include "src/fluid/fluid_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+// H0 - S0 - S1 - H1 (10 Gbps everywhere) plus H2 on S0, H3 on S1.
+struct FluidFixture {
+  FluidFixture() {
+    topo.AddSwitch(8);
+    topo.AddSwitch(8);
+    topo.ConnectSwitches(0, 1, 1, 1).value();
+    for (int i = 0; i < 4; ++i) {
+      uint32_t h = topo.AddHost();
+      topo.AttachHost(h, i % 2 == 0 ? 0 : 1, static_cast<PortNum>(4 + i)).value();
+    }
+    fluid = std::make_unique<FluidSimulator>(&sim, &topo);
+  }
+  Topology topo;
+  Simulator sim;
+  std::unique_ptr<FluidSimulator> fluid;
+};
+
+constexpr double kLinkBps = 10e9 / 8.0;  // 10 Gbps in bytes/sec
+
+TEST(FluidTest, SingleFlowGetsFullBottleneck) {
+  FluidFixture f;
+  TimeNs done_at = 0;
+  auto id = f.fluid->StartFlow(0, 1, kLinkBps, {0, 1},
+                               [&](uint64_t, TimeNs t) { done_at = t; });
+  ASSERT_TRUE(id.ok());
+  EXPECT_NEAR(f.fluid->FlowRateBps(id.value()), kLinkBps, 1.0);
+  f.sim.Run();
+  // One link-second of bytes at full rate: finishes at ~1 s.
+  EXPECT_NEAR(ToSec(done_at), 1.0, 0.01);
+}
+
+TEST(FluidTest, TwoFlowsShareFairly) {
+  FluidFixture f;
+  auto a = f.fluid->StartFlow(0, 1, kOpenEndedBytes, {0, 1});
+  auto b = f.fluid->StartFlow(2, 3, kOpenEndedBytes, {0, 1});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(f.fluid->FlowRateBps(a.value()), kLinkBps / 2, 1.0);
+  EXPECT_NEAR(f.fluid->FlowRateBps(b.value()), kLinkBps / 2, 1.0);
+  // The shared inter-switch link is saturated.
+  EXPECT_NEAR(f.fluid->LinkUtilization(f.topo.LinkAtPort(0, 1), 0), 1.0, 1e-9);
+}
+
+TEST(FluidTest, CompletionFreesBandwidth) {
+  FluidFixture f;
+  auto a = f.fluid->StartFlow(0, 1, kLinkBps / 4, {0, 1});  // short flow
+  auto b = f.fluid->StartFlow(2, 3, kOpenEndedBytes, {0, 1});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  f.sim.RunUntil(Sec(2));
+  // After `a` finishes, `b` gets the whole link back.
+  EXPECT_NEAR(f.fluid->FlowRateBps(b.value()), kLinkBps, 1.0);
+  EXPECT_EQ(f.fluid->active_flows(), 1u);
+}
+
+TEST(FluidTest, ReverseDirectionsDoNotContend) {
+  FluidFixture f;
+  auto a = f.fluid->StartFlow(0, 1, kOpenEndedBytes, {0, 1});
+  auto b = f.fluid->StartFlow(3, 2, kOpenEndedBytes, {1, 0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Full-duplex link: both directions run at line rate.
+  EXPECT_NEAR(f.fluid->FlowRateBps(a.value()), kLinkBps, 1.0);
+  EXPECT_NEAR(f.fluid->FlowRateBps(b.value()), kLinkBps, 1.0);
+}
+
+TEST(FluidTest, MaxMinRespectsMultiBottleneck) {
+  // Leaf-spine with two spines: 8 hosts on leaf0 to 8 on leaf1 over 2 uplinks.
+  LeafSpineConfig config;
+  config.num_spine = 2;
+  config.num_leaf = 2;
+  config.hosts_per_leaf = 8;
+  auto ls = MakeLeafSpine(config);
+  ASSERT_TRUE(ls.ok());
+  Simulator sim;
+  Topology topo = std::move(ls.value().topo);
+  FluidSimulator fluid(&sim, &topo);
+  uint32_t leaf0 = ls.value().leaves[0];
+  uint32_t leaf1 = ls.value().leaves[1];
+  uint32_t spine0 = ls.value().spines[0];
+
+  // All 8 flows on spine0's path: each gets 1/8 of one 10G uplink.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = fluid.StartFlow(ls.value().hosts[0][i], ls.value().hosts[1][i],
+                              kOpenEndedBytes, {leaf0, spine0, leaf1});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (uint64_t id : ids) {
+    EXPECT_NEAR(fluid.FlowRateBps(id), kLinkBps / 8, 1.0);
+  }
+  // Move half to spine1: everyone doubles.
+  uint32_t spine1 = ls.value().spines[1];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fluid.RepathFlow(ids[i], {leaf0, spine1, leaf1}).ok());
+  }
+  for (uint64_t id : ids) {
+    EXPECT_NEAR(fluid.FlowRateBps(id), kLinkBps / 4, 1.0);
+  }
+}
+
+TEST(FluidTest, LinkFailureStallsFlows) {
+  FluidFixture f;
+  auto a = f.fluid->StartFlow(0, 1, kOpenEndedBytes, {0, 1});
+  ASSERT_TRUE(a.ok());
+  f.sim.RunUntil(Ms(100));
+  f.topo.SetLinkUp(f.topo.LinkAtPort(0, 1), false);
+  EXPECT_EQ(f.fluid->FlowRateBps(a.value()), 0.0);
+}
+
+TEST(FluidTest, RejectsBadPaths) {
+  FluidFixture f;
+  EXPECT_FALSE(f.fluid->StartFlow(0, 1, 100, {}).ok());
+  EXPECT_FALSE(f.fluid->StartFlow(0, 1, 100, {1, 0}).ok());  // wrong endpoints
+  EXPECT_FALSE(f.fluid->StartFlow(0, 3, 100, {0, 0}).ok());
+}
+
+TEST(FluidTest, BytesDeliveredAccumulates) {
+  FluidFixture f;
+  f.fluid->StartFlow(0, 1, kLinkBps / 2, {0, 1}).value();
+  f.sim.Run();
+  EXPECT_NEAR(f.fluid->BytesDelivered(1), kLinkBps / 2, kLinkBps / 1000);
+}
+
+}  // namespace
+}  // namespace dumbnet

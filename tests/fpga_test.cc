@@ -1,0 +1,69 @@
+// Tests of the FPGA resource model (Figure 7 substitution): calibration against
+// the paper's synthesis numbers and the architectural scaling claims.
+#include "src/fpga/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dumbnet {
+namespace {
+
+TEST(FpgaModelTest, CalibratedToPaperAtFourPorts) {
+  FpgaResources dn = DumbNetSwitchResources(4);
+  // Paper: 1,713 LUTs / 1,504 registers.
+  EXPECT_NEAR(dn.luts, 1713, 20);
+  EXPECT_NEAR(dn.registers, 1504, 20);
+
+  FpgaResources of = OpenFlowSwitchResources(4);
+  // Paper: 16,070 LUTs / 17,193 registers.
+  EXPECT_NEAR(of.luts, 16070, 50);
+  EXPECT_NEAR(of.registers, 17193, 80);
+}
+
+TEST(FpgaModelTest, DumbNetReducesResourcesByNinetyPercentAtFourPorts) {
+  FpgaResources dn = DumbNetSwitchResources(4);
+  FpgaResources of = OpenFlowSwitchResources(4);
+  // "even the unoptimized design reduces the FPGA resources utilization by
+  // almost 90%".
+  EXPECT_LT(static_cast<double>(dn.luts), 0.12 * static_cast<double>(of.luts));
+  EXPECT_LT(static_cast<double>(dn.registers), 0.12 * static_cast<double>(of.registers));
+}
+
+TEST(FpgaModelTest, MonotonicInPorts) {
+  uint32_t prev_luts = 0;
+  uint32_t prev_regs = 0;
+  for (uint32_t p = 2; p <= 32; p += 2) {
+    FpgaResources r = DumbNetSwitchResources(p);
+    EXPECT_GT(r.luts, prev_luts);
+    EXPECT_GT(r.registers, prev_regs);
+    prev_luts = r.luts;
+    prev_regs = r.registers;
+  }
+}
+
+TEST(FpgaModelTest, DumbNetStaysWithinFigureSevenEnvelope) {
+  // Figure 7 shows ~30K elements at ~30 ports for the DumbNet design.
+  FpgaResources r = DumbNetSwitchResources(30);
+  EXPECT_GT(r.luts, 15000u);
+  EXPECT_LT(r.luts, 40000u);
+  EXPECT_GT(r.registers, 15000u);
+  EXPECT_LT(r.registers, 45000u);
+}
+
+TEST(FpgaModelTest, QuadraticDemuxTermDominatesAtHighPorts) {
+  // Doubling ports should roughly quadruple the demux-dominated area.
+  FpgaResources a = DumbNetSwitchResources(16);
+  FpgaResources b = DumbNetSwitchResources(32);
+  double ratio = static_cast<double>(b.luts) / static_cast<double>(a.luts);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(FpgaModelTest, DumbNetPerPortAreaIsCheaperEverywhere) {
+  for (uint32_t p = 2; p <= 48; p += 2) {
+    EXPECT_LT(DumbNetSwitchResources(p).luts, OpenFlowSwitchResources(p).luts)
+        << "at " << p << " ports";
+  }
+}
+
+}  // namespace
+}  // namespace dumbnet

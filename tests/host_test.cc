@@ -1,0 +1,306 @@
+// Unit tests for the host-side building blocks: PathTable, TopoCache, PathVerifier,
+// and HostAgent behaviours that do not need a controller.
+#include <gtest/gtest.h>
+
+#include "src/host/host_agent.h"
+#include "src/host/path_table.h"
+#include "src/host/path_verifier.h"
+#include "src/host/topo_cache.h"
+#include "src/topo/generators.h"
+#include "tests/test_fabric.h"
+
+namespace dumbnet {
+namespace {
+
+CachedRoute Route(std::vector<uint64_t> uids, TagList tags) {
+  CachedRoute r;
+  r.uid_path = std::move(uids);
+  r.tags = std::move(tags);
+  return r;
+}
+
+PathTableEntry TwoPathEntry() {
+  PathTableEntry entry;
+  entry.dst = HostLocation{99, 30, 5};
+  entry.paths.push_back(Route({10, 20, 30}, {1, 2, 5}));
+  entry.paths.push_back(Route({10, 21, 30}, {2, 2, 5}));
+  entry.backup = Route({10, 22, 23, 30}, {3, 2, 2, 5});
+  entry.has_backup = true;
+  return entry;
+}
+
+TEST(PathTableTest, FlowBindingIsSticky) {
+  PathTable table(1);
+  table.Install(99, TwoPathEntry());
+  auto first = table.RouteFor(99, 7);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto again = table.RouteFor(99, 7);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().uid_path, first.value().uid_path);
+  }
+  EXPECT_EQ(table.stats().hits, 11u);
+}
+
+TEST(PathTableTest, DifferentFlowsSpread) {
+  PathTable table(1);
+  table.Install(99, TwoPathEntry());
+  std::set<TagList> used;
+  for (uint64_t flow = 0; flow < 64; ++flow) {
+    used.insert(table.RouteFor(99, flow).value().tags);
+  }
+  EXPECT_EQ(used.size(), 2u);  // both equal-cost paths get traffic
+}
+
+TEST(PathTableTest, MissCounts) {
+  PathTable table(1);
+  EXPECT_FALSE(table.RouteFor(12345, 1).ok());
+  EXPECT_EQ(table.stats().misses, 1u);
+}
+
+TEST(PathTableTest, InvalidateEdgeDropsRoutesAndPromotesBackup) {
+  PathTable table(1);
+  table.Install(99, TwoPathEntry());
+  // Kill edge 10-20: one primary survives.
+  auto starved = table.InvalidateEdge(10, 20);
+  EXPECT_TRUE(starved.empty());
+  const PathTableEntry* entry = table.Find(99);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->paths.size(), 1u);
+  EXPECT_EQ(entry->paths[0].uid_path, (std::vector<uint64_t>{10, 21, 30}));
+
+  // Kill edge 10-21 too: only backup remains; it is promoted.
+  starved = table.InvalidateEdge(21, 10);
+  EXPECT_TRUE(starved.empty());
+  entry = table.Find(99);
+  ASSERT_EQ(entry->paths.size(), 1u);
+  EXPECT_EQ(entry->paths[0].uid_path.size(), 4u);
+  EXPECT_FALSE(entry->has_backup);
+
+  // Kill the backup's edge as well: now starved.
+  starved = table.InvalidateEdge(22, 23);
+  ASSERT_EQ(starved.size(), 1u);
+  EXPECT_EQ(starved[0], 99u);
+}
+
+TEST(PathTableTest, ChooserOverridesDefault) {
+  PathTable table(1);
+  table.Install(99, TwoPathEntry());
+  table.SetRouteChooser([](const PathTableEntry&, uint64_t) -> size_t { return 1; });
+  for (uint64_t flow = 0; flow < 8; ++flow) {
+    EXPECT_EQ(table.RouteFor(99, flow).value().uid_path[1], 21u);
+  }
+}
+
+TEST(PathTableTest, UsesEdgeIsUndirected) {
+  CachedRoute r = Route({1, 2, 3}, {});
+  EXPECT_TRUE(r.UsesEdge(1, 2));
+  EXPECT_TRUE(r.UsesEdge(2, 1));
+  EXPECT_TRUE(r.UsesEdge(3, 2));
+  EXPECT_FALSE(r.UsesEdge(1, 3));
+}
+
+// --- TopoCache -----------------------------------------------------------------
+
+WirePathGraph DiamondGraph() {
+  // Switch uids 100,101,102,103; two 2-hop routes 100-101-103 / 100-102-103.
+  WirePathGraph g;
+  g.src_uid = 100;
+  g.dst_uid = 103;
+  g.primary = {100, 101, 103};
+  g.backup = {100, 102, 103};
+  g.links = {WireLink{100, 1, 101, 1}, WireLink{101, 2, 103, 1},
+             WireLink{100, 2, 102, 1}, WireLink{102, 2, 103, 2}};
+  return g;
+}
+
+TEST(TopoCacheTest, IntegrateAndComputeRoutes) {
+  TopoCache cache;
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  auto routes = cache.ComputeRoutes(100, 55, 4);
+  ASSERT_TRUE(routes.ok());
+  EXPECT_EQ(routes.value().size(), 2u);
+  for (const CachedRoute& r : routes.value()) {
+    EXPECT_EQ(r.uid_path.size(), 3u);
+    EXPECT_EQ(r.tags.size(), 3u);
+    EXPECT_EQ(r.tags.back(), 7);  // final hop to the host
+  }
+}
+
+TEST(TopoCacheTest, MarkLinkDownReroutes) {
+  TopoCache cache;
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  auto edge = cache.MarkLinkAt(101, 2, false);
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(std::min(edge.value().first, edge.value().second), 101u);
+  auto routes = cache.ComputeRoutes(100, 55, 4);
+  ASSERT_TRUE(routes.ok());
+  ASSERT_EQ(routes.value().size(), 1u);
+  EXPECT_EQ(routes.value()[0].uid_path, (std::vector<uint64_t>{100, 102, 103}));
+}
+
+TEST(TopoCacheTest, UnknownLinkEventIgnored) {
+  TopoCache cache;
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  EXPECT_FALSE(cache.MarkLinkAt(999, 1, false).ok());
+  EXPECT_FALSE(cache.MarkLinkAt(100, 9, false).ok());
+}
+
+TEST(TopoCacheTest, BuildEntryIncludesBackup) {
+  TopoCache cache;
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  auto entry = cache.BuildEntry(100, 55, 1);  // k=1: backup differs from primary
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().paths.size(), 1u);
+  EXPECT_TRUE(entry.value().has_backup);
+  EXPECT_NE(entry.value().backup.uid_path, entry.value().paths[0].uid_path);
+}
+
+TEST(TopoCacheTest, PatchRestoresLink) {
+  TopoCache cache;
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  cache.ApplyPatch({WireLink{101, 2, 103, 1}}, {});
+  auto routes = cache.ComputeRoutes(100, 55, 4);
+  ASSERT_EQ(routes.value().size(), 1u);
+  cache.ApplyPatch({}, {WireLink{101, 2, 103, 1}});
+  routes = cache.ComputeRoutes(100, 55, 4);
+  EXPECT_EQ(routes.value().size(), 2u);
+}
+
+TEST(TopoCacheTest, ApproxBytesGrows) {
+  TopoCache cache;
+  size_t before = cache.ApproxBytes();
+  ASSERT_TRUE(cache.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  EXPECT_GT(cache.ApproxBytes(), before);
+}
+
+// --- PathVerifier ----------------------------------------------------------------
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cache_.Integrate(DiamondGraph(), HostLocation{55, 103, 7}).ok());
+  }
+  TopoCache cache_;
+};
+
+TEST_F(VerifierTest, AcceptsValidPath) {
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  EXPECT_TRUE(v.VerifyUidPath({100, 101, 103}).ok());
+}
+
+TEST_F(VerifierTest, RejectsNonAdjacent) {
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  EXPECT_EQ(v.VerifyUidPath({100, 103}).error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(VerifierTest, RejectsLoops) {
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  EXPECT_EQ(v.VerifyUidPath({100, 101, 100}).error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, RejectsOverlongPath) {
+  VerifyPolicy policy;
+  policy.max_path_length = 2;
+  PathVerifier v(&cache_.db(), policy);
+  EXPECT_EQ(v.VerifyUidPath({100, 101, 103}).error().code(), ErrorCode::kOutOfRange);
+}
+
+TEST_F(VerifierTest, RejectsDownLink) {
+  cache_.db().SetLinkState(101, 2, false);
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  EXPECT_EQ(v.VerifyUidPath({100, 101, 103}).error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(VerifierTest, PolicyFiltersSwitches) {
+  VerifyPolicy policy;
+  policy.switch_allowed = [](uint64_t uid) { return uid != 101; };
+  PathVerifier v(&cache_.db(), policy);
+  EXPECT_EQ(v.VerifyUidPath({100, 101, 103}).error().code(), ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(v.VerifyUidPath({100, 102, 103}).ok());
+}
+
+TEST_F(VerifierTest, VerifyTagsWalksTopology) {
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  // 1 (100->101), 2 (101->103), 7 (exit to host).
+  EXPECT_TRUE(v.VerifyTags(100, {1, 2, 7}).ok());
+  // A tag crossing a down link fails.
+  cache_.db().SetLinkState(100, 1, false);
+  EXPECT_FALSE(v.VerifyTags(100, {1, 2, 7}).ok());
+}
+
+TEST_F(VerifierTest, VerifyTagsRejectsSpecials) {
+  PathVerifier v(&cache_.db(), VerifyPolicy{});
+  EXPECT_FALSE(v.VerifyTags(100, {kIdQueryTag, 1, 7}).ok());
+  EXPECT_FALSE(v.VerifyTags(100, {1, kPathEndTag, 7}).ok());
+}
+
+// --- HostAgent basics (no controller) ------------------------------------------------
+
+TEST(HostAgentTest, TransitProbeGetsReply) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  TestFabric fabric(std::move(tb.value().topo));
+  HostAgent& prober = fabric.agent(25);
+
+  std::vector<Packet> events;
+  prober.SetProbeEventHandler([&](const Packet& pkt) { events.push_back(pkt); });
+
+  // Host-probe the port of agent 0 (both agents share leaf 0): path is
+  // [H0's port] with return tags [prober's port].
+  PortNum h0_port = fabric.topo().HostUplink(0).value().port;
+  PortNum my_port = fabric.topo().HostUplink(25).value().port;
+  prober.SendTags({h0_port, my_port}, kBroadcastMac,
+                  ProbePayload{1, prober.mac(), {h0_port, my_port, kPathEndTag}});
+  fabric.sim().Run();
+
+  ASSERT_EQ(events.size(), 1u);
+  const auto* reply = events[0].As<ProbeReplyPayload>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->responder_mac, fabric.agent(0).mac());
+  EXPECT_EQ(reply->reply_path, (TagList{my_port, kPathEndTag}));
+  EXPECT_EQ(fabric.agent(0).stats().probes_replied, 1u);
+}
+
+TEST(HostAgentTest, UnbootstrappedSendQueues) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  TestFabric fabric(std::move(tb.value().topo));
+  EXPECT_TRUE(fabric.agent(0).Send(fabric.agent(1).mac(), 1, DataPayload{}).ok());
+  fabric.sim().Run();
+  EXPECT_EQ(fabric.agent(0).stats().data_blocked, 1u);
+  EXPECT_EQ(fabric.agent(1).stats().data_received, 0u);
+}
+
+TEST(HostAgentTest, SendOnPathVerifies) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  auto spines = tb.value().spines;
+  auto leaves = tb.value().leaves;
+  TestFabric fabric(std::move(tb.value().topo));
+  fabric.BringUpAdopted(25);
+
+  HostAgent& src = fabric.agent(0);    // on leaf0
+  HostAgent& dst = fabric.agent(12);   // on leaf2
+  int received = 0;
+  dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
+
+  // Pull the topology into src's cache first (one normal send).
+  ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
+  fabric.sim().Run();
+  ASSERT_EQ(received, 1);
+
+  uint64_t leaf0 = fabric.topo().switch_at(leaves[0]).uid;
+  uint64_t spine1 = fabric.topo().switch_at(spines[1]).uid;
+  uint64_t leaf2 = fabric.topo().switch_at(leaves[2]).uid;
+  // A valid explicit route via spine 1.
+  EXPECT_TRUE(src.SendOnPath(dst.mac(), {leaf0, spine1, leaf2}, DataPayload{}).ok());
+  // A bogus explicit route (no leaf0-leaf2 link) is rejected by the verifier.
+  EXPECT_FALSE(src.SendOnPath(dst.mac(), {leaf0, leaf2}, DataPayload{}).ok());
+  fabric.sim().Run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(src.stats().verify_failures, 1u);
+}
+
+}  // namespace
+}  // namespace dumbnet

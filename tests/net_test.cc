@@ -1,0 +1,161 @@
+// Tests of the packet model and the simulated network fabric (links, queues,
+// drops, timing, port-change notifications).
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/net/packet.h"
+
+namespace dumbnet {
+namespace {
+
+TEST(PacketTest, WireSizeAccounting) {
+  Packet pkt = MakeDumbNetPacket(1, 2, {1, 2, 3}, DataPayload{0, 0, 0, false, 1000});
+  // 14 eth + 4 tags (3 + ø) + 1000 payload.
+  EXPECT_EQ(pkt.WireSize(), 14 + 4 + 1000);
+  EXPECT_EQ(pkt.tags.back(), kPathEndTag);
+
+  Packet eth = MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, false, 500});
+  EXPECT_EQ(eth.WireSize(), 14 + 500);
+  EXPECT_TRUE(eth.tags.empty());
+}
+
+TEST(PacketTest, ControlPayloadSizesScaleWithContent) {
+  WirePathGraph small;
+  small.links.resize(2);
+  WirePathGraph big;
+  big.links.resize(50);
+  Packet a = MakeDumbNetPacket(1, 2, {1},
+                               PathResponsePayload{2, {}, std::make_shared<WirePathGraph>(small)});
+  Packet b = MakeDumbNetPacket(1, 2, {1},
+                               PathResponsePayload{2, {}, std::make_shared<WirePathGraph>(big)});
+  EXPECT_GT(b.WireSize(), a.WireSize());
+}
+
+TEST(PacketTest, DescribeNamesPayloads) {
+  Packet pkt = MakeDumbNetPacket(1, 2, {3}, ProbePayload{});
+  EXPECT_NE(pkt.Describe().find("probe"), std::string::npos);
+  Packet ack = MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, true, 64});
+  EXPECT_NE(ack.Describe().find("ack"), std::string::npos);
+}
+
+TEST(PacketTest, AsReturnsTypedPayload) {
+  Packet pkt = MakeDumbNetPacket(1, 2, {3}, IdReplyPayload{7, 99});
+  ASSERT_NE(pkt.As<IdReplyPayload>(), nullptr);
+  EXPECT_EQ(pkt.As<IdReplyPayload>()->switch_uid, 99u);
+  EXPECT_EQ(pkt.As<DataPayload>(), nullptr);
+}
+
+// One link between two registered sink nodes.
+class NetFixture : public ::testing::Test {
+ protected:
+  class Sink : public NetNode {
+   public:
+    void HandlePacket(const Packet& pkt, PortNum in_port) override {
+      packets.push_back({pkt, in_port});
+      arrival_times.push_back(sim_->Now());
+    }
+    void HandlePortChange(PortNum port, bool up) override {
+      port_changes.push_back({port, up});
+    }
+    Simulator* sim_ = nullptr;
+    std::vector<std::pair<Packet, PortNum>> packets;
+    std::vector<TimeNs> arrival_times;
+    std::vector<std::pair<PortNum, bool>> port_changes;
+  };
+
+  void SetUp() override {
+    s0_ = topo_.AddSwitch(4);
+    s1_ = topo_.AddSwitch(4);
+    li_ = topo_.ConnectSwitches(s0_, 1, s1_, 2, /*bandwidth_gbps=*/10.0).value();
+    net_ = std::make_unique<Network>(&sim_, &topo_);
+    sink0_.sim_ = &sim_;
+    sink1_.sim_ = &sim_;
+    net_->RegisterSwitchNode(s0_, &sink0_);
+    net_->RegisterSwitchNode(s1_, &sink1_);
+  }
+
+  Topology topo_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  uint32_t s0_ = 0, s1_ = 0;
+  LinkIndex li_ = 0;
+  Sink sink0_, sink1_;
+};
+
+TEST_F(NetFixture, DeliversWithSerializationAndPropagation) {
+  Packet pkt = MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, false, 1186});
+  // wire = 14 + 1186 = 1200 bytes @10 Gbps = 960 ns + 500 ns propagation.
+  net_->SendFromSwitch(s0_, 1, pkt);
+  sim_.Run();
+  ASSERT_EQ(sink1_.packets.size(), 1u);
+  EXPECT_EQ(sink1_.packets[0].second, 2);  // arrives on S1 port 2
+  EXPECT_EQ(sink1_.arrival_times[0], 960 + 500);
+}
+
+TEST_F(NetFixture, BackToBackPacketsQueue) {
+  for (int i = 0; i < 3; ++i) {
+    net_->SendFromSwitch(s0_, 1,
+                         MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, false, 1186}));
+  }
+  sim_.Run();
+  ASSERT_EQ(sink1_.packets.size(), 3u);
+  // Serialization spaces arrivals by exactly one transmit time (960 ns).
+  EXPECT_EQ(sink1_.arrival_times[1] - sink1_.arrival_times[0], 960);
+  EXPECT_EQ(sink1_.arrival_times[2] - sink1_.arrival_times[1], 960);
+}
+
+TEST_F(NetFixture, QueueOverflowDrops) {
+  NetworkConfig config;
+  config.queue_capacity_bytes = 3000;  // fits two 1200-byte frames only
+  net_ = std::make_unique<Network>(&sim_, &topo_, config);
+  net_->RegisterSwitchNode(s1_, &sink1_);
+  for (int i = 0; i < 5; ++i) {
+    net_->SendFromSwitch(s0_, 1,
+                         MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, false, 1186}));
+  }
+  sim_.Run();
+  EXPECT_EQ(sink1_.packets.size(), 2u);
+  EXPECT_EQ(net_->stats().dropped_queue_full, 3u);
+}
+
+TEST_F(NetFixture, DownLinkDropsAndNotifies) {
+  topo_.SetLinkUp(li_, false);
+  net_->SendFromSwitch(s0_, 1, MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{}));
+  sim_.Run();
+  EXPECT_TRUE(sink1_.packets.empty());
+  EXPECT_EQ(net_->stats().dropped_link_down, 1u);
+  // Both endpoints heard the port change after the detection delay.
+  ASSERT_EQ(sink0_.port_changes.size(), 1u);
+  ASSERT_EQ(sink1_.port_changes.size(), 1u);
+  EXPECT_EQ(sink0_.port_changes[0], (std::pair<PortNum, bool>{1, false}));
+  EXPECT_EQ(sink1_.port_changes[0], (std::pair<PortNum, bool>{2, false}));
+}
+
+TEST_F(NetFixture, UnwiredPortCountsDrop) {
+  net_->SendFromSwitch(s0_, 3, MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{}));
+  sim_.Run();
+  EXPECT_EQ(net_->stats().dropped_unwired, 1u);
+}
+
+TEST_F(NetFixture, QueueBacklogVisible) {
+  for (int i = 0; i < 4; ++i) {
+    net_->SendFromSwitch(s0_, 1,
+                         MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{0, 0, 0, false, 1186}));
+  }
+  // Before any virtual time passes, all four frames are queued.
+  EXPECT_EQ(net_->QueueBacklog(li_, NodeId::Switch(s0_)), 4 * 1200);
+  EXPECT_EQ(net_->QueueBacklog(li_, NodeId::Switch(s1_)), 0);  // other direction idle
+  sim_.Run();
+  EXPECT_EQ(net_->QueueBacklog(li_, NodeId::Switch(s0_)), 0);
+}
+
+TEST_F(NetFixture, BothDirectionsIndependent) {
+  net_->SendFromSwitch(s0_, 1, MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{}));
+  net_->SendFromSwitch(s1_, 2, MakeEthernetPacket(2, 1, kEtherTypeIpv4, DataPayload{}));
+  sim_.Run();
+  EXPECT_EQ(sink0_.packets.size(), 1u);
+  EXPECT_EQ(sink1_.packets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dumbnet

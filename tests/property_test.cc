@@ -1,0 +1,216 @@
+// Randomized property tests: routing algorithms checked against brute force on
+// small random graphs, and discovery checked for exactness on random irregular
+// topologies (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/ctrl/discovery.h"
+#include "src/routing/graph.h"
+#include "src/routing/path_graph.h"
+#include "src/routing/shortest_path.h"
+#include "src/topo/generators.h"
+#include "src/util/rng.h"
+#include "tests/test_fabric.h"
+
+namespace dumbnet {
+namespace {
+
+// Random connected topology: n switches, random extra edges beyond a spanning tree.
+Topology RandomTopology(uint64_t seed, uint32_t n, uint32_t extra_edges) {
+  Rng rng(seed);
+  Topology topo;
+  std::vector<uint8_t> used_ports(n, 0);
+  std::set<std::pair<uint32_t, uint32_t>> adjacent;  // no parallel edges: the
+  // brute-force path enumerator below works on vertex sequences, like Yen
+  for (uint32_t i = 0; i < n; ++i) {
+    topo.AddSwitch(kMaxPorts);
+  }
+  auto connect = [&](uint32_t a, uint32_t b) {
+    if (a == b || adjacent.count({std::min(a, b), std::max(a, b)}) > 0) {
+      return false;
+    }
+    auto r = topo.ConnectSwitches(a, static_cast<PortNum>(used_ports[a] + 1), b,
+                                  static_cast<PortNum>(used_ports[b] + 1));
+    if (r.ok()) {
+      ++used_ports[a];
+      ++used_ports[b];
+      adjacent.insert({std::min(a, b), std::max(a, b)});
+      return true;
+    }
+    return false;
+  };
+  // Spanning tree first.
+  for (uint32_t i = 1; i < n; ++i) {
+    connect(i, static_cast<uint32_t>(rng.UniformInt(i)));
+  }
+  // Random extra edges (parallel edges prevented implicitly by port bumping; loops
+  // rejected by connect()).
+  for (uint32_t e = 0; e < extra_edges; ++e) {
+    connect(static_cast<uint32_t>(rng.UniformInt(n)), static_cast<uint32_t>(rng.UniformInt(n)));
+  }
+  return topo;
+}
+
+// All simple paths between two vertices (for brute-force k-SP comparison).
+void AllPathsDfs(const SwitchGraph& g, uint32_t u, uint32_t dst, std::vector<bool>& visited,
+                 SwitchPath& current, std::vector<SwitchPath>& out) {
+  if (u == dst) {
+    out.push_back(current);
+    return;
+  }
+  visited[u] = true;
+  for (const AdjEdge& e : g.Neighbors(u)) {
+    if (!visited[e.to]) {
+      current.push_back(e.to);
+      AllPathsDfs(g, e.to, dst, visited, current, out);
+      current.pop_back();
+    }
+  }
+  visited[u] = false;
+}
+
+class RoutingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoutingPropertyTest, YenMatchesBruteForce) {
+  Topology topo = RandomTopology(GetParam(), 7, 6);
+  SwitchGraph g(topo);
+  Rng pick(GetParam() ^ 0xABC);
+  for (int trial = 0; trial < 4; ++trial) {
+    uint32_t src = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+    uint32_t dst = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+    if (src == dst) {
+      continue;
+    }
+    std::vector<SwitchPath> all;
+    std::vector<bool> visited(topo.switch_count(), false);
+    SwitchPath current{src};
+    AllPathsDfs(g, src, dst, visited, current, all);
+    ASSERT_FALSE(all.empty());
+    std::vector<size_t> lengths;
+    for (const SwitchPath& p : all) {
+      lengths.push_back(p.size());
+    }
+    std::sort(lengths.begin(), lengths.end());
+
+    uint32_t k = static_cast<uint32_t>(std::min<size_t>(all.size(), 5));
+    auto yen = KShortestPaths(g, src, dst, k);
+    ASSERT_TRUE(yen.ok());
+    ASSERT_EQ(yen.value().size(), k) << "Yen found fewer paths than exist";
+    for (uint32_t i = 0; i < k; ++i) {
+      EXPECT_EQ(yen.value()[i].size(), lengths[i])
+          << "seed=" << GetParam() << " src=" << src << " dst=" << dst << " i=" << i;
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, ShortestPathMatchesBfsDistance) {
+  Topology topo = RandomTopology(GetParam() * 31 + 7, 12, 10);
+  SwitchGraph g(topo);
+  auto dist = BfsDistances(g, 0);
+  for (uint32_t v = 1; v < topo.switch_count(); ++v) {
+    auto path = ShortestPath(g, 0, v);
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ(path.value().size(), dist[v] + 1);
+  }
+}
+
+TEST_P(RoutingPropertyTest, PathGraphAlwaysRoutableWithinItself) {
+  Topology topo = RandomTopology(GetParam() * 131 + 3, 15, 14);
+  SwitchGraph g(topo);
+  Rng pick(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    uint32_t src = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+    uint32_t dst = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+    if (src == dst) {
+      continue;
+    }
+    PathGraphParams params;
+    params.s = 2;
+    params.epsilon = static_cast<uint32_t>(pick.UniformInt(3));
+    auto pg = BuildPathGraph(topo, g, src, dst, params);
+    ASSERT_TRUE(pg.ok());
+    // The induced subgraph must route src -> dst at primary length.
+    SwitchGraph sub(topo, pg.value().links);
+    auto inner = ShortestPath(sub, src, dst);
+    ASSERT_TRUE(inner.ok());
+    EXPECT_EQ(inner.value().size(), pg.value().primary.size());
+  }
+}
+
+TEST_P(RoutingPropertyTest, TagCompilationWalksRealLinks) {
+  Topology topo = RandomTopology(GetParam() * 17 + 1, 10, 8);
+  SwitchGraph g(topo);
+  Rng pick(GetParam() ^ 0x7711);
+  uint32_t src = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+  uint32_t dst = static_cast<uint32_t>(pick.UniformInt(topo.switch_count()));
+  if (src == dst) {
+    dst = (dst + 1) % static_cast<uint32_t>(topo.switch_count());
+  }
+  auto path = ShortestPath(g, src, dst);
+  ASSERT_TRUE(path.ok());
+  auto tags = CompileSwitchTags(topo, path.value());
+  ASSERT_TRUE(tags.ok());
+  // Walking the tags through the real topology must retrace the path.
+  uint32_t cur = src;
+  for (size_t i = 0; i < tags.value().size(); ++i) {
+    auto peer = topo.PeerOf(cur, tags.value()[i]);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE(peer.value().node.is_switch());
+    cur = peer.value().node.index;
+    EXPECT_EQ(cur, path.value()[i + 1]);
+  }
+  EXPECT_EQ(cur, dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- Discovery on random irregular fabrics ------------------------------------------
+
+class DiscoveryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiscoveryPropertyTest, ExactOnRandomJellyfish) {
+  JellyfishConfig config;
+  config.num_switches = 10;
+  config.switch_ports = 10;
+  config.network_degree = 4;
+  config.hosts_per_switch = 1;
+  config.seed = GetParam();
+  auto jf = MakeJellyfish(config);
+  ASSERT_TRUE(jf.ok());
+  if (!jf.value().topo.IsConnected()) {
+    GTEST_SKIP() << "random draw disconnected";
+  }
+  TestFabric fabric(std::move(jf.value().topo));
+  DiscoveryConfig discovery_config;
+  discovery_config.max_ports = 10;
+  discovery_config.pm_send_cost = Us(1);
+  discovery_config.pm_recv_cost = Us(1);
+  discovery_config.probe_timeout = Ms(20);
+  DiscoveryService discovery(&fabric.agent(0), discovery_config);
+  discovery.Start(nullptr);
+  fabric.sim().Run();
+
+  ASSERT_TRUE(discovery.complete());
+  EXPECT_EQ(discovery.db().switch_count(), fabric.topo().switch_count());
+  EXPECT_EQ(discovery.db().host_count(), fabric.topo().host_count());
+  for (LinkIndex li = 0; li < fabric.topo().link_count(); ++li) {
+    const Link& l = fabric.topo().link_at(li);
+    if (!l.a.node.is_switch() || !l.b.node.is_switch()) {
+      continue;
+    }
+    WireLink wl{fabric.topo().switch_at(l.a.node.index).uid, l.a.port,
+                fabric.topo().switch_at(l.b.node.index).uid, l.b.port};
+    WireLink rev{wl.uid_b, wl.port_b, wl.uid_a, wl.port_a};
+    EXPECT_TRUE(discovery.db().HasLink(wl) || discovery.db().HasLink(rev))
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace dumbnet

@@ -1,0 +1,106 @@
+// Tests of the replicated topology log (the ZooKeeper stand-in).
+#include "src/ctrl/replicated_log.h"
+
+#include <gtest/gtest.h>
+
+namespace dumbnet {
+namespace {
+
+TopoEvent LinkDown(uint64_t a, PortNum pa, uint64_t b, PortNum pb) {
+  TopoEvent ev;
+  ev.kind = TopoEvent::Kind::kLinkDown;
+  ev.link = WireLink{a, pa, b, pb};
+  return ev;
+}
+
+TopoEvent LinkAdded(uint64_t a, PortNum pa, uint64_t b, PortNum pb) {
+  TopoEvent ev;
+  ev.kind = TopoEvent::Kind::kLinkAdded;
+  ev.link = WireLink{a, pa, b, pb};
+  return ev;
+}
+
+TEST(ReplicatedLogTest, CommitsAtMajority) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{3, Us(100)});
+  uint64_t committed = 0;
+  log.Append(LinkAdded(1, 1, 2, 1), [&](uint64_t idx) { committed = idx; });
+  EXPECT_EQ(committed, 0u);  // not yet: followers must ack
+  sim.Run();
+  EXPECT_EQ(committed, 1u);
+  EXPECT_EQ(log.committed_index(), 1u);
+}
+
+TEST(ReplicatedLogTest, ReplicasConvergeInOrder) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{3, Us(100)});
+  for (int i = 0; i < 5; ++i) {
+    log.Append(LinkAdded(1, static_cast<PortNum>(i + 1), 2, 1));
+  }
+  sim.Run();
+  for (size_t r = 0; r < log.num_replicas(); ++r) {
+    ASSERT_EQ(log.ReplicaLog(r).size(), 5u) << "replica " << r;
+    EXPECT_EQ(log.ReplicaLog(r), log.ReplicaLog(0));
+  }
+}
+
+TEST(ReplicatedLogTest, ToleratesMinorityFailure) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{3, Us(100)});
+  log.SetReplicaAlive(2, false);
+  bool committed = false;
+  log.Append(LinkAdded(1, 1, 2, 1), [&](uint64_t) { committed = true; });
+  sim.Run();
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(log.HasQuorum());
+  EXPECT_TRUE(log.ReplicaLog(2).empty());
+}
+
+TEST(ReplicatedLogTest, MajorityFailureBlocksCommit) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{5, Us(100)});
+  log.SetReplicaAlive(1, false);
+  log.SetReplicaAlive(2, false);
+  log.SetReplicaAlive(3, false);
+  EXPECT_FALSE(log.HasQuorum());
+  bool committed = false;
+  log.Append(LinkAdded(1, 1, 2, 1), [&](uint64_t) { committed = true; });
+  sim.Run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(log.committed_index(), 0u);
+}
+
+TEST(ReplicatedLogTest, StandbyRebuildsTopologyFromLog) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{3, Us(100)});
+  log.Append(LinkAdded(10, 1, 11, 1));
+  log.Append(LinkAdded(11, 2, 12, 1));
+  log.Append(LinkDown(10, 1, 11, 1));
+  TopoEvent host;
+  host.kind = TopoEvent::Kind::kHostMoved;
+  host.host = HostLocation{77, 12, 5};
+  log.Append(host);
+  sim.Run();
+
+  TopoDb standby;
+  ReplicatedLog::ApplyTo(log.ReplicaLog(1), standby);
+  EXPECT_EQ(standby.switch_count(), 3u);
+  EXPECT_TRUE(standby.LocateHost(77).ok());
+  // The downed link must be down in the rebuilt mirror.
+  auto idx = standby.IndexOf(10);
+  ASSERT_TRUE(idx.ok());
+  LinkIndex li = standby.mirror().LinkAtPort(idx.value(), 1);
+  ASSERT_NE(li, kInvalidLink);
+  EXPECT_FALSE(standby.mirror().link_at(li).up);
+}
+
+TEST(ReplicatedLogTest, SingleReplicaCommitsImmediately) {
+  Simulator sim;
+  ReplicatedLog log(&sim, ReplicatedLogConfig{1, Us(100)});
+  bool committed = false;
+  log.Append(LinkAdded(1, 1, 2, 1), [&](uint64_t) { committed = true; });
+  EXPECT_TRUE(committed);
+}
+
+}  // namespace
+}  // namespace dumbnet

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/routing/graph.h"
+#include "src/routing/path_graph.h"
+#include "src/routing/shortest_path.h"
+#include "src/routing/tags.h"
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+// A small diamond: 0 - {1,2} - 3, plus a long way around 0-4-5-3.
+Topology Diamond() {
+  Topology t;
+  for (int i = 0; i < 6; ++i) {
+    t.AddSwitch(8);
+  }
+  EXPECT_TRUE(t.ConnectSwitches(0, 1, 1, 1).ok());
+  EXPECT_TRUE(t.ConnectSwitches(0, 2, 2, 1).ok());
+  EXPECT_TRUE(t.ConnectSwitches(1, 2, 3, 1).ok());
+  EXPECT_TRUE(t.ConnectSwitches(2, 2, 3, 2).ok());
+  EXPECT_TRUE(t.ConnectSwitches(0, 3, 4, 1).ok());
+  EXPECT_TRUE(t.ConnectSwitches(4, 2, 5, 1).ok());
+  EXPECT_TRUE(t.ConnectSwitches(5, 2, 3, 3).ok());
+  return t;
+}
+
+TEST(BfsTest, Distances) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_EQ(dist[4], 1u);
+  EXPECT_EQ(dist[5], 2u);
+}
+
+TEST(BfsTest, UnreachableIsMax) {
+  Topology t;
+  t.AddSwitch(4);
+  t.AddSwitch(4);
+  SwitchGraph g(t);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], UINT32_MAX);
+}
+
+TEST(ShortestPathTest, FindsMinHops) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  auto path = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().size(), 3u);
+  EXPECT_EQ(path.value().front(), 0u);
+  EXPECT_EQ(path.value().back(), 3u);
+}
+
+TEST(ShortestPathTest, DownLinksExcluded) {
+  Topology t = Diamond();
+  // Kill both short middle links; only the long way remains.
+  t.SetLinkUp(t.LinkAtPort(1, 2), false);
+  t.SetLinkUp(t.LinkAtPort(2, 2), false);
+  SwitchGraph g(t);
+  auto path = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value(), (SwitchPath{0, 4, 5, 3}));
+}
+
+TEST(ShortestPathTest, UnreachableErrors) {
+  Topology t;
+  t.AddSwitch(4);
+  t.AddSwitch(4);
+  SwitchGraph g(t);
+  EXPECT_EQ(ShortestPath(g, 0, 1).error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ShortestPathTest, RandomTieBreakSpreadsOverEcmp) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  Rng rng(3);
+  std::set<SwitchPath> seen;
+  for (int i = 0; i < 64; ++i) {
+    auto path = ShortestPath(g, 0, 3, &rng);
+    ASSERT_TRUE(path.ok());
+    seen.insert(path.value());
+  }
+  // Both 0-1-3 and 0-2-3 must appear.
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(KspTest, OrderedUniqueSimplePaths) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  auto paths = KShortestPaths(g, 0, 3, 5);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_GE(paths.value().size(), 3u);
+  std::set<SwitchPath> unique(paths.value().begin(), paths.value().end());
+  EXPECT_EQ(unique.size(), paths.value().size());
+  double prev = 0;
+  for (const SwitchPath& p : paths.value()) {
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 3u);
+    // Simple: no vertex repeats.
+    std::set<uint32_t> verts(p.begin(), p.end());
+    EXPECT_EQ(verts.size(), p.size());
+    double cost = PathCost(g, p).value();
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+  // The two 2-hop paths come first, the 3-hop detour third.
+  EXPECT_EQ(paths.value()[0].size(), 3u);
+  EXPECT_EQ(paths.value()[1].size(), 3u);
+  EXPECT_EQ(paths.value()[2].size(), 4u);
+}
+
+TEST(KspTest, FatTreeEcmpCount) {
+  FatTreeConfig config;
+  config.k = 4;
+  config.attach_hosts = false;
+  auto ft = MakeFatTree(config);
+  ASSERT_TRUE(ft.ok());
+  SwitchGraph g(ft.value().topo);
+  // Between two edge switches in different pods there are exactly (k/2)^2 = 4
+  // shortest 5-switch paths.
+  auto paths = KShortestPaths(g, ft.value().edge[0], ft.value().edge[7], 8);
+  ASSERT_TRUE(paths.ok());
+  size_t minimal = 0;
+  for (const SwitchPath& p : paths.value()) {
+    if (p.size() == 5) {
+      ++minimal;
+    }
+  }
+  EXPECT_EQ(minimal, 4u);
+}
+
+TEST(TagsTest, CompileAndFormat) {
+  Topology t = Diamond();
+  uint32_t h0 = t.AddHost();
+  uint32_t h1 = t.AddHost();
+  ASSERT_TRUE(t.AttachHost(h0, 0, 5).ok());
+  ASSERT_TRUE(t.AttachHost(h1, 3, 5).ok());
+  auto tags = CompilePathTags(t, h0, {0, 1, 3}, h1);
+  ASSERT_TRUE(tags.ok());
+  // 0 exits to 1 via port 1; 1 exits to 3 via port 2; 3 reaches h1 via port 5.
+  EXPECT_EQ(tags.value(), (TagList{1, 2, 5}));
+  EXPECT_EQ(TagsToString(tags.value()), "1-2-5-\xC3\xB8");
+}
+
+TEST(TagsTest, RejectsMismatchedEndpoints) {
+  Topology t = Diamond();
+  uint32_t h0 = t.AddHost();
+  uint32_t h1 = t.AddHost();
+  ASSERT_TRUE(t.AttachHost(h0, 0, 5).ok());
+  ASSERT_TRUE(t.AttachHost(h1, 3, 5).ok());
+  EXPECT_FALSE(CompilePathTags(t, h0, {1, 3}, h1).ok());    // wrong start
+  EXPECT_FALSE(CompilePathTags(t, h0, {0, 1}, h1).ok());    // wrong end
+  EXPECT_FALSE(CompilePathTags(t, h0, {0, 3}, h1).ok());    // no direct link
+}
+
+TEST(TagsTest, SkipsDownLinks) {
+  Topology t = Diamond();
+  t.SetLinkUp(t.LinkAtPort(0, 1), false);
+  auto tags = CompileSwitchTags(t, {0, 1});
+  EXPECT_FALSE(tags.ok());
+}
+
+// --- Path graph (Algorithm 1) ------------------------------------------------------
+
+class PathGraphEpsilonTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PathGraphEpsilonTest, InvariantsOnCube) {
+  CubeConfig config;
+  config.dims = {5, 5, 5};
+  config.switch_ports = 16;
+  auto cube = MakeCube(config);
+  ASSERT_TRUE(cube.ok());
+  const Topology& t = cube.value().topo;
+  SwitchGraph g(t);
+
+  PathGraphParams params;
+  params.s = 2;
+  params.epsilon = GetParam();
+  uint32_t src = cube.value().At(0, 0, 0);
+  uint32_t dst = cube.value().At(4, 4, 4);
+  auto pg = BuildPathGraph(t, g, src, dst, params);
+  ASSERT_TRUE(pg.ok());
+
+  // Primary is a shortest path (Manhattan distance = 12 hops -> 13 vertices).
+  EXPECT_EQ(pg.value().primary.size(), 13u);
+  // The subgraph contains primary and backup.
+  std::set<uint32_t> verts(pg.value().vertices.begin(), pg.value().vertices.end());
+  for (uint32_t v : pg.value().primary) {
+    EXPECT_TRUE(verts.count(v)) << "primary vertex missing";
+  }
+  for (uint32_t v : pg.value().backup) {
+    EXPECT_TRUE(verts.count(v)) << "backup vertex missing";
+  }
+  // The induced subgraph is connected and src->dst routable within it.
+  SwitchGraph sub(t, pg.value().links);
+  auto inner = ShortestPath(sub, src, dst);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner.value().size(), 13u);
+  // Subgraph is much smaller than the full topology for small epsilon.
+  if (GetParam() == 0) {
+    EXPECT_LT(pg.value().vertices.size(), t.switch_count() / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, PathGraphEpsilonTest, ::testing::Values(0u, 1u, 2u, 4u));
+
+TEST(PathGraphTest, SizeGrowsWithEpsilon) {
+  CubeConfig config;
+  config.dims = {6, 6, 6};
+  config.switch_ports = 16;
+  auto cube = MakeCube(config);
+  ASSERT_TRUE(cube.ok());
+  const Topology& t = cube.value().topo;
+  SwitchGraph g(t);
+  uint32_t src = cube.value().At(0, 0, 0);
+  uint32_t dst = cube.value().At(5, 5, 5);
+  size_t prev = 0;
+  for (uint32_t eps : {0u, 1u, 2u, 3u}) {
+    PathGraphParams params;
+    params.s = 2;
+    params.epsilon = eps;
+    auto pg = BuildPathGraph(t, g, src, dst, params);
+    ASSERT_TRUE(pg.ok());
+    EXPECT_GE(pg.value().vertices.size(), prev);
+    prev = pg.value().vertices.size();
+  }
+}
+
+TEST(PathGraphTest, BackupAvoidsPrimaryWherePossible) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  PathGraphParams params;
+  auto pg = BuildPathGraph(t, g, 0, 3, params);
+  ASSERT_TRUE(pg.ok());
+  ASSERT_FALSE(pg.value().backup.empty());
+  // Diamond has two disjoint 2-hop routes; backup must not reuse the primary's
+  // middle vertex.
+  ASSERT_EQ(pg.value().primary.size(), 3u);
+  ASSERT_GE(pg.value().backup.size(), 3u);
+  EXPECT_NE(pg.value().primary[1], pg.value().backup[1]);
+}
+
+TEST(PathGraphTest, CountPathsRespectsCap) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  PathGraphParams params;
+  params.epsilon = 4;
+  auto pg = BuildPathGraph(t, g, 0, 3, params);
+  ASSERT_TRUE(pg.ok());
+  uint64_t all = CountPathsInSubgraph(t, pg.value(), 1000);
+  EXPECT_GE(all, 3u);
+  EXPECT_EQ(CountPathsInSubgraph(t, pg.value(), 2), 2u);
+}
+
+TEST(PathGraphTest, SingleVertexPath) {
+  Topology t = Diamond();
+  SwitchGraph g(t);
+  auto pg = BuildPathGraph(t, g, 2, 2, PathGraphParams{});
+  ASSERT_TRUE(pg.ok());
+  EXPECT_EQ(pg.value().primary, (SwitchPath{2}));
+}
+
+}  // namespace
+}  // namespace dumbnet

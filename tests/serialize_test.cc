@@ -1,0 +1,107 @@
+#include "src/topo/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+TEST(SerializeTest, RoundTripsTestbed) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  Topology& original = tb.value().topo;
+  original.SetLinkUp(original.LinkAtPort(tb.value().spines[0], 2), false);
+
+  std::string text = SerializeTopology(original);
+  auto parsed = ParseTopology(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const Topology& copy = parsed.value();
+
+  EXPECT_EQ(copy.switch_count(), original.switch_count());
+  EXPECT_EQ(copy.host_count(), original.host_count());
+  EXPECT_EQ(copy.link_count(), original.link_count());
+  // Per-port wiring identical.
+  for (uint32_t s = 0; s < original.switch_count(); ++s) {
+    for (PortNum p = 1; p <= original.switch_at(s).num_ports; ++p) {
+      auto a = original.PeerOf(s, p);
+      auto b = copy.PeerOf(s, p);
+      ASSERT_EQ(a.ok(), b.ok()) << "S" << s << "-" << int(p);
+      if (a.ok()) {
+        EXPECT_EQ(a.value(), b.value());
+      }
+    }
+  }
+  // Down link state preserved.
+  size_t down_original = 0, down_copy = 0;
+  for (LinkIndex li = 0; li < original.link_count(); ++li) {
+    down_original += original.link_at(li).up ? 0 : 1;
+    down_copy += copy.link_at(li).up ? 0 : 1;
+  }
+  EXPECT_EQ(down_original, 1u);
+  EXPECT_EQ(down_copy, 1u);
+  // Idempotence: serializing the copy yields the same text.
+  EXPECT_EQ(SerializeTopology(copy), text);
+}
+
+TEST(SerializeTest, RoundTripsFatTreeWithBandwidths) {
+  FatTreeConfig config;
+  config.k = 4;
+  config.link_gbps = 25.0;
+  auto ft = MakeFatTree(config);
+  ASSERT_TRUE(ft.ok());
+  auto parsed = ParseTopology(SerializeTopology(ft.value().topo));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().link_count(), ft.value().topo.link_count());
+  EXPECT_DOUBLE_EQ(parsed.value().link_at(0).bandwidth_gbps, 25.0);
+}
+
+TEST(SerializeTest, ParsesHandWrittenFile) {
+  const char* text = R"(# two switches, two hosts
+idspace 3
+switch 4
+switch 4
+host
+host
+link S0 1 S1 1 40 700
+attach H0 S0 2
+attach H1 S1 2 25
+)";
+  auto parsed = ParseTopology(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const Topology& topo = parsed.value();
+  EXPECT_EQ(topo.switch_count(), 2u);
+  EXPECT_EQ(topo.host_count(), 2u);
+  EXPECT_DOUBLE_EQ(topo.link_at(0).bandwidth_gbps, 40.0);
+  EXPECT_EQ(topo.link_at(0).propagation_ns, 700);
+  EXPECT_DOUBLE_EQ(topo.link_at(2).bandwidth_gbps, 25.0);
+  // idspace shifts the identifier ranges.
+  Topology plain;
+  plain.AddSwitch(4);
+  EXPECT_NE(topo.switch_at(0).uid, plain.switch_at(0).uid);
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseTopology("switch 0\n").ok());
+  EXPECT_FALSE(ParseTopology("switch 4\nlink S0 1 S9 1\n").ok());
+  EXPECT_FALSE(ParseTopology("frobnicate 1\n").ok());
+  EXPECT_FALSE(ParseTopology("switch 4\nhost\n").ok());  // unattached host
+  EXPECT_FALSE(ParseTopology("switch 4\ndown 5\n").ok());
+  auto err = ParseTopology("switch 4\nswitch 4\nlink S0 9 S1 1\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.error().message().find("line 3"), std::string::npos);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto cube = MakeCube(CubeConfig{{2, 2, 2}, false, 1, 8, 10.0, 0});
+  ASSERT_TRUE(cube.ok());
+  const std::string path = "/tmp/dumbnet_topo_test.txt";
+  ASSERT_TRUE(SaveTopology(cube.value().topo, path).ok());
+  auto loaded = LoadTopology(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().switch_count(), 8u);
+  EXPECT_FALSE(LoadTopology("/nonexistent/nope.txt").ok());
+}
+
+}  // namespace
+}  // namespace dumbnet

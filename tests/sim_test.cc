@@ -1,0 +1,108 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace dumbnet {
+namespace {
+
+TEST(SimulatorTest, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Ms(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Ms(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Ms(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Ms(30));
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(Ms(1), [&] {
+    ++fired;
+    sim.ScheduleAfter(Ms(1), [&] {
+      ++fired;
+      sim.ScheduleAfter(Ms(1), [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), Ms(3));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.ScheduleAfter(Ms(1), [&] { ++fired; });
+  sim.ScheduleAfter(Ms(2), [&] { ++fired; });
+  sim.Cancel(h);
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelAfterRunIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.ScheduleAfter(Ms(1), [] {});
+  sim.Run();
+  sim.Cancel(h);  // must not blow up
+  sim.ScheduleAfter(Ms(1), [] {});
+  EXPECT_EQ(sim.Run(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Ms(5), [&] { ++fired; });
+  sim.ScheduleAt(Ms(15), [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(Ms(10)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Ms(10));  // clock lands exactly on the deadline
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunStepsBounded) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Ms(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.RunSteps(4), 4u);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulatorTest, TimeHelpers) {
+  EXPECT_EQ(Us(1), 1000);
+  EXPECT_EQ(Ms(1), 1000 * 1000);
+  EXPECT_EQ(Sec(1), 1000 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(ToSec(Sec(2)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMs(Ms(3)), 3.0);
+  // 1500 bytes at 10 Gbps = 1.2 us.
+  EXPECT_EQ(TransmitTimeNs(1500, 10.0), 1200);
+}
+
+TEST(SimulatorTest, ManyEventsStress) {
+  Simulator sim;
+  uint64_t fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.ScheduleAt(Us(i % 997), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.Run(), 100000u);
+  EXPECT_EQ(fired, 100000u);
+}
+
+}  // namespace
+}  // namespace dumbnet

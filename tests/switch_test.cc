@@ -1,0 +1,221 @@
+// Unit tests of the dumb switch: tag forwarding, ID queries, alarm suppression,
+// hop-limited notification broadcast.
+#include "src/switch/dumb_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+#include "tests/test_fabric.h"
+
+namespace dumbnet {
+namespace {
+
+// Captures everything delivered to a host.
+class SinkHost : public NetNode {
+ public:
+  SinkHost(Network* net, uint32_t host_index) : net_(net), host_index_(host_index) {
+    net->RegisterHostNode(host_index, this);
+  }
+  void HandlePacket(const Packet& pkt, PortNum) override { received.push_back(pkt); }
+  void Send(Packet pkt) { net_->SendFromHost(host_index_, pkt); }
+
+  std::vector<Packet> received;
+
+ private:
+  Network* net_;
+  uint32_t host_index_;
+};
+
+// Two hosts on a 3-switch line: H0 - S0 - S1 - S2 - H1.
+struct LineFixture {
+  LineFixture() {
+    for (int i = 0; i < 3; ++i) {
+      topo.AddSwitch(8);
+    }
+    topo.ConnectSwitches(0, 1, 1, 1).value();
+    topo.ConnectSwitches(1, 2, 2, 1).value();
+    uint32_t h0 = topo.AddHost();
+    uint32_t h1 = topo.AddHost();
+    topo.AttachHost(h0, 0, 5).value();
+    topo.AttachHost(h1, 2, 5).value();
+    net = std::make_unique<Network>(&sim, &topo);
+    for (uint32_t s = 0; s < 3; ++s) {
+      switches.push_back(std::make_unique<DumbSwitch>(net.get(), s));
+    }
+    hosts.push_back(std::make_unique<SinkHost>(net.get(), 0));
+    hosts.push_back(std::make_unique<SinkHost>(net.get(), 1));
+  }
+
+  Topology topo;
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<DumbSwitch>> switches;
+  std::vector<std::unique_ptr<SinkHost>> hosts;
+};
+
+TEST(DumbSwitchTest, ForwardsByTagsAndConsumesThem) {
+  LineFixture f;
+  Packet pkt = MakeDumbNetPacket(1, 2, {1, 2, 5}, DataPayload{});
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  ASSERT_EQ(f.hosts[1]->received.size(), 1u);
+  // All transit tags consumed; only ø remains.
+  EXPECT_EQ(f.hosts[1]->received[0].tags, (TagList{kPathEndTag}));
+  EXPECT_EQ(f.switches[0]->stats().forwarded, 1u);
+  EXPECT_EQ(f.switches[1]->stats().forwarded, 1u);
+  EXPECT_EQ(f.switches[2]->stats().forwarded, 1u);
+}
+
+TEST(DumbSwitchTest, DropsOnBadPort) {
+  LineFixture f;
+  Packet pkt = MakeDumbNetPacket(1, 2, {7}, DataPayload{});  // port 7 unwired
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  EXPECT_TRUE(f.hosts[1]->received.empty());
+  EXPECT_EQ(f.switches[0]->stats().dropped_port_down, 1u);  // unwired = no signal
+
+  Packet bad = MakeDumbNetPacket(1, 2, {99}, DataPayload{});  // beyond num_ports
+  f.hosts[0]->Send(bad);
+  f.sim.Run();
+  EXPECT_EQ(f.switches[0]->stats().dropped_bad_tag, 1u);
+}
+
+TEST(DumbSwitchTest, DropsWhenPathEndsAtSwitch) {
+  LineFixture f;
+  Packet pkt = MakeDumbNetPacket(1, 2, {1}, DataPayload{});  // ø will hit S1
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  EXPECT_EQ(f.switches[1]->stats().dropped_bad_tag, 1u);
+}
+
+TEST(DumbSwitchTest, DropsOnDownLink) {
+  LineFixture f;
+  f.topo.SetLinkUp(f.topo.LinkAtPort(1, 2), false);
+  Packet pkt = MakeDumbNetPacket(1, 2, {1, 2, 5}, DataPayload{});
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  // Only the port-down broadcast may arrive, never the data packet.
+  for (const Packet& p : f.hosts[1]->received) {
+    EXPECT_EQ(p.As<DataPayload>(), nullptr);
+  }
+  EXPECT_EQ(f.switches[1]->stats().dropped_port_down, 1u);
+}
+
+TEST(DumbSwitchTest, IdQueryRepliesWithUid) {
+  LineFixture f;
+  // 0-5-ø: S0 answers the ID query and routes the reply out port 5 back to H0.
+  Packet pkt = MakeDumbNetPacket(1, kBroadcastMac, {kIdQueryTag, 5},
+                                 ProbePayload{42, 1, {kIdQueryTag, 5, kPathEndTag}});
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  ASSERT_EQ(f.hosts[0]->received.size(), 1u);
+  const auto* reply = f.hosts[0]->received[0].As<IdReplyPayload>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->switch_uid, f.topo.switch_at(0).uid);
+  EXPECT_EQ(reply->probe_id, 42u);
+}
+
+TEST(DumbSwitchTest, MultiHopIdQuery) {
+  LineFixture f;
+  // 1-0-1-5-ø: S0 forwards to S1; S1 replies its ID along 1-5-ø.
+  Packet pkt =
+      MakeDumbNetPacket(1, kBroadcastMac, {1, kIdQueryTag, 1, 5},
+                        ProbePayload{43, 1, {1, kIdQueryTag, 1, 5, kPathEndTag}});
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  ASSERT_EQ(f.hosts[0]->received.size(), 1u);
+  const auto* reply = f.hosts[0]->received[0].As<IdReplyPayload>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->switch_uid, f.topo.switch_at(1).uid);
+}
+
+TEST(DumbSwitchTest, NonDumbNetEtherTypeDropped) {
+  LineFixture f;
+  Packet pkt = MakeEthernetPacket(1, 2, kEtherTypeIpv4, DataPayload{});
+  f.hosts[0]->Send(pkt);
+  f.sim.Run();
+  EXPECT_EQ(f.switches[0]->stats().dropped_foreign, 1u);
+}
+
+TEST(DumbSwitchTest, PortDownBroadcastReachesHosts) {
+  LineFixture f;
+  f.topo.SetLinkUp(f.topo.LinkAtPort(1, 2), false);
+  f.sim.Run();
+  // Both S1 and S2 detect and broadcast; hosts on both sides hear something.
+  auto count_events = [](const std::vector<Packet>& pkts) {
+    int n = 0;
+    for (const Packet& p : pkts) {
+      if (p.As<PortEventPayload>() != nullptr) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GE(count_events(f.hosts[0]->received), 1);
+  EXPECT_GE(count_events(f.hosts[1]->received), 1);
+}
+
+TEST(DumbSwitchTest, BroadcastHopLimitBounds) {
+  // A long line of switches: notification must die after notify_hops hops.
+  Topology topo;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    topo.AddSwitch(8);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    topo.ConnectSwitches(i, 2, i + 1, 1).value();
+  }
+  std::vector<uint32_t> host_ids;
+  for (int i = 0; i < n; ++i) {
+    uint32_t h = topo.AddHost();
+    topo.AttachHost(h, i, 5).value();
+    host_ids.push_back(h);
+  }
+  Simulator sim;
+  Network net(&sim, &topo);
+  DumbSwitchConfig sw_config;
+  sw_config.notify_hops = 3;
+  std::vector<std::unique_ptr<DumbSwitch>> switches;
+  for (int i = 0; i < n; ++i) {
+    switches.push_back(std::make_unique<DumbSwitch>(&net, i, sw_config));
+  }
+  std::vector<std::unique_ptr<SinkHost>> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(std::make_unique<SinkHost>(&net, i));
+  }
+  // Fail the link at the far end (S0-S1).
+  topo.SetLinkUp(topo.LinkAtPort(0, 2), false);
+  sim.Run();
+  auto heard = [&](int i) {
+    for (const Packet& p : hosts[i]->received) {
+      if (p.As<PortEventPayload>() != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(heard(1));
+  EXPECT_TRUE(heard(3));
+  // S1's alarm has 3 hops: reaches hosts on S1..S4 but not S7+.
+  EXPECT_FALSE(heard(7));
+  EXPECT_FALSE(heard(9));
+}
+
+TEST(DumbSwitchTest, AlarmSuppressionLimitsRate) {
+  LineFixture f;
+  LinkIndex li = f.topo.LinkAtPort(1, 2);
+  // Flap the link 10 times within one second.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.ScheduleAt(Ms(10 * i), [&f, li, i] { f.topo.SetLinkUp(li, i % 2 == 0); });
+  }
+  f.sim.RunUntil(Sec(3));
+  // At most 1 initial + trailing alarms per suppression window per endpoint; far
+  // fewer than the 10 state changes.
+  EXPECT_LE(f.switches[1]->stats().notifications_sent, 3u);
+  EXPECT_GT(f.switches[1]->stats().alarms_suppressed, 0u);
+  // The trailing alarm carried the latest state.
+  EXPECT_GE(f.switches[1]->stats().notifications_sent, 2u);
+}
+
+}  // namespace
+}  // namespace dumbnet

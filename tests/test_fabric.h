@@ -1,0 +1,13 @@
+// Shared test fixture: alias of the library's SimulatedFabric assembly.
+#ifndef DUMBNET_TESTS_TEST_FABRIC_H_
+#define DUMBNET_TESTS_TEST_FABRIC_H_
+
+#include "src/core/fabric.h"
+
+namespace dumbnet {
+
+using TestFabric = SimulatedFabric;
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_TESTS_TEST_FABRIC_H_

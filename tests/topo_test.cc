@@ -1,0 +1,228 @@
+#include "src/topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+
+namespace dumbnet {
+namespace {
+
+TEST(TopologyTest, ConnectAndQuery) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t s1 = t.AddSwitch(4);
+  auto li = t.ConnectSwitches(s0, 1, s1, 2);
+  ASSERT_TRUE(li.ok());
+  EXPECT_EQ(t.LinkAtPort(s0, 1), li.value());
+  EXPECT_EQ(t.LinkAtPort(s1, 2), li.value());
+  auto peer = t.PeerOf(s0, 1);
+  ASSERT_TRUE(peer.ok());
+  EXPECT_EQ(peer.value().node.index, s1);
+  EXPECT_EQ(peer.value().port, 2);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TopologyTest, RejectsBadWiring) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t s1 = t.AddSwitch(4);
+  EXPECT_EQ(t.ConnectSwitches(s0, 0, s1, 1).error().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(t.ConnectSwitches(s0, 5, s1, 1).error().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(t.ConnectSwitches(s0, 1, 99, 1).error().code(), ErrorCode::kOutOfRange);
+  ASSERT_TRUE(t.ConnectSwitches(s0, 1, s1, 1).ok());
+  EXPECT_EQ(t.ConnectSwitches(s0, 1, s1, 2).error().code(), ErrorCode::kAlreadyExists);
+  // Self-link forbidden.
+  EXPECT_EQ(t.Connect(Endpoint{NodeId::Switch(s0), 2}, Endpoint{NodeId::Switch(s0), 3})
+                .error()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, HostAttachment) {
+  Topology t;
+  uint32_t sw = t.AddSwitch(4);
+  uint32_t h = t.AddHost();
+  EXPECT_FALSE(t.HostUplink(h).ok());
+  ASSERT_TRUE(t.AttachHost(h, sw, 2).ok());
+  auto up = t.HostUplink(h);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up.value().node.index, sw);
+  EXPECT_EQ(up.value().port, 2);
+  // A host has one NIC.
+  EXPECT_FALSE(t.AttachHost(h, sw, 3).ok());
+}
+
+TEST(TopologyTest, UidAndMacLookups) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t h0 = t.AddHost();
+  ASSERT_TRUE(t.AttachHost(h0, s0, 1).ok());
+  EXPECT_EQ(t.SwitchByUid(t.switch_at(s0).uid).value(), s0);
+  EXPECT_EQ(t.HostByMac(t.host_at(h0).mac).value(), h0);
+  EXPECT_FALSE(t.SwitchByUid(12345).ok());
+  EXPECT_FALSE(t.HostByMac(12345).ok());
+}
+
+TEST(TopologyTest, LinkObserversFire) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t s1 = t.AddSwitch(4);
+  LinkIndex li = t.ConnectSwitches(s0, 1, s1, 1).value();
+  int events = 0;
+  bool last_up = true;
+  t.AddLinkObserver([&](LinkIndex i, bool up) {
+    EXPECT_EQ(i, li);
+    ++events;
+    last_up = up;
+  });
+  t.SetLinkUp(li, false);
+  t.SetLinkUp(li, false);  // idempotent: no event
+  t.SetLinkUp(li, true);
+  EXPECT_EQ(events, 2);
+  EXPECT_TRUE(last_up);
+}
+
+TEST(TopologyTest, DetachLinkFreesPorts) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t s1 = t.AddSwitch(4);
+  uint32_t s2 = t.AddSwitch(4);
+  LinkIndex li = t.ConnectSwitches(s0, 1, s1, 1).value();
+  t.DetachLink(li);
+  EXPECT_TRUE(t.link_at(li).detached);
+  EXPECT_FALSE(t.link_at(li).up);
+  EXPECT_EQ(t.LinkAtPort(s0, 1), kInvalidLink);
+  // Ports are free for rewiring.
+  ASSERT_TRUE(t.ConnectSwitches(s0, 1, s2, 1).ok());
+}
+
+TEST(TopologyTest, ConnectivityCheck) {
+  Topology t;
+  uint32_t s0 = t.AddSwitch(4);
+  uint32_t s1 = t.AddSwitch(4);
+  uint32_t s2 = t.AddSwitch(4);
+  LinkIndex a = t.ConnectSwitches(s0, 1, s1, 1).value();
+  t.ConnectSwitches(s1, 2, s2, 1).value();
+  EXPECT_TRUE(t.IsConnected());
+  t.SetLinkUp(a, false);
+  EXPECT_FALSE(t.IsConnected());
+}
+
+// --- Generators ---------------------------------------------------------------
+
+TEST(GeneratorsTest, PaperTestbedShape) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(tb.value().topo.switch_count(), 7u);
+  EXPECT_EQ(tb.value().topo.host_count(), 27u);
+  EXPECT_EQ(tb.value().topo.InterSwitchLinkCount(), 10u);
+  EXPECT_TRUE(tb.value().topo.Validate().ok());
+  EXPECT_TRUE(tb.value().topo.IsConnected());
+}
+
+class FatTreeParamTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FatTreeParamTest, StructuralInvariants) {
+  uint32_t k = GetParam();
+  FatTreeConfig config;
+  config.k = k;
+  auto ft = MakeFatTree(config);
+  ASSERT_TRUE(ft.ok());
+  const Topology& t = ft.value().topo;
+  EXPECT_EQ(t.switch_count(), 5 * k * k / 4);
+  EXPECT_EQ(t.host_count(), k * k * k / 4);
+  // Inter-switch links: k^3/4 edge-agg + k^3/4 agg-core.
+  EXPECT_EQ(t.InterSwitchLinkCount(), k * k * k / 2);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_EQ(ft.value().core.size(), k * k / 4);
+  EXPECT_EQ(ft.value().aggregation.size(), k * k / 2);
+  EXPECT_EQ(ft.value().edge.size(), k * k / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeParamTest, ::testing::Values(4u, 6u, 8u, 12u));
+
+TEST(GeneratorsTest, FatTreeRejectsOddK) {
+  FatTreeConfig config;
+  config.k = 5;
+  EXPECT_FALSE(MakeFatTree(config).ok());
+}
+
+class CubeParamTest : public ::testing::TestWithParam<std::array<uint32_t, 3>> {};
+
+TEST_P(CubeParamTest, GridInvariants) {
+  auto dims = GetParam();
+  CubeConfig config;
+  config.dims = dims;
+  config.switch_ports = 16;
+  auto cube = MakeCube(config);
+  ASSERT_TRUE(cube.ok());
+  const auto [nx, ny, nz] = dims;
+  const Topology& t = cube.value().topo;
+  EXPECT_EQ(t.switch_count(), nx * ny * nz);
+  // Grid edges: (nx-1)*ny*nz + nx*(ny-1)*nz + nx*ny*(nz-1).
+  size_t expect = (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+  EXPECT_EQ(t.InterSwitchLinkCount(), expect);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.IsConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CubeParamTest,
+                         ::testing::Values(std::array<uint32_t, 3>{2, 2, 2},
+                                           std::array<uint32_t, 3>{3, 3, 3},
+                                           std::array<uint32_t, 3>{4, 2, 3},
+                                           std::array<uint32_t, 3>{1, 5, 5}));
+
+TEST(GeneratorsTest, TorusWrapAddsLinks) {
+  CubeConfig config;
+  config.dims = {4, 4, 4};
+  config.switch_ports = 16;
+  auto grid = MakeCube(config);
+  config.wrap = true;
+  auto torus = MakeCube(config);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(torus.ok());
+  EXPECT_GT(torus.value().topo.InterSwitchLinkCount(),
+            grid.value().topo.InterSwitchLinkCount());
+  // Full 3-D torus: 3 * N links.
+  EXPECT_EQ(torus.value().topo.InterSwitchLinkCount(), 3u * 4 * 4 * 4);
+}
+
+TEST(GeneratorsTest, JellyfishDegreeBounds) {
+  JellyfishConfig config;
+  config.num_switches = 32;
+  config.switch_ports = 12;
+  config.network_degree = 6;
+  config.hosts_per_switch = 2;
+  config.seed = 99;
+  auto jf = MakeJellyfish(config);
+  ASSERT_TRUE(jf.ok());
+  const Topology& t = jf.value().topo;
+  EXPECT_EQ(t.switch_count(), 32u);
+  EXPECT_EQ(t.host_count(), 64u);
+  EXPECT_TRUE(t.Validate().ok());
+  // No switch exceeds its network degree.
+  for (uint32_t s = 0; s < t.switch_count(); ++s) {
+    size_t net_links = 0;
+    for (PortNum p = 1; p <= config.network_degree; ++p) {
+      if (t.LinkAtPort(s, p) != kInvalidLink) {
+        ++net_links;
+      }
+    }
+    EXPECT_LE(net_links, config.network_degree);
+  }
+  // Random regular graphs of this size are connected with overwhelming
+  // probability; the generator should achieve it for this seed.
+  EXPECT_TRUE(t.IsConnected());
+}
+
+TEST(GeneratorsTest, LeafSpinePortBudgetEnforced) {
+  LeafSpineConfig config;
+  config.num_spine = 60;
+  config.hosts_per_leaf = 10;
+  config.switch_ports = 64;
+  EXPECT_FALSE(MakeLeafSpine(config).ok());
+}
+
+}  // namespace
+}  // namespace dumbnet

@@ -1,0 +1,181 @@
+// Tests of the workload generators and the fluid job runner — including the key
+// *property* behind Figure 13: flowlet TE beats a single static path on an
+// oversubscribed leaf-spine.
+#include <gtest/gtest.h>
+
+#include "src/topo/generators.h"
+#include "src/workload/hibench.h"
+#include "src/workload/job_runner.h"
+
+namespace dumbnet {
+namespace {
+
+TEST(TrafficPatternsTest, PermutationIsDerangement) {
+  Rng rng(1);
+  std::vector<uint32_t> hosts{0, 1, 2, 3, 4, 5, 6, 7};
+  auto flows = PermutationTraffic(hosts, 1000, rng);
+  ASSERT_EQ(flows.size(), hosts.size());
+  std::set<uint32_t> dsts;
+  for (const FlowSpec& f : flows) {
+    EXPECT_NE(f.src_host, f.dst_host);
+    dsts.insert(f.dst_host);
+  }
+  EXPECT_EQ(dsts.size(), hosts.size());
+}
+
+TEST(TrafficPatternsTest, AllToAllCount) {
+  auto flows = AllToAllTraffic({0, 1, 2, 3}, 500);
+  EXPECT_EQ(flows.size(), 12u);
+  for (const FlowSpec& f : flows) {
+    EXPECT_EQ(f.bytes, 500);
+  }
+}
+
+TEST(TrafficPatternsTest, IncastTargetsSink) {
+  auto flows = IncastTraffic({0, 1, 2, 3}, 2, 100);
+  EXPECT_EQ(flows.size(), 3u);
+  for (const FlowSpec& f : flows) {
+    EXPECT_EQ(f.dst_host, 2u);
+  }
+}
+
+class HiBenchShapeTest : public ::testing::TestWithParam<HiBenchWorkload> {};
+
+TEST_P(HiBenchShapeTest, JobsAreWellFormed) {
+  Rng rng(3);
+  std::vector<uint32_t> hosts;
+  for (uint32_t i = 0; i < 10; ++i) {
+    hosts.push_back(i);
+  }
+  HiBenchJob job = MakeHiBenchJob(GetParam(), hosts, rng);
+  EXPECT_FALSE(job.stages.empty());
+  double total_bytes = 0;
+  for (const JobStage& stage : job.stages) {
+    for (const FlowSpec& f : stage.flows) {
+      EXPECT_NE(f.src_host, f.dst_host);
+      EXPECT_GT(f.bytes, 0);
+      total_bytes += f.bytes;
+    }
+  }
+  EXPECT_GT(total_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, HiBenchShapeTest,
+                         ::testing::ValuesIn(AllHiBenchWorkloads()),
+                         [](const auto& info) { return HiBenchWorkloadName(info.param); });
+
+TEST(HiBenchShapeTest, TerasortShufflesMoreThanWordcount) {
+  Rng rng(3);
+  std::vector<uint32_t> hosts{0, 1, 2, 3, 4, 5};
+  auto bytes_of = [&](HiBenchWorkload kind) {
+    Rng local(3);
+    HiBenchJob job = MakeHiBenchJob(kind, hosts, local);
+    double total = 0;
+    for (const JobStage& s : job.stages) {
+      for (const FlowSpec& f : s.flows) {
+        total += f.bytes;
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(bytes_of(HiBenchWorkload::kTerasort), 3 * bytes_of(HiBenchWorkload::kWordcount));
+}
+
+// --- FluidJobRunner -------------------------------------------------------------
+
+struct RunnerFixture {
+  RunnerFixture() {
+    LeafSpineConfig config;
+    config.num_spine = 2;
+    config.num_leaf = 3;
+    config.hosts_per_leaf = 4;
+    config.uplink_gbps = 0.5;  // paper Figure 13: spine ports capped at 500 Mbps
+    config.host_gbps = 10.0;
+    auto ls = MakeLeafSpine(config);
+    topo = std::move(ls.value().topo);
+    for (auto& per_leaf : ls.value().hosts) {
+      for (uint32_t h : per_leaf) {
+        hosts.push_back(h);
+      }
+    }
+    fluid = std::make_unique<FluidSimulator>(&sim, &topo);
+  }
+
+  TimeNs RunPolicy(PathPolicy policy, TimeNs flowlet_interval) {
+    Rng rng(11);
+    HiBenchScale scale;
+    scale.unit_bytes = 2e6;
+    scale.compute_scale = 0.05;
+    HiBenchJob job = MakeHiBenchJob(HiBenchWorkload::kTerasort, hosts, rng, scale);
+    JobRunnerConfig config;
+    config.flowlet_interval = flowlet_interval;
+    FluidJobRunner runner(&sim, &topo, fluid.get(), std::move(policy), config);
+    TimeNs duration = 0;
+    runner.RunJob(job, [&](const JobResult& r) { duration = r.duration; });
+    sim.Run();
+    return duration;
+  }
+
+  Topology topo;
+  Simulator sim;
+  std::vector<uint32_t> hosts;
+  std::unique_ptr<FluidSimulator> fluid;
+};
+
+TEST(JobRunnerTest, JobCompletes) {
+  RunnerFixture f;
+  TimeNs d = f.RunPolicy(MakeEcmpPolicy(&f.topo, 4, 1), 0);
+  EXPECT_GT(d, 0);
+}
+
+TEST(JobRunnerTest, StageDurationsSumToJob) {
+  RunnerFixture f;
+  Rng rng(11);
+  HiBenchScale scale;
+  scale.unit_bytes = 1e6;
+  scale.compute_scale = 0.05;
+  HiBenchJob job = MakeHiBenchJob(HiBenchWorkload::kJoin, f.hosts, rng, scale);
+  FluidJobRunner runner(&f.sim, &f.topo, f.fluid.get(), MakeEcmpPolicy(&f.topo, 4, 1));
+  JobResult result;
+  runner.RunJob(job, [&](const JobResult& r) { result = r; });
+  f.sim.Run();
+  ASSERT_EQ(result.stage_durations.size(), job.stages.size());
+  TimeNs sum = 0;
+  for (TimeNs d : result.stage_durations) {
+    sum += d;
+  }
+  EXPECT_EQ(sum, result.duration);
+}
+
+TEST(JobRunnerTest, FlowletTeBeatsSinglePath) {
+  // The Figure 13 property: on an oversubscribed leaf-spine, flowlet TE finishes
+  // the shuffle faster than pinning each host pair to one path.
+  TimeNs te, single;
+  {
+    RunnerFixture f;
+    te = f.RunPolicy(MakeFlowletPolicy(&f.topo, 4, 2), Ms(100));
+  }
+  {
+    RunnerFixture f;
+    single = f.RunPolicy(MakeSinglePathPolicy(&f.topo, 2), 0);
+  }
+  EXPECT_GT(te, 0);
+  EXPECT_GT(single, 0);
+  EXPECT_LT(te, single);
+}
+
+TEST(JobRunnerTest, PoliciesAreDeterministic) {
+  TimeNs a, b;
+  {
+    RunnerFixture f;
+    a = f.RunPolicy(MakeEcmpPolicy(&f.topo, 4, 7), 0);
+  }
+  {
+    RunnerFixture f;
+    b = f.RunPolicy(MakeEcmpPolicy(&f.topo, 4, 7), 0);
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dumbnet

@@ -1,0 +1,155 @@
+// dumbnet_topo: command-line utility for topology files.
+//
+//   dumbnet_topo gen fattree <k> out.topo
+//   dumbnet_topo gen leafspine <spines> <leaves> <hosts_per_leaf> out.topo
+//   dumbnet_topo gen cube <nx> <ny> <nz> out.topo
+//   dumbnet_topo gen jellyfish <switches> <degree> <seed> out.topo
+//   dumbnet_topo info file.topo        # counts, connectivity, degree histogram
+//   dumbnet_topo validate file.topo    # structural invariants
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/topo/generators.h"
+#include "src/topo/serialize.h"
+
+using namespace dumbnet;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dumbnet_topo gen fattree <k> <out>\n"
+               "  dumbnet_topo gen leafspine <spines> <leaves> <hosts_per_leaf> <out>\n"
+               "  dumbnet_topo gen cube <nx> <ny> <nz> <out>\n"
+               "  dumbnet_topo gen jellyfish <switches> <degree> <seed> <out>\n"
+               "  dumbnet_topo info <file>\n"
+               "  dumbnet_topo validate <file>\n");
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  const std::string kind = argv[2];
+  Result<Topology> topo = Error(ErrorCode::kInvalidArgument, "unknown generator");
+  std::string out;
+  if (kind == "fattree" && argc == 5) {
+    FatTreeConfig config;
+    config.k = static_cast<uint32_t>(std::atoi(argv[3]));
+    auto r = MakeFatTree(config);
+    topo = r.ok() ? Result<Topology>(std::move(r.value().topo)) : Result<Topology>(r.error());
+    out = argv[4];
+  } else if (kind == "leafspine" && argc == 7) {
+    LeafSpineConfig config;
+    config.num_spine = static_cast<uint32_t>(std::atoi(argv[3]));
+    config.num_leaf = static_cast<uint32_t>(std::atoi(argv[4]));
+    config.hosts_per_leaf = static_cast<uint32_t>(std::atoi(argv[5]));
+    auto r = MakeLeafSpine(config);
+    topo = r.ok() ? Result<Topology>(std::move(r.value().topo)) : Result<Topology>(r.error());
+    out = argv[6];
+  } else if (kind == "cube" && argc == 7) {
+    CubeConfig config;
+    config.dims = {static_cast<uint32_t>(std::atoi(argv[3])),
+                   static_cast<uint32_t>(std::atoi(argv[4])),
+                   static_cast<uint32_t>(std::atoi(argv[5]))};
+    auto r = MakeCube(config);
+    topo = r.ok() ? Result<Topology>(std::move(r.value().topo)) : Result<Topology>(r.error());
+    out = argv[6];
+  } else if (kind == "jellyfish" && argc == 7) {
+    JellyfishConfig config;
+    config.num_switches = static_cast<uint32_t>(std::atoi(argv[3]));
+    config.network_degree = static_cast<uint8_t>(std::atoi(argv[4]));
+    config.seed = static_cast<uint64_t>(std::atoll(argv[5]));
+    auto r = MakeJellyfish(config);
+    topo = r.ok() ? Result<Topology>(std::move(r.value().topo)) : Result<Topology>(r.error());
+    out = argv[6];
+  } else {
+    return Usage();
+  }
+  if (!topo.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", topo.error().ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveTopology(topo.value(), out); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu switches, %zu hosts, %zu links\n", out.c_str(),
+              topo.value().switch_count(), topo.value().host_count(),
+              topo.value().link_count());
+  return 0;
+}
+
+int Info(const char* path) {
+  auto topo = LoadTopology(path);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "%s\n", topo.error().ToString().c_str());
+    return 1;
+  }
+  const Topology& t = topo.value();
+  std::printf("switches: %zu\nhosts:    %zu\nlinks:    %zu (%zu inter-switch)\n",
+              t.switch_count(), t.host_count(), t.link_count(), t.InterSwitchLinkCount());
+  std::printf("connected fabric: %s\n", t.IsConnected() ? "yes" : "NO");
+  size_t down = 0;
+  for (LinkIndex li = 0; li < t.link_count(); ++li) {
+    down += t.link_at(li).up ? 0 : 1;
+  }
+  std::printf("links down: %zu\n", down);
+  // Degree histogram over wired switch ports.
+  size_t max_degree = 0;
+  std::vector<size_t> degree(t.switch_count(), 0);
+  for (uint32_t s = 0; s < t.switch_count(); ++s) {
+    for (PortNum p = 1; p <= t.switch_at(s).num_ports; ++p) {
+      degree[s] += t.LinkAtPort(s, p) != kInvalidLink ? 1 : 0;
+    }
+    max_degree = std::max(max_degree, degree[s]);
+  }
+  std::vector<size_t> histogram(max_degree + 1, 0);
+  for (size_t d : degree) {
+    ++histogram[d];
+  }
+  std::printf("wired-port degree histogram:\n");
+  for (size_t d = 0; d <= max_degree; ++d) {
+    if (histogram[d] > 0) {
+      std::printf("  %zu ports: %zu switches\n", d, histogram[d]);
+    }
+  }
+  return 0;
+}
+
+int Validate(const char* path) {
+  auto topo = LoadTopology(path);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "%s\n", topo.error().ToString().c_str());
+    return 1;
+  }
+  Status s = topo.value().Validate();
+  if (!s.ok()) {
+    std::fprintf(stderr, "INVALID: %s\n", s.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "gen") == 0) {
+    return Generate(argc, argv);
+  }
+  if (std::strcmp(argv[1], "info") == 0 && argc == 3) {
+    return Info(argv[2]);
+  }
+  if (std::strcmp(argv[1], "validate") == 0 && argc == 3) {
+    return Validate(argv[2]);
+  }
+  return Usage();
+}
