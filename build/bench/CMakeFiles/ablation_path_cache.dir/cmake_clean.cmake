@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_cache.dir/ablation_path_cache.cc.o"
+  "CMakeFiles/ablation_path_cache.dir/ablation_path_cache.cc.o.d"
+  "ablation_path_cache"
+  "ablation_path_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

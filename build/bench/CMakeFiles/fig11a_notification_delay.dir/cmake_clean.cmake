@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_notification_delay.dir/fig11a_notification_delay.cc.o"
+  "CMakeFiles/fig11a_notification_delay.dir/fig11a_notification_delay.cc.o.d"
+  "fig11a_notification_delay"
+  "fig11a_notification_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_notification_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_failover_vs_stp.dir/fig11b_failover_vs_stp.cc.o"
+  "CMakeFiles/fig11b_failover_vs_stp.dir/fig11b_failover_vs_stp.cc.o.d"
+  "fig11b_failover_vs_stp"
+  "fig11b_failover_vs_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_failover_vs_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_failover_vs_stp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hibench.dir/fig13_hibench.cc.o"
+  "CMakeFiles/fig13_hibench.dir/fig13_hibench.cc.o.d"
+  "fig13_hibench"
+  "fig13_hibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

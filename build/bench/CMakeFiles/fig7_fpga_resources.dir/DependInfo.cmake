@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_fpga_resources.cc" "bench/CMakeFiles/fig7_fpga_resources.dir/fig7_fpga_resources.cc.o" "gcc" "bench/CMakeFiles/fig7_fpga_resources.dir/fig7_fpga_resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dumbnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/dumbnet_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dumbnet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/switch/CMakeFiles/dumbnet_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dumbnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dumbnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dumbnet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dumbnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/dumbnet_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/dumbnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/dumbnet_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/dumbnet_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dumbnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dumbnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

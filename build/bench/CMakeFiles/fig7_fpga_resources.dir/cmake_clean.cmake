@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fpga_resources.dir/fig7_fpga_resources.cc.o"
+  "CMakeFiles/fig7_fpga_resources.dir/fig7_fpga_resources.cc.o.d"
+  "fig7_fpga_resources"
+  "fig7_fpga_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fpga_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

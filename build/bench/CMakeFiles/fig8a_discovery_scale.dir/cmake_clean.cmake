@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_discovery_scale.dir/fig8a_discovery_scale.cc.o"
+  "CMakeFiles/fig8a_discovery_scale.dir/fig8a_discovery_scale.cc.o.d"
+  "fig8a_discovery_scale"
+  "fig8a_discovery_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_discovery_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

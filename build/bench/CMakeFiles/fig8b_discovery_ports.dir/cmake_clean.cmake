@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_discovery_ports.dir/fig8b_discovery_ports.cc.o"
+  "CMakeFiles/fig8b_discovery_ports.dir/fig8b_discovery_ports.cc.o.d"
+  "fig8b_discovery_ports"
+  "fig8b_discovery_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_discovery_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_host_throughput.dir/fig9_host_throughput.cc.o"
+  "CMakeFiles/fig9_host_throughput.dir/fig9_host_throughput.cc.o.d"
+  "fig9_host_throughput"
+  "fig9_host_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_host_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

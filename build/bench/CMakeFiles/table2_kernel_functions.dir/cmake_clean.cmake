@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kernel_functions.dir/table2_kernel_functions.cc.o"
+  "CMakeFiles/table2_kernel_functions.dir/table2_kernel_functions.cc.o.d"
+  "table2_kernel_functions"
+  "table2_kernel_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernel_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

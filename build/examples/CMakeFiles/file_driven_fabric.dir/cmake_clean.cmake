@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_driven_fabric.dir/file_driven_fabric.cpp.o"
+  "CMakeFiles/file_driven_fabric.dir/file_driven_fabric.cpp.o.d"
+  "file_driven_fabric"
+  "file_driven_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_driven_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("topo")
+subdirs("routing")
+subdirs("net")
+subdirs("switch")
+subdirs("host")
+subdirs("ctrl")
+subdirs("core")
+subdirs("baseline")
+subdirs("transport")
+subdirs("fluid")
+subdirs("dataplane")
+subdirs("ext")
+subdirs("fpga")
+subdirs("workload")

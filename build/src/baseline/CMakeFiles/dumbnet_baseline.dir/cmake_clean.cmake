@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_baseline.dir/ethernet_switch.cc.o"
+  "CMakeFiles/dumbnet_baseline.dir/ethernet_switch.cc.o.d"
+  "libdumbnet_baseline.a"
+  "libdumbnet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

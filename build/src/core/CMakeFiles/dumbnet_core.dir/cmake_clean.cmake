@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_core.dir/fabric.cc.o"
+  "CMakeFiles/dumbnet_core.dir/fabric.cc.o.d"
+  "libdumbnet_core.a"
+  "libdumbnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

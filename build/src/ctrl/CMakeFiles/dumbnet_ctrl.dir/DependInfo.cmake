@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/controller.cc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/controller.cc.o" "gcc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/controller.cc.o.d"
+  "/root/repo/src/ctrl/discovery.cc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/discovery.cc.o" "gcc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/discovery.cc.o.d"
+  "/root/repo/src/ctrl/replicated_log.cc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/replicated_log.cc.o" "gcc" "src/ctrl/CMakeFiles/dumbnet_ctrl.dir/replicated_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/dumbnet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dumbnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dumbnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dumbnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

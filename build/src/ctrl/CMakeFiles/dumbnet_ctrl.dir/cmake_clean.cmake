@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_ctrl.dir/controller.cc.o"
+  "CMakeFiles/dumbnet_ctrl.dir/controller.cc.o.d"
+  "CMakeFiles/dumbnet_ctrl.dir/discovery.cc.o"
+  "CMakeFiles/dumbnet_ctrl.dir/discovery.cc.o.d"
+  "CMakeFiles/dumbnet_ctrl.dir/replicated_log.cc.o"
+  "CMakeFiles/dumbnet_ctrl.dir/replicated_log.cc.o.d"
+  "libdumbnet_ctrl.a"
+  "libdumbnet_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

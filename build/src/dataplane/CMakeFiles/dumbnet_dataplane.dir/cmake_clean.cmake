@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_dataplane.dir/pipeline.cc.o"
+  "CMakeFiles/dumbnet_dataplane.dir/pipeline.cc.o.d"
+  "libdumbnet_dataplane.a"
+  "libdumbnet_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

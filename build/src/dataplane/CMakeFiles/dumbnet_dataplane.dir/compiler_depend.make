@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dumbnet_dataplane.
+# This may be replaced when dependencies are built.

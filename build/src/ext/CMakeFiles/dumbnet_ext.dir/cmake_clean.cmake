@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_ext.dir/ecn_reroute.cc.o"
+  "CMakeFiles/dumbnet_ext.dir/ecn_reroute.cc.o.d"
+  "CMakeFiles/dumbnet_ext.dir/flowlet.cc.o"
+  "CMakeFiles/dumbnet_ext.dir/flowlet.cc.o.d"
+  "CMakeFiles/dumbnet_ext.dir/l3_router.cc.o"
+  "CMakeFiles/dumbnet_ext.dir/l3_router.cc.o.d"
+  "CMakeFiles/dumbnet_ext.dir/virtualization.cc.o"
+  "CMakeFiles/dumbnet_ext.dir/virtualization.cc.o.d"
+  "libdumbnet_ext.a"
+  "libdumbnet_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

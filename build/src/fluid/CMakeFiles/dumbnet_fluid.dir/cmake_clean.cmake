@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_fluid.dir/fluid_sim.cc.o"
+  "CMakeFiles/dumbnet_fluid.dir/fluid_sim.cc.o.d"
+  "libdumbnet_fluid.a"
+  "libdumbnet_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_fpga.dir/resource_model.cc.o"
+  "CMakeFiles/dumbnet_fpga.dir/resource_model.cc.o.d"
+  "libdumbnet_fpga.a"
+  "libdumbnet_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

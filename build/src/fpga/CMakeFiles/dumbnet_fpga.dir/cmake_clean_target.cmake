@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdumbnet_fpga.a"
+)

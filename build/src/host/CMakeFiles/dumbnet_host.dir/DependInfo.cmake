@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_agent.cc" "src/host/CMakeFiles/dumbnet_host.dir/host_agent.cc.o" "gcc" "src/host/CMakeFiles/dumbnet_host.dir/host_agent.cc.o.d"
+  "/root/repo/src/host/join_prober.cc" "src/host/CMakeFiles/dumbnet_host.dir/join_prober.cc.o" "gcc" "src/host/CMakeFiles/dumbnet_host.dir/join_prober.cc.o.d"
+  "/root/repo/src/host/path_table.cc" "src/host/CMakeFiles/dumbnet_host.dir/path_table.cc.o" "gcc" "src/host/CMakeFiles/dumbnet_host.dir/path_table.cc.o.d"
+  "/root/repo/src/host/path_verifier.cc" "src/host/CMakeFiles/dumbnet_host.dir/path_verifier.cc.o" "gcc" "src/host/CMakeFiles/dumbnet_host.dir/path_verifier.cc.o.d"
+  "/root/repo/src/host/topo_cache.cc" "src/host/CMakeFiles/dumbnet_host.dir/topo_cache.cc.o" "gcc" "src/host/CMakeFiles/dumbnet_host.dir/topo_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dumbnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dumbnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dumbnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

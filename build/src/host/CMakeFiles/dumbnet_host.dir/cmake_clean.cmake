@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_host.dir/host_agent.cc.o"
+  "CMakeFiles/dumbnet_host.dir/host_agent.cc.o.d"
+  "CMakeFiles/dumbnet_host.dir/join_prober.cc.o"
+  "CMakeFiles/dumbnet_host.dir/join_prober.cc.o.d"
+  "CMakeFiles/dumbnet_host.dir/path_table.cc.o"
+  "CMakeFiles/dumbnet_host.dir/path_table.cc.o.d"
+  "CMakeFiles/dumbnet_host.dir/path_verifier.cc.o"
+  "CMakeFiles/dumbnet_host.dir/path_verifier.cc.o.d"
+  "CMakeFiles/dumbnet_host.dir/topo_cache.cc.o"
+  "CMakeFiles/dumbnet_host.dir/topo_cache.cc.o.d"
+  "libdumbnet_host.a"
+  "libdumbnet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_net.dir/network.cc.o"
+  "CMakeFiles/dumbnet_net.dir/network.cc.o.d"
+  "CMakeFiles/dumbnet_net.dir/packet.cc.o"
+  "CMakeFiles/dumbnet_net.dir/packet.cc.o.d"
+  "libdumbnet_net.a"
+  "libdumbnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/graph.cc" "src/routing/CMakeFiles/dumbnet_routing.dir/graph.cc.o" "gcc" "src/routing/CMakeFiles/dumbnet_routing.dir/graph.cc.o.d"
+  "/root/repo/src/routing/path_graph.cc" "src/routing/CMakeFiles/dumbnet_routing.dir/path_graph.cc.o" "gcc" "src/routing/CMakeFiles/dumbnet_routing.dir/path_graph.cc.o.d"
+  "/root/repo/src/routing/shortest_path.cc" "src/routing/CMakeFiles/dumbnet_routing.dir/shortest_path.cc.o" "gcc" "src/routing/CMakeFiles/dumbnet_routing.dir/shortest_path.cc.o.d"
+  "/root/repo/src/routing/tags.cc" "src/routing/CMakeFiles/dumbnet_routing.dir/tags.cc.o" "gcc" "src/routing/CMakeFiles/dumbnet_routing.dir/tags.cc.o.d"
+  "/root/repo/src/routing/topo_db.cc" "src/routing/CMakeFiles/dumbnet_routing.dir/topo_db.cc.o" "gcc" "src/routing/CMakeFiles/dumbnet_routing.dir/topo_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

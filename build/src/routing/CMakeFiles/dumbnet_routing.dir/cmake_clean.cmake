@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_routing.dir/graph.cc.o"
+  "CMakeFiles/dumbnet_routing.dir/graph.cc.o.d"
+  "CMakeFiles/dumbnet_routing.dir/path_graph.cc.o"
+  "CMakeFiles/dumbnet_routing.dir/path_graph.cc.o.d"
+  "CMakeFiles/dumbnet_routing.dir/shortest_path.cc.o"
+  "CMakeFiles/dumbnet_routing.dir/shortest_path.cc.o.d"
+  "CMakeFiles/dumbnet_routing.dir/tags.cc.o"
+  "CMakeFiles/dumbnet_routing.dir/tags.cc.o.d"
+  "CMakeFiles/dumbnet_routing.dir/topo_db.cc.o"
+  "CMakeFiles/dumbnet_routing.dir/topo_db.cc.o.d"
+  "libdumbnet_routing.a"
+  "libdumbnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/dumbnet_sim.dir/simulator.cc.o.d"
+  "libdumbnet_sim.a"
+  "libdumbnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_switch.dir/dumb_switch.cc.o"
+  "CMakeFiles/dumbnet_switch.dir/dumb_switch.cc.o.d"
+  "CMakeFiles/dumbnet_switch.dir/mpls_switch.cc.o"
+  "CMakeFiles/dumbnet_switch.dir/mpls_switch.cc.o.d"
+  "libdumbnet_switch.a"
+  "libdumbnet_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_topo.dir/generators.cc.o"
+  "CMakeFiles/dumbnet_topo.dir/generators.cc.o.d"
+  "CMakeFiles/dumbnet_topo.dir/serialize.cc.o"
+  "CMakeFiles/dumbnet_topo.dir/serialize.cc.o.d"
+  "CMakeFiles/dumbnet_topo.dir/topology.cc.o"
+  "CMakeFiles/dumbnet_topo.dir/topology.cc.o.d"
+  "libdumbnet_topo.a"
+  "libdumbnet_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

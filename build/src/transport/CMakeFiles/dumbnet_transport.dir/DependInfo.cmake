@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/phost.cc" "src/transport/CMakeFiles/dumbnet_transport.dir/phost.cc.o" "gcc" "src/transport/CMakeFiles/dumbnet_transport.dir/phost.cc.o.d"
+  "/root/repo/src/transport/reliable_flow.cc" "src/transport/CMakeFiles/dumbnet_transport.dir/reliable_flow.cc.o" "gcc" "src/transport/CMakeFiles/dumbnet_transport.dir/reliable_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/dumbnet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dumbnet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dumbnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dumbnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dumbnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_transport.dir/phost.cc.o"
+  "CMakeFiles/dumbnet_transport.dir/phost.cc.o.d"
+  "CMakeFiles/dumbnet_transport.dir/reliable_flow.cc.o"
+  "CMakeFiles/dumbnet_transport.dir/reliable_flow.cc.o.d"
+  "libdumbnet_transport.a"
+  "libdumbnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

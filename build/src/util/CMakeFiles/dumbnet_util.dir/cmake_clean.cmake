@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_util.dir/logging.cc.o"
+  "CMakeFiles/dumbnet_util.dir/logging.cc.o.d"
+  "CMakeFiles/dumbnet_util.dir/result.cc.o"
+  "CMakeFiles/dumbnet_util.dir/result.cc.o.d"
+  "CMakeFiles/dumbnet_util.dir/rng.cc.o"
+  "CMakeFiles/dumbnet_util.dir/rng.cc.o.d"
+  "CMakeFiles/dumbnet_util.dir/stats.cc.o"
+  "CMakeFiles/dumbnet_util.dir/stats.cc.o.d"
+  "libdumbnet_util.a"
+  "libdumbnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

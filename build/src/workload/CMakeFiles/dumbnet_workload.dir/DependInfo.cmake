@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/hibench.cc" "src/workload/CMakeFiles/dumbnet_workload.dir/hibench.cc.o" "gcc" "src/workload/CMakeFiles/dumbnet_workload.dir/hibench.cc.o.d"
+  "/root/repo/src/workload/job_runner.cc" "src/workload/CMakeFiles/dumbnet_workload.dir/job_runner.cc.o" "gcc" "src/workload/CMakeFiles/dumbnet_workload.dir/job_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fluid/CMakeFiles/dumbnet_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dumbnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dumbnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dumbnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dumbnet_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

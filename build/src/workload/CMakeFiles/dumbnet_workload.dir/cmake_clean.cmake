@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_workload.dir/hibench.cc.o"
+  "CMakeFiles/dumbnet_workload.dir/hibench.cc.o.d"
+  "CMakeFiles/dumbnet_workload.dir/job_runner.cc.o"
+  "CMakeFiles/dumbnet_workload.dir/job_runner.cc.o.d"
+  "libdumbnet_workload.a"
+  "libdumbnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpls_switch_test.dir/mpls_switch_test.cc.o"
+  "CMakeFiles/mpls_switch_test.dir/mpls_switch_test.cc.o.d"
+  "mpls_switch_test"
+  "mpls_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpls_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phost_test.dir/phost_test.cc.o"
+  "CMakeFiles/phost_test.dir/phost_test.cc.o.d"
+  "phost_test"
+  "phost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_log_test.dir/replicated_log_test.cc.o"
+  "CMakeFiles/replicated_log_test.dir/replicated_log_test.cc.o.d"
+  "replicated_log_test"
+  "replicated_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

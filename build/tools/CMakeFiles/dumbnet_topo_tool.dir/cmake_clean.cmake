@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumbnet_topo_tool.dir/dumbnet_topo.cc.o"
+  "CMakeFiles/dumbnet_topo_tool.dir/dumbnet_topo.cc.o.d"
+  "dumbnet-topo"
+  "dumbnet-topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumbnet_topo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
