@@ -66,7 +66,7 @@ Topology CappedTestbed(std::vector<uint32_t>* leaves) {
 }
 
 template <typename MakeChannelFn>
-Timeline RunFlow(Simulator& sim, Topology& topo, MakeChannelFn&& channels,
+Timeline RunFlow(Simulator& sim, Topology& /*topo*/, MakeChannelFn&& channels,
                  uint64_t dst_mac, std::function<void()> cut) {
   auto [src_channel, dst_channel] = channels();
   ReliableFlowReceiver receiver(dst_channel, /*flow_id=*/1);

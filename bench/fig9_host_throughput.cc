@@ -113,10 +113,10 @@ void AggregateLeafThroughput() {
     Simulator sim;
     Topology topo = ls.value().topo;  // fresh copy per trial
     FluidSimulator fluid(&sim, &topo);
-    Rng rng(1000 + trial);
+    Rng rng(1000u + static_cast<uint64_t>(trial));
     uint32_t leaf0 = ls.value().leaves[0];
     uint32_t leaf1 = ls.value().leaves[1];
-    for (int i = 0; i < 14; ++i) {
+    for (size_t i = 0; i < 14; ++i) {
       uint32_t spine = ls.value().spines[rng.PickIndex(2)];
       (void)fluid.StartFlow(ls.value().hosts[0][i], ls.value().hosts[1][i],
                             kOpenEndedBytes, {leaf0, spine, leaf1});

@@ -85,7 +85,7 @@ PathTable& BigTable() {
     auto* t = new PathTable(1);
     Rng rng(42);
     for (int i = 0; i < 10000; ++i) {
-      uint64_t mac = 0x020000000000ULL + static_cast<uint64_t>(i);
+      uint64_t mac = uint64_t{0x020000000000} + static_cast<uint64_t>(i);
       PathTableEntry entry;
       entry.dst = HostLocation{mac, rng.Next64(), 1};
       for (int p = 0; p < 4; ++p) {

@@ -1,0 +1,44 @@
+#include "src/analysis/audit.h"
+
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+namespace audit {
+namespace {
+
+AuditCounters g_counters;
+std::string g_last_failure;
+bool g_abort_on_failure = false;
+
+}  // namespace
+
+const AuditCounters& Counters() { return g_counters; }
+
+void ResetCounters() {
+  g_counters = AuditCounters{};
+  g_last_failure.clear();
+}
+
+const std::string& LastFailure() { return g_last_failure; }
+
+void SetAbortOnFailure(bool abort_on_failure) { g_abort_on_failure = abort_on_failure; }
+
+namespace internal {
+
+void RecordCheck() { ++g_counters.checks; }
+
+void RecordFailure(bool hard, const char* file, int line, const std::string& message) {
+  ++g_counters.failures;
+  g_last_failure = message;
+  DN_ERROR << (hard ? "invariant violated" : "audit failed") << " at " << file << ":"
+           << line << " — " << message;
+  if (hard && g_abort_on_failure) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace audit
+}  // namespace dumbnet

@@ -1,0 +1,81 @@
+// Audit macros: executable invariant checks sprinkled through hot control-plane
+// code (switch forwarding, tag compilation, cache installs). Two strengths:
+//
+//   DUMBNET_ASSERT(cond, msg)  hard invariant — a violation means the process
+//                              state is corrupt; aborts when abort-on-failure is
+//                              set (the default in audited test runs can keep it
+//                              off so deliberately corrupted fixtures survive).
+//   DUMBNET_AUDIT(cond, msg)   soft invariant — recorded and logged, execution
+//                              continues (the fabric drops the packet anyway).
+//
+// Both compile to nothing unless DUMBNET_AUDIT_ENABLED is defined (CMake option
+// DUMBNET_AUDITS, ON by default, OFF for release builds), so release binaries pay
+// zero cost — the condition expression is not even evaluated.
+//
+// Failures are counted in a global AuditLog so tests can assert "no invariant
+// tripped during this run" or "this corruption was caught".
+#ifndef DUMBNET_SRC_ANALYSIS_AUDIT_H_
+#define DUMBNET_SRC_ANALYSIS_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dumbnet {
+namespace audit {
+
+// Protocol budget: a DumbNet header is one byte per hop plus the ø terminator.
+// Sixteen bytes bounds any sane data-center diameter (fat-tree k=64 needs 5) and
+// keeps the header far below the MPLS-stack budget the Arista variant rides in.
+constexpr size_t kMaxTagStackDepth = 16;
+
+struct AuditCounters {
+  uint64_t checks = 0;    // audit-point evaluations (enabled builds only)
+  uint64_t failures = 0;  // violations recorded
+};
+
+// Global audit state (the simulator is single-threaded by design; see
+// src/util/logging.h for the same convention).
+const AuditCounters& Counters();
+void ResetCounters();
+
+// Most recent failure message, for test diagnostics. Empty if none.
+const std::string& LastFailure();
+
+// When set, a DUMBNET_ASSERT failure aborts the process instead of recording.
+void SetAbortOnFailure(bool abort_on_failure);
+
+namespace internal {
+void RecordCheck();
+void RecordFailure(bool hard, const char* file, int line, const std::string& message);
+}  // namespace internal
+
+}  // namespace audit
+}  // namespace dumbnet
+
+#ifdef DUMBNET_AUDIT_ENABLED
+
+#define DUMBNET_AUDIT_IMPL(hard, cond, msg)                                        \
+  do {                                                                             \
+    ::dumbnet::audit::internal::RecordCheck();                                     \
+    if (!(cond)) {                                                                 \
+      ::dumbnet::audit::internal::RecordFailure(hard, __FILE__, __LINE__,          \
+                                                std::string(#cond) + ": " + (msg)); \
+    }                                                                              \
+  } while (0)
+
+#define DUMBNET_ASSERT(cond, msg) DUMBNET_AUDIT_IMPL(true, cond, msg)
+#define DUMBNET_AUDIT(cond, msg) DUMBNET_AUDIT_IMPL(false, cond, msg)
+
+#else
+
+#define DUMBNET_ASSERT(cond, msg) \
+  do {                            \
+  } while (0)
+#define DUMBNET_AUDIT(cond, msg) \
+  do {                           \
+  } while (0)
+
+#endif  // DUMBNET_AUDIT_ENABLED
+
+#endif  // DUMBNET_SRC_ANALYSIS_AUDIT_H_

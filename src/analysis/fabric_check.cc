@@ -1,0 +1,343 @@
+#include "src/analysis/fabric_check.h"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/analysis/invariants.h"
+#include "src/routing/graph.h"
+#include "src/routing/shortest_path.h"
+#include "src/topo/serialize.h"
+
+namespace dumbnet {
+namespace {
+
+std::string UidName(uint64_t uid) { return "uid=" + std::to_string(uid); }
+
+std::string GraphName(const WirePathGraph& g) {
+  return UidName(g.src_uid) + "->" + UidName(g.dst_uid);
+}
+
+// Looks up the ground-truth link between (uid_a, port_a) and (uid_b, port_b).
+// Returns kInvalidLink when the fabric has no such link or it is wired elsewhere.
+LinkIndex TruthLink(const Topology& topo, const WireLink& wl) {
+  auto ia = topo.SwitchByUid(wl.uid_a);
+  auto ib = topo.SwitchByUid(wl.uid_b);
+  if (!ia.ok() || !ib.ok()) {
+    return kInvalidLink;
+  }
+  LinkIndex li = topo.LinkAtPort(ia.value(), wl.port_a);
+  if (li == kInvalidLink) {
+    return kInvalidLink;
+  }
+  const Link& l = topo.link_at(li);
+  const Endpoint& peer = l.Peer(NodeId::Switch(ia.value()));
+  if (!peer.node.is_switch() || peer.node.index != ib.value() || peer.port != wl.port_b) {
+    return kInvalidLink;
+  }
+  return li;
+}
+
+// Ground-truth link for a consecutive uid pair on a path (any up or down link).
+LinkIndex TruthEdge(const Topology& topo, uint64_t uid_a, uint64_t uid_b) {
+  auto ia = topo.SwitchByUid(uid_a);
+  auto ib = topo.SwitchByUid(uid_b);
+  if (!ia.ok() || !ib.ok()) {
+    return kInvalidLink;
+  }
+  const SwitchInfo& sw = topo.switch_at(ia.value());
+  for (PortNum p = 1; p <= sw.num_ports; ++p) {
+    LinkIndex li = sw.port_link[p];
+    if (li == kInvalidLink) {
+      continue;
+    }
+    const Link& l = topo.link_at(li);
+    if (l.detached) {
+      continue;
+    }
+    const Endpoint& peer = l.Peer(NodeId::Switch(ia.value()));
+    if (peer.node.is_switch() && peer.node.index == ib.value()) {
+      return li;
+    }
+  }
+  return kInvalidLink;
+}
+
+}  // namespace
+
+std::vector<CheckFinding> CheckTopology(const Topology& topo,
+                                        const FabricCheckOptions& opts) {
+  (void)opts;
+  std::vector<CheckFinding> findings;
+  if (Status s = topo.Validate(); !s.ok()) {
+    findings.push_back({"topology-invalid", s.error().ToString()});
+    return findings;  // deeper checks assume a structurally sound topology
+  }
+
+  // Host reachability over up links: every host must have an up uplink, and all
+  // uplink switches must sit in one connected component.
+  SwitchGraph graph(topo);
+  std::vector<uint32_t> dist;
+  uint32_t reference_switch = UINT32_MAX;
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    auto up = topo.HostUplink(h);
+    if (!up.ok()) {
+      findings.push_back({"host-detached", "H" + std::to_string(h) + " has no uplink"});
+      continue;
+    }
+    const LinkIndex li = topo.host_at(h).link;
+    if (!topo.link_at(li).up) {
+      findings.push_back(
+          {"host-uplink-down", "H" + std::to_string(h) + "'s uplink link is down"});
+      continue;
+    }
+    const uint32_t sw = up.value().node.index;
+    if (reference_switch == UINT32_MAX) {
+      reference_switch = sw;
+      dist = BfsDistances(graph, sw);
+      continue;
+    }
+    if (dist[sw] == UINT32_MAX) {
+      findings.push_back({"host-unreachable",
+                          "H" + std::to_string(h) + " (S" + std::to_string(sw) +
+                              ") cannot reach H0's switch S" +
+                              std::to_string(reference_switch) + " over up links"});
+    }
+  }
+  return findings;
+}
+
+std::vector<CheckFinding> CheckPathGraphs(const Topology& topo,
+                                          const std::vector<WirePathGraph>& graphs,
+                                          const FabricCheckOptions& opts) {
+  std::vector<CheckFinding> findings;
+  for (const WirePathGraph& g : graphs) {
+    const std::string name = GraphName(g);
+
+    // Well-formedness of the graph itself (endpoints, induced links, no port
+    // conflicts inside the graph).
+    if (Status s = AuditWirePathGraph(g); !s.ok()) {
+      findings.push_back({"pathgraph-malformed", name + ": " + s.error().ToString()});
+    }
+
+    // Loops: a repeated switch on the primary.
+    std::set<uint64_t> seen;
+    for (uint64_t uid : g.primary) {
+      if (!seen.insert(uid).second) {
+        findings.push_back(
+            {"primary-loop", name + ": primary revisits " + UidName(uid)});
+        break;
+      }
+    }
+
+    // Tag budget: one tag per switch on the path (final host port included) + ø.
+    auto check_budget = [&](const std::vector<uint64_t>& path, const char* which) {
+      if (!path.empty() && path.size() + 1 > opts.max_tag_depth) {
+        findings.push_back(
+            {"tag-budget-exceeded",
+             name + ": " + which + " needs " + std::to_string(path.size() + 1) +
+                 " header bytes, budget is " + std::to_string(opts.max_tag_depth)});
+      }
+    };
+    check_budget(g.primary, "primary");
+    check_budget(g.backup, "backup");
+
+    // Each advertised link must exist in the fabric exactly as described.
+    for (const WireLink& wl : g.links) {
+      if (TruthLink(topo, wl) == kInvalidLink) {
+        findings.push_back(
+            {"link-conflict", name + ": advertised link " + UidName(wl.uid_a) + ":" +
+                                  std::to_string(static_cast<int>(wl.port_a)) + "<->" +
+                                  UidName(wl.uid_b) + ":" +
+                                  std::to_string(static_cast<int>(wl.port_b)) +
+                                  " is absent or wired differently in the fabric"});
+      }
+    }
+
+    // Path hops over failed links; and the backup sharing a failed link with the
+    // primary (the exact situation the backup exists to avoid).
+    std::set<std::pair<uint64_t, uint64_t>> primary_down_edges;
+    for (size_t i = 0; i + 1 < g.primary.size(); ++i) {
+      LinkIndex li = TruthEdge(topo, g.primary[i], g.primary[i + 1]);
+      if (li != kInvalidLink && !topo.link_at(li).up) {
+        findings.push_back({"primary-on-failed-link",
+                            name + ": primary hop " + UidName(g.primary[i]) + "->" +
+                                UidName(g.primary[i + 1]) + " rides a down link"});
+        uint64_t a = g.primary[i];
+        uint64_t b = g.primary[i + 1];
+        primary_down_edges.insert(a < b ? std::pair{a, b} : std::pair{b, a});
+      }
+    }
+    for (size_t i = 0; i + 1 < g.backup.size(); ++i) {
+      uint64_t a = g.backup[i];
+      uint64_t b = g.backup[i + 1];
+      auto key = a < b ? std::pair{a, b} : std::pair{b, a};
+      if (primary_down_edges.count(key) > 0) {
+        findings.push_back({"backup-shares-failed-link",
+                            name + ": backup hop " + UidName(a) + "->" + UidName(b) +
+                                " shares a failed link with the primary"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<CheckFinding> CheckFabric(const Topology& topo,
+                                      const std::vector<WirePathGraph>& graphs,
+                                      const FabricCheckOptions& opts) {
+  std::vector<CheckFinding> findings = CheckTopology(topo, opts);
+  std::vector<CheckFinding> pg = CheckPathGraphs(topo, graphs, opts);
+  findings.insert(findings.end(), pg.begin(), pg.end());
+  return findings;
+}
+
+std::string SerializeWirePathGraphs(const std::vector<WirePathGraph>& graphs) {
+  std::ostringstream os;
+  os << "# dumbnet path graphs: " << graphs.size() << "\n";
+  for (const WirePathGraph& g : graphs) {
+    os << "pathgraph " << g.src_uid << " " << g.dst_uid << "\n";
+    auto emit_path = [&](const char* kind, const std::vector<uint64_t>& path) {
+      if (path.empty()) {
+        return;
+      }
+      os << kind;
+      for (uint64_t uid : path) {
+        os << " " << uid;
+      }
+      os << "\n";
+    };
+    emit_path("primary", g.primary);
+    emit_path("backup", g.backup);
+    for (const WireLink& l : g.links) {
+      os << "plink " << l.uid_a << " " << static_cast<int>(l.port_a) << " " << l.uid_b
+         << " " << static_cast<int>(l.port_b) << "\n";
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<WirePathGraph>> ParseWirePathGraphs(const std::string& text) {
+  auto parse_error = [](size_t line_no, const std::string& message) {
+    return Error(ErrorCode::kMalformed,
+                 "line " + std::to_string(line_no) + ": " + message);
+  };
+  std::vector<WirePathGraph> graphs;
+  WirePathGraph current;
+  bool open = false;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') {
+      continue;
+    }
+    if (kind == "pathgraph") {
+      if (open) {
+        return parse_error(line_no, "pathgraph inside an unterminated pathgraph");
+      }
+      current = WirePathGraph{};
+      if (!(ls >> current.src_uid >> current.dst_uid)) {
+        return parse_error(line_no, "pathgraph needs <src_uid> <dst_uid>");
+      }
+      open = true;
+      continue;
+    }
+    if (!open) {
+      return parse_error(line_no, "'" + kind + "' outside a pathgraph block");
+    }
+    if (kind == "primary" || kind == "backup") {
+      std::vector<uint64_t>& path = kind == "primary" ? current.primary : current.backup;
+      uint64_t uid = 0;
+      while (ls >> uid) {
+        path.push_back(uid);
+      }
+      if (path.empty()) {
+        return parse_error(line_no, kind + " needs at least one uid");
+      }
+      continue;
+    }
+    if (kind == "plink") {
+      WireLink l;
+      int port_a = 0;
+      int port_b = 0;
+      if (!(ls >> l.uid_a >> port_a >> l.uid_b >> port_b)) {
+        return parse_error(line_no, "plink needs <uid_a> <port_a> <uid_b> <port_b>");
+      }
+      if (port_a < 0 || port_a > kMaxPorts || port_b < 0 || port_b > kMaxPorts) {
+        return parse_error(line_no, "plink port out of range [0,254]");
+      }
+      l.port_a = static_cast<PortNum>(port_a);
+      l.port_b = static_cast<PortNum>(port_b);
+      current.links.push_back(l);
+      continue;
+    }
+    if (kind == "end") {
+      graphs.push_back(std::move(current));
+      open = false;
+      continue;
+    }
+    return parse_error(line_no, "unknown directive '" + kind + "'");
+  }
+  if (open) {
+    return parse_error(line_no, "unterminated pathgraph block");
+  }
+  return graphs;
+}
+
+Status SaveWirePathGraphs(const std::vector<WirePathGraph>& graphs,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Error(ErrorCode::kUnavailable, "cannot open " + path);
+  }
+  out << SerializeWirePathGraphs(graphs);
+  return out.good() ? Status::Ok()
+                    : Status(Error(ErrorCode::kUnavailable, "write failed: " + path));
+}
+
+Result<std::vector<WirePathGraph>> LoadWirePathGraphs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseWirePathGraphs(buffer.str());
+}
+
+int RunDumbnetCheck(const std::string& topo_path,
+                    const std::vector<std::string>& pathgraph_paths,
+                    const FabricCheckOptions& opts, std::ostream& out) {
+  auto topo = LoadTopology(topo_path);
+  if (!topo.ok()) {
+    // A topology so broken it fails structural validation at parse time is itself
+    // a (fatal) finding; report it as such rather than a usage error.
+    out << "dumbnet-check: " << topo_path << ": " << topo.error().ToString() << "\n";
+    return topo.error().code() == ErrorCode::kMalformed ? 1 : 2;
+  }
+  std::vector<WirePathGraph> graphs;
+  for (const std::string& p : pathgraph_paths) {
+    auto parsed = LoadWirePathGraphs(p);
+    if (!parsed.ok()) {
+      out << "dumbnet-check: " << p << ": " << parsed.error().ToString() << "\n";
+      return 2;
+    }
+    graphs.insert(graphs.end(), parsed.value().begin(), parsed.value().end());
+  }
+  const std::vector<CheckFinding> findings = CheckFabric(topo.value(), graphs, opts);
+  for (const CheckFinding& f : findings) {
+    out << "[" << f.check << "] " << f.detail << "\n";
+  }
+  out << "dumbnet-check: " << topo.value().switch_count() << " switches, "
+      << topo.value().host_count() << " hosts, " << graphs.size() << " path graphs, "
+      << findings.size() << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,73 @@
+// Static fabric-state checker: analyses a serialized topology plus the path
+// graphs hosts would cache, *without* running the simulator — the DumbNet
+// analogue of static forwarding-rule analysis. Backs the `dumbnet-check` CLI.
+//
+// Path-graph file format (line-oriented, like src/topo/serialize.h):
+//
+//   # comment
+//   pathgraph <src_uid> <dst_uid>
+//   primary <uid> <uid> ...
+//   backup <uid> ...                 # optional
+//   plink <uid_a> <port_a> <uid_b> <port_b>
+//   end
+#ifndef DUMBNET_SRC_ANALYSIS_FABRIC_CHECK_H_
+#define DUMBNET_SRC_ANALYSIS_FABRIC_CHECK_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/analysis/audit.h"
+#include "src/routing/wire_types.h"
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+struct CheckFinding {
+  std::string check;   // stable identifier, e.g. "primary-loop"
+  std::string detail;  // human-readable explanation
+};
+
+struct FabricCheckOptions {
+  // Tag stack budget: hop tags + destination port + ø must fit.
+  size_t max_tag_depth = audit::kMaxTagStackDepth;
+};
+
+// Checks the topology alone: structural validity, disconnected (unreachable)
+// hosts, hosts with a down or missing uplink.
+std::vector<CheckFinding> CheckTopology(const Topology& topo,
+                                        const FabricCheckOptions& opts = {});
+
+// Checks cached path graphs against the topology ground truth: malformed graphs,
+// port conflicts and dangling links (links absent from or wired differently in
+// the fabric), loops in primary paths, primary/backup hops over failed links,
+// backups sharing a failed link with their primary, and tag stacks exceeding the
+// one-byte header budget.
+std::vector<CheckFinding> CheckPathGraphs(const Topology& topo,
+                                          const std::vector<WirePathGraph>& graphs,
+                                          const FabricCheckOptions& opts = {});
+
+// Both of the above.
+std::vector<CheckFinding> CheckFabric(const Topology& topo,
+                                      const std::vector<WirePathGraph>& graphs,
+                                      const FabricCheckOptions& opts = {});
+
+// Path-graph (de)serialization in the text format above.
+std::string SerializeWirePathGraphs(const std::vector<WirePathGraph>& graphs);
+Result<std::vector<WirePathGraph>> ParseWirePathGraphs(const std::string& text);
+Status SaveWirePathGraphs(const std::vector<WirePathGraph>& graphs,
+                          const std::string& path);
+Result<std::vector<WirePathGraph>> LoadWirePathGraphs(const std::string& path);
+
+// CLI driver shared by tools/dumbnet_check.cc and tests: loads `topo_path` (and
+// optional path-graph files), runs every check, reports findings to `out`.
+// Returns 0 when clean, 1 when findings were reported, 2 on a load/parse error.
+int RunDumbnetCheck(const std::string& topo_path,
+                    const std::vector<std::string>& pathgraph_paths,
+                    const FabricCheckOptions& opts, std::ostream& out);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ANALYSIS_FABRIC_CHECK_H_

@@ -1,0 +1,37 @@
+#include "src/analysis/invariant_auditor.h"
+
+#include "src/util/logging.h"
+
+namespace dumbnet {
+
+void InvariantAuditor::Register(std::string name, CheckFn check) {
+  checks_.push_back(Entry{std::move(name), std::move(check)});
+}
+
+std::vector<InvariantViolation> InvariantAuditor::RunAll() {
+  std::vector<InvariantViolation> found;
+  for (const Entry& e : checks_) {
+    if (Status s = e.check(); !s.ok()) {
+      found.push_back(InvariantViolation{e.name, s.error().ToString()});
+      DN_ERROR << "invariant '" << e.name << "' violated: " << s.error().ToString();
+    }
+  }
+  ++runs_;
+  violations_.insert(violations_.end(), found.begin(), found.end());
+  return found;
+}
+
+Status InvariantAuditor::RunOne(const std::string& name) {
+  for (const Entry& e : checks_) {
+    if (e.name == name) {
+      return e.check();
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no invariant named '" + name + "'");
+}
+
+void InvariantAuditor::AttachTo(Simulator* sim, uint64_t every_events) {
+  sim->SetAuditHook([this] { RunAll(); }, every_events);
+}
+
+}  // namespace dumbnet

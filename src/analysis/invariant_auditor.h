@@ -1,0 +1,62 @@
+// InvariantAuditor: a registry of named, checkable fabric invariants. Tests (or
+// long simulations) register the invariants that should hold for their deployment
+// — tag-stack validity, path-graph well-formedness, TopoCache↔PathTable coherence,
+// controller-database-vs-ground-truth consistency — and either run them on demand
+// or attach the auditor to a Simulator so every N executed events re-verifies the
+// whole catalog ("audited mode").
+#ifndef DUMBNET_SRC_ANALYSIS_INVARIANT_AUDITOR_H_
+#define DUMBNET_SRC_ANALYSIS_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+struct InvariantViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantAuditor {
+ public:
+  // An invariant check: returns Ok when the invariant holds. Checks must be
+  // side-effect free; they may run at any event boundary.
+  using CheckFn = std::function<Status()>;
+
+  void Register(std::string name, CheckFn check);
+
+  // Runs every registered invariant once; returns the violations found (empty =
+  // all hold). Also accumulates them into violations() for post-run assertions.
+  std::vector<InvariantViolation> RunAll();
+
+  // Runs one invariant by name; kNotFound if never registered.
+  Status RunOne(const std::string& name);
+
+  // Attaches to `sim`: the full catalog runs after every `every_events` executed
+  // events. Only one auditor can be attached to a simulator at a time.
+  void AttachTo(Simulator* sim, uint64_t every_events = 256);
+
+  size_t invariant_count() const { return checks_.size(); }
+  uint64_t runs() const { return runs_; }
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    CheckFn check;
+  };
+
+  std::vector<Entry> checks_;
+  std::vector<InvariantViolation> violations_;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ANALYSIS_INVARIANT_AUDITOR_H_

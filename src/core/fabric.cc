@@ -1,5 +1,7 @@
 #include "src/core/fabric.h"
 
+#include "src/analysis/invariants.h"
+
 namespace dumbnet {
 
 SimulatedFabric::SimulatedFabric(Topology topo, HostAgentConfig agent_config,
@@ -29,6 +31,20 @@ bool SimulatedFabric::BringUp(uint32_t controller_host, ControllerConfig config,
   controller_->Start([&ready] { ready = true; });
   sim_.Run();
   return ready;
+}
+
+InvariantAuditor& SimulatedFabric::EnableAuditing(uint64_t every_events) {
+  auditor_ = std::make_unique<InvariantAuditor>();
+  RegisterTopologyInvariants(*auditor_, &topo_);
+  for (uint32_t h = 0; h < agents_.size(); ++h) {
+    RegisterCacheInvariants(*auditor_, &agents_[h]->topo_cache(),
+                            &agents_[h]->path_table(), h);
+  }
+  if (controller_ != nullptr) {
+    RegisterTopoDbInvariants(*auditor_, &controller_->db(), &topo_);
+  }
+  auditor_->AttachTo(&sim_, every_events);
+  return *auditor_;
 }
 
 void SimulatedFabric::BringUpAdopted(uint32_t controller_host, ControllerConfig config) {

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/invariant_auditor.h"
 #include "src/ctrl/controller.h"
 #include "src/host/host_agent.h"
 #include "src/net/network.h"
@@ -38,6 +39,14 @@ class SimulatedFabric {
   // for experiments that are not about discovery.
   void BringUpAdopted(uint32_t controller_host, ControllerConfig config = ControllerConfig());
 
+  // Audited mode: registers the whole invariant catalog (topology validity, every
+  // host's TopoCache↔PathTable coherence, controller db vs ground truth when a
+  // controller exists) and re-runs it every `every_events` simulator events.
+  // Call after AddController/BringUp so the controller invariants are included.
+  // Returns the auditor so tests can assert auditor.clean() afterwards.
+  InvariantAuditor& EnableAuditing(uint64_t every_events = 256);
+  InvariantAuditor* auditor() { return auditor_.get(); }
+
   Topology& topo() { return topo_; }
   Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
@@ -55,6 +64,7 @@ class SimulatedFabric {
   std::vector<std::unique_ptr<DumbSwitch>> switches_;
   std::vector<std::unique_ptr<HostAgent>> agents_;
   std::unique_ptr<ControllerService> controller_;
+  std::unique_ptr<InvariantAuditor> auditor_;
 };
 
 }  // namespace dumbnet

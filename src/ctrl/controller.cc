@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/analysis/audit.h"
+#include "src/analysis/invariants.h"
 #include "src/routing/graph.h"
 #include "src/routing/shortest_path.h"
 #include "src/util/logging.h"
@@ -214,6 +216,13 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
       push_path_links(pg.value().backup);
     }
   }
+
+  // What leaves the controller must be a well-formed path graph (Section 4.3);
+  // a malformed one silently blackholes the requester's traffic later. The
+  // detour-stripped ablation keeps hops of the full subgraph without their
+  // links, so only audit the complete form.
+  DUMBNET_ASSERT(!config_.send_detours || AuditWirePathGraph(*wire).ok(),
+                 "controller built a malformed path graph");
 
   auto tags = TagsToHost(requester.value());
   if (!tags.ok()) {

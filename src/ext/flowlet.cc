@@ -38,7 +38,7 @@ size_t FlowletRouter::ChooseRoute(const PathTableEntry& entry, uint64_t flow_id)
   }
   size_t count = 0;
   for (const CachedRoute& r : entry.paths) {
-    count += (r.uid_path.size() == min_len) ? 1 : 0;
+    count += (r.uid_path.size() == min_len) ? 1u : 0u;
   }
   uint64_t flowlet_id = FlowletIdOf(flow_id);
   size_t target = static_cast<size_t>(Mix(flow_id, flowlet_id) % count);

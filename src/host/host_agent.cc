@@ -407,8 +407,12 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
   (void)SendToController(PathRequestPayload{mac_, dst_mac});
 
   // Retry loop with a bounded count; give up and drop queued packets after that.
+  // The closure holds only a weak_ptr to itself (a shared self-capture would be a
+  // reference cycle and leak); the pending timer events own the chain, so it is
+  // freed as soon as the loop ends.
   auto retry = std::make_shared<std::function<void(int)>>();
-  *retry = [this, dst_mac, retry](int attempt) {
+  std::weak_ptr<std::function<void(int)>> weak_retry = retry;
+  *retry = [this, dst_mac, weak_retry](int attempt) {
     if (outstanding_requests_.count(dst_mac) == 0) {
       return;  // answered
     }
@@ -420,7 +424,8 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
     }
     ++stats_.path_requests;
     (void)SendToController(PathRequestPayload{mac_, dst_mac});
-    sim_->ScheduleAfter(config_.request_timeout, [retry, attempt] { (*retry)(attempt + 1); });
+    auto next = weak_retry.lock();  // non-null: we are executing through an owner
+    sim_->ScheduleAfter(config_.request_timeout, [next, attempt] { (*next)(attempt + 1); });
   };
   sim_->ScheduleAfter(config_.request_timeout, [retry] { (*retry)(1); });
 }

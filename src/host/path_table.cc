@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/analysis/audit.h"
+
 namespace dumbnet {
 
 bool CachedRoute::UsesEdge(uint64_t a, uint64_t b) const {
@@ -15,6 +17,17 @@ bool CachedRoute::UsesEdge(uint64_t a, uint64_t b) const {
 }
 
 void PathTable::Install(uint64_t dst_mac, PathTableEntry entry) {
+#ifdef DUMBNET_AUDIT_ENABLED
+  // Invariant (Section 5.2): a compiled route carries one tag per switch on its
+  // UID path — out-ports for every transit switch plus the final host port.
+  for (const CachedRoute& r : entry.paths) {
+    DUMBNET_AUDIT(r.tags.size() == r.uid_path.size(),
+                  "installed route's tag count does not match its UID path");
+  }
+  DUMBNET_AUDIT(!entry.has_backup ||
+                    entry.backup.tags.size() == entry.backup.uid_path.size(),
+                "installed backup's tag count does not match its UID path");
+#endif
   entries_[dst_mac] = std::move(entry);
 }
 
@@ -65,7 +78,7 @@ Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
       }
       size_t count = 0;
       for (const CachedRoute& r : entry.paths) {
-        count += (r.uid_path.size() == min_len) ? 1 : 0;
+        count += (r.uid_path.size() == min_len) ? 1u : 0u;
       }
       size_t target = rng_.PickIndex(count);
       for (size_t i = 0; i < entry.paths.size(); ++i) {

@@ -75,6 +75,15 @@ class PathTable {
   size_t size() const { return entries_.size(); }
   const PathTableStats& stats() const { return stats_; }
 
+  // Read-only iteration over every installed entry (used by the invariant-audit
+  // layer to cross-check the table against the owning host's TopoCache).
+  void ForEachEntry(
+      const std::function<void(uint64_t dst_mac, const PathTableEntry&)>& fn) const {
+    for (const auto& [mac, entry] : entries_) {
+      fn(mac, entry);
+    }
+  }
+
  private:
   std::unordered_map<uint64_t, PathTableEntry> entries_;
   RouteChooser chooser_;

@@ -1,5 +1,7 @@
 #include "src/routing/tags.h"
 
+#include "src/analysis/audit.h"
+
 namespace dumbnet {
 namespace {
 
@@ -65,6 +67,9 @@ Result<TagList> CompilePathTags(const Topology& topo, uint32_t src_host,
   }
   TagList out = std::move(tags.value());
   out.push_back(dst_up.value().port);  // final hop: last switch -> destination host
+  // +1 for the ø terminator the packet layer appends.
+  DUMBNET_AUDIT(out.size() + 1 <= audit::kMaxTagStackDepth,
+                "compiled path exceeds the one-byte header budget");
   return out;
 }
 

@@ -47,7 +47,15 @@ bool Simulator::Step() {
   now_ = ev.at;
   ev.fn();
   ++executed_;
+  if (audit_every_ != 0 && executed_ % audit_every_ == 0 && audit_hook_) {
+    audit_hook_();
+  }
   return true;
+}
+
+void Simulator::SetAuditHook(std::function<void()> hook, uint64_t every_events) {
+  audit_hook_ = std::move(hook);
+  audit_every_ = audit_hook_ ? every_events : 0;
 }
 
 uint64_t Simulator::Run() {

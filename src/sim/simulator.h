@@ -55,6 +55,12 @@ class Simulator {
   // Executes at most `max_events` events.
   uint64_t RunSteps(uint64_t max_events);
 
+  // Audited mode: `hook` runs after every `every_events` executed events (and the
+  // hook may inspect any simulation state — the InvariantAuditor in src/analysis
+  // attaches itself this way). Pass an empty hook to detach. The hook must not
+  // schedule or cancel events.
+  void SetAuditHook(std::function<void()> hook, uint64_t every_events = 256);
+
   bool Empty() const { return live_events_ == 0; }
   uint64_t executed_events() const { return executed_; }
 
@@ -79,6 +85,8 @@ class Simulator {
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
+  std::function<void()> audit_hook_;
+  uint64_t audit_every_ = 0;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;

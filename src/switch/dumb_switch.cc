@@ -1,5 +1,6 @@
 #include "src/switch/dumb_switch.h"
 
+#include "src/analysis/audit.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -40,6 +41,12 @@ void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
     }
     return;
   }
+  // Invariant (Section 3.2): every tagged packet entering a switch carries a
+  // ø-terminated stack within the one-byte-per-hop header budget.
+  DUMBNET_AUDIT(pkt.tags.size() <= audit::kMaxTagStackDepth,
+                "tag stack exceeds header budget at switch hop");
+  DUMBNET_AUDIT(pkt.tags.back() == kPathEndTag,
+                "tag stack not \xC3\xB8-terminated at switch hop");
   uint64_t probe_id = 0;
   if (const auto* probe = pkt.As<ProbePayload>()) {
     probe_id = probe->probe_id;

@@ -63,7 +63,7 @@ Result<LeafSpineTopo> MakePaperTestbed() {
   }
   LeafSpineTopo out = std::move(base.value());
   // Two extra servers on the first leaf bring the total to 27 (controller + spare).
-  for (int i = 0; i < 2; ++i) {
+  for (uint32_t i = 0; i < 2; ++i) {
     uint32_t host = out.topo.AddHost();
     auto r = out.topo.AttachHost(host, out.leaves[0],
                                  static_cast<PortNum>(config.num_spine + 6 + i));

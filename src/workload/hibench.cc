@@ -109,7 +109,7 @@ JobStage MakeReplicatedWrite(const std::string& name, const std::vector<uint32_t
   stage.compute_seconds = compute;
   for (size_t i = 0; i < hosts.size(); ++i) {
     for (int r = 1; r <= replicas; ++r) {
-      size_t dst = (i + static_cast<size_t>(rng.UniformRange(1, (int64_t)hosts.size() - 1))) %
+      size_t dst = (i + static_cast<size_t>(rng.UniformRange(1, static_cast<int64_t>(hosts.size()) - 1))) %
                    hosts.size();
       if (hosts[dst] == hosts[i]) {
         dst = (dst + 1) % hosts.size();

@@ -105,7 +105,7 @@ TEST_F(ControllerTest, PathGraphGivesMultiplePathsAcrossSpines) {
   size_t minimal = 0;
   for (const CachedRoute& route : entry->paths) {
     EXPECT_GE(route.uid_path.size(), 3u);
-    minimal += route.uid_path.size() == 3u ? 1 : 0;
+    minimal += route.uid_path.size() == 3u ? 1u : 0u;
   }
   EXPECT_EQ(minimal, 2u);
 }
@@ -159,7 +159,7 @@ TEST_F(ControllerTest, FailoverReroutesTrafficAroundDeadSpine) {
 
   // Every flow must still get through, whatever path the flow had been bound to.
   for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(src.Send(dst.mac(), 100 + i, DataPayload{}).ok());
+    ASSERT_TRUE(src.Send(dst.mac(), 100u + static_cast<uint64_t>(i), DataPayload{}).ok());
   }
   fabric_->sim().Run();
   EXPECT_EQ(received, 9);

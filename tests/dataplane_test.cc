@@ -63,8 +63,8 @@ TEST_P(PipelineModeTest, TxRxRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Modes, PipelineModeTest,
                          ::testing::Values(PipelineMode::kNoopDpdk, PipelineMode::kMplsOnly,
                                            PipelineMode::kDumbNet),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& inst) {
+                           switch (inst.param) {
                              case PipelineMode::kNoopDpdk:
                                return "NoopDpdk";
                              case PipelineMode::kMplsOnly:

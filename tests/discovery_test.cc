@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/invariants.h"
 #include "src/topo/generators.h"
 #include "tests/test_fabric.h"
 
@@ -24,6 +25,10 @@ DiscoveryConfig FastDiscovery(uint8_t max_ports) {
 // Checks that `db` matches the ground truth `topo` exactly: same switches, same
 // links (including port numbers), same host locations.
 void ExpectDiscoveredExactly(const TopoDb& db, const Topology& topo) {
+  // Discovery is quiescent here, so the strict (freshness-checking) audit applies.
+  auto audit = AuditTopoDbAgainstTruth(db, topo);
+  EXPECT_TRUE(audit.ok()) << audit.error().message();
+
   EXPECT_EQ(db.switch_count(), topo.switch_count());
   EXPECT_EQ(db.host_count(), topo.host_count());
 

@@ -91,7 +91,7 @@ TEST(FluidTest, MaxMinRespectsMultiBottleneck) {
 
   // All 8 flows on spine0's path: each gets 1/8 of one 10G uplink.
   std::vector<uint64_t> ids;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     auto id = fluid.StartFlow(ls.value().hosts[0][i], ls.value().hosts[1][i],
                               kOpenEndedBytes, {leaf0, spine0, leaf1});
     ASSERT_TRUE(id.ok());
@@ -102,7 +102,7 @@ TEST(FluidTest, MaxMinRespectsMultiBottleneck) {
   }
   // Move half to spine1: everyone doubles.
   uint32_t spine1 = ls.value().spines[1];
-  for (int i = 0; i < 4; ++i) {
+  for (size_t i = 0; i < 4; ++i) {
     ASSERT_TRUE(fluid.RepathFlow(ids[i], {leaf0, spine1, leaf1}).ok());
   }
   for (uint64_t id : ids) {

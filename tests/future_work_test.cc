@@ -23,7 +23,7 @@ TEST(SwitchStatsTest, SoftStateCountersTrackTraffic) {
   uint64_t before_p1 = fabric.dumb_switch(leaf0).port_tx_packets(1);
   uint64_t before_p2 = fabric.dumb_switch(leaf0).port_tx_packets(2);
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(12).mac(), 1000 + i, DataPayload{}).ok());
+    ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(12).mac(), 1000u + static_cast<uint64_t>(i), DataPayload{}).ok());
   }
   fabric.sim().Run();
   uint64_t up1 = fabric.dumb_switch(leaf0).port_tx_packets(1) - before_p1;

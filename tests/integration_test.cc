@@ -57,6 +57,7 @@ TEST(IntegrationTest, RandomLinkFailureStorm) {
   ASSERT_TRUE(ft.ok());
   TestFabric fabric(std::move(ft.value().topo));
   fabric.BringUpAdopted(0);
+  InvariantAuditor& auditor = fabric.EnableAuditing();
   Rng rng(2024);
 
   int delivered = 0;
@@ -98,7 +99,8 @@ TEST(IntegrationTest, RandomLinkFailureStorm) {
       }
       ASSERT_TRUE(fabric.agent(src)
                       .Send(fabric.agent(dst).mac(),
-                            static_cast<uint64_t>(round) * 1000 + i, DataPayload{})
+                            static_cast<uint64_t>(round) * 1000 + static_cast<uint64_t>(i),
+                            DataPayload{})
                       .ok());
       ++sent;
     }
@@ -106,6 +108,8 @@ TEST(IntegrationTest, RandomLinkFailureStorm) {
   }
   EXPECT_EQ(dead.size(), 6u);
   EXPECT_EQ(delivered, sent);
+  EXPECT_GT(auditor.runs(), 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.violations().front().detail;
 }
 
 TEST(IntegrationTest, FailureAndRecoveryCycle) {
@@ -114,13 +118,16 @@ TEST(IntegrationTest, FailureAndRecoveryCycle) {
   auto leaves = tb.value().leaves;
   TestFabric fabric(std::move(tb.value().topo));
   fabric.BringUpAdopted(25);
+  InvariantAuditor& auditor = fabric.EnableAuditing();
 
   int delivered = 0;
   fabric.agent(12).SetDataHandler([&](const Packet&, const DataPayload&) { ++delivered; });
   auto blast = [&](uint64_t base) {
     for (int i = 0; i < 10; ++i) {
       ASSERT_TRUE(
-          fabric.agent(0).Send(fabric.agent(12).mac(), base + i, DataPayload{}).ok());
+          fabric.agent(0).Send(fabric.agent(12).mac(), base + static_cast<uint64_t>(i),
+                               DataPayload{})
+              .ok());
     }
     fabric.sim().Run();
   };
@@ -133,12 +140,14 @@ TEST(IntegrationTest, FailureAndRecoveryCycle) {
   for (int cycle = 0; cycle < 3; ++cycle) {
     fabric.topo().SetLinkUp(li, false);
     fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
-    blast(1000 + cycle * 100);
+    blast(1000u + static_cast<uint64_t>(cycle) * 100);
     fabric.topo().SetLinkUp(li, true);
     fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
-    blast(2000 + cycle * 100);
+    blast(2000u + static_cast<uint64_t>(cycle) * 100);
   }
   EXPECT_EQ(delivered, 70);
+  EXPECT_GT(auditor.runs(), 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.violations().front().detail;
 }
 
 TEST(IntegrationTest, JellyfishIrregularTopologyWorks) {
@@ -179,6 +188,7 @@ TEST(IntegrationTest, FlowletTeSurvivesFailure) {
   auto leaves = tb.value().leaves;
   TestFabric fabric(std::move(tb.value().topo));
   fabric.BringUpAdopted(25);
+  InvariantAuditor& auditor = fabric.EnableAuditing();
 
   FlowletConfig te_config;
   te_config.gap = Us(200);
@@ -198,6 +208,8 @@ TEST(IntegrationTest, FlowletTeSurvivesFailure) {
   // The packet in flight when the link died may be lost; everything after the
   // notification must arrive.
   EXPECT_GE(delivered, 19);
+  EXPECT_GT(auditor.runs(), 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.violations().front().detail;
 }
 
 }  // namespace

@@ -113,7 +113,7 @@ TEST(FluidInvariantsTest, UtilizationNeverExceedsCapacity) {
   Rng rng(5);
   uint32_t leaf0 = ls.value().leaves[0];
   uint32_t leaf1 = ls.value().leaves[1];
-  for (int i = 0; i < 6; ++i) {
+  for (size_t i = 0; i < 6; ++i) {
     uint32_t spine = ls.value().spines[rng.PickIndex(2)];
     (void)fluid.StartFlow(ls.value().hosts[0][i], ls.value().hosts[1][i],
                           kOpenEndedBytes, {leaf0, spine, leaf1});

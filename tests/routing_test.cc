@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/analysis/invariants.h"
 #include "src/routing/graph.h"
 #include "src/routing/path_graph.h"
 #include "src/routing/shortest_path.h"
@@ -188,6 +189,10 @@ TEST_P(PathGraphEpsilonTest, InvariantsOnCube) {
   auto pg = BuildPathGraph(t, g, src, dst, params);
   ASSERT_TRUE(pg.ok());
 
+  // Every constructed path graph must satisfy the structural invariant catalog.
+  auto audit = AuditPathGraph(t, pg.value());
+  EXPECT_TRUE(audit.ok()) << audit.error().message();
+
   // Primary is a shortest path (Manhattan distance = 12 hops -> 13 vertices).
   EXPECT_EQ(pg.value().primary.size(), 13u);
   // The subgraph contains primary and backup.
@@ -228,6 +233,7 @@ TEST(PathGraphTest, SizeGrowsWithEpsilon) {
     params.epsilon = eps;
     auto pg = BuildPathGraph(t, g, src, dst, params);
     ASSERT_TRUE(pg.ok());
+    EXPECT_TRUE(AuditPathGraph(t, pg.value()).ok());
     EXPECT_GE(pg.value().vertices.size(), prev);
     prev = pg.value().vertices.size();
   }

@@ -35,8 +35,8 @@ TEST(SerializeTest, RoundTripsTestbed) {
   // Down link state preserved.
   size_t down_original = 0, down_copy = 0;
   for (LinkIndex li = 0; li < original.link_count(); ++li) {
-    down_original += original.link_at(li).up ? 0 : 1;
-    down_copy += copy.link_at(li).up ? 0 : 1;
+    down_original += original.link_at(li).up ? 0u : 1u;
+    down_copy += copy.link_at(li).up ? 0u : 1u;
   }
   EXPECT_EQ(down_original, 1u);
   EXPECT_EQ(down_copy, 1u);

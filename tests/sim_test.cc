@@ -24,7 +24,7 @@ TEST(SimulatorTest, SameTimeIsFifo) {
   }
   sim.Run();
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(order[i], i);
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
   }
 }
 

@@ -158,15 +158,15 @@ TEST(DumbSwitchTest, PortDownBroadcastReachesHosts) {
 TEST(DumbSwitchTest, BroadcastHopLimitBounds) {
   // A long line of switches: notification must die after notify_hops hops.
   Topology topo;
-  const int n = 10;
-  for (int i = 0; i < n; ++i) {
+  const uint32_t n = 10;
+  for (uint32_t i = 0; i < n; ++i) {
     topo.AddSwitch(8);
   }
-  for (int i = 0; i + 1 < n; ++i) {
+  for (uint32_t i = 0; i + 1 < n; ++i) {
     topo.ConnectSwitches(i, 2, i + 1, 1).value();
   }
   std::vector<uint32_t> host_ids;
-  for (int i = 0; i < n; ++i) {
+  for (uint32_t i = 0; i < n; ++i) {
     uint32_t h = topo.AddHost();
     topo.AttachHost(h, i, 5).value();
     host_ids.push_back(h);
@@ -176,17 +176,17 @@ TEST(DumbSwitchTest, BroadcastHopLimitBounds) {
   DumbSwitchConfig sw_config;
   sw_config.notify_hops = 3;
   std::vector<std::unique_ptr<DumbSwitch>> switches;
-  for (int i = 0; i < n; ++i) {
+  for (uint32_t i = 0; i < n; ++i) {
     switches.push_back(std::make_unique<DumbSwitch>(&net, i, sw_config));
   }
   std::vector<std::unique_ptr<SinkHost>> hosts;
-  for (int i = 0; i < n; ++i) {
+  for (uint32_t i = 0; i < n; ++i) {
     hosts.push_back(std::make_unique<SinkHost>(&net, i));
   }
   // Fail the link at the far end (S0-S1).
   topo.SetLinkUp(topo.LinkAtPort(0, 2), false);
   sim.Run();
-  auto heard = [&](int i) {
+  auto heard = [&](size_t i) {
     for (const Packet& p : hosts[i]->received) {
       if (p.As<PortEventPayload>() != nullptr) {
         return true;

@@ -62,7 +62,7 @@ TEST_P(HiBenchShapeTest, JobsAreWellFormed) {
 
 INSTANTIATE_TEST_SUITE_P(Workloads, HiBenchShapeTest,
                          ::testing::ValuesIn(AllHiBenchWorkloads()),
-                         [](const auto& info) { return HiBenchWorkloadName(info.param); });
+                         [](const auto& inst) { return HiBenchWorkloadName(inst.param); });
 
 TEST(HiBenchShapeTest, TerasortShufflesMoreThanWordcount) {
   Rng rng(3);

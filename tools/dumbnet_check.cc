@@ -1,0 +1,63 @@
+// dumbnet-check: static fabric-state checker. Loads a serialized topology (and
+// optionally the path-graph files hosts would cache) and reports invariant
+// violations without running the simulator:
+//
+//   dumbnet-check fabric.topo [pathgraphs.pg ...] [--max-tag-depth N]
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage/load error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fabric_check.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: dumbnet-check <topology-file> [pathgraph-file ...]\n"
+               "                     [--max-tag-depth N]\n"
+               "\n"
+               "Checks a serialized fabric state for: structural validity,\n"
+               "unreachable hosts, port conflicts and dangling links, loops in\n"
+               "primary paths, backups sharing a failed link with their primary,\n"
+               "and tag stacks exceeding the one-byte header budget.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topo_path;
+  std::vector<std::string> pathgraph_paths;
+  dumbnet::FabricCheckOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-tag-depth") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      const long depth = std::strtol(argv[++i], nullptr, 10);
+      if (depth < 2) {
+        std::cerr << "dumbnet-check: --max-tag-depth must be >= 2\n";
+        return 2;
+      }
+      opts.max_tag_depth = static_cast<size_t>(depth);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dumbnet-check: unknown option '" << arg << "'\n";
+      return Usage();
+    } else if (topo_path.empty()) {
+      topo_path = arg;
+    } else {
+      pathgraph_paths.push_back(arg);
+    }
+  }
+  if (topo_path.empty()) {
+    return Usage();
+  }
+  return dumbnet::RunDumbnetCheck(topo_path, pathgraph_paths, opts, std::cout);
+}

@@ -96,7 +96,7 @@ int Info(const char* path) {
   std::printf("connected fabric: %s\n", t.IsConnected() ? "yes" : "NO");
   size_t down = 0;
   for (LinkIndex li = 0; li < t.link_count(); ++li) {
-    down += t.link_at(li).up ? 0 : 1;
+    down += t.link_at(li).up ? 0u : 1u;
   }
   std::printf("links down: %zu\n", down);
   // Degree histogram over wired switch ports.
@@ -104,7 +104,7 @@ int Info(const char* path) {
   std::vector<size_t> degree(t.switch_count(), 0);
   for (uint32_t s = 0; s < t.switch_count(); ++s) {
     for (PortNum p = 1; p <= t.switch_at(s).num_ports; ++p) {
-      degree[s] += t.LinkAtPort(s, p) != kInvalidLink ? 1 : 0;
+      degree[s] += t.LinkAtPort(s, p) != kInvalidLink ? 1u : 0u;
     }
     max_degree = std::max(max_degree, degree[s]);
   }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the project (or over files changed vs a base ref).
+#
+# Usage:
+#   tools/run_tidy.sh                 # whole tree (src/ tests/ tools/)
+#   tools/run_tidy.sh --diff origin/main   # only files changed vs the ref
+#   tools/run_tidy.sh src/routing/tags.cc  # explicit file list
+#
+# Needs a compile_commands.json; one is generated into build-tidy/ if missing.
+# Exits 0 with a notice when clang-tidy is not installed, so the script is safe
+# to call from environments (like the dev container) without clang tooling.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)." >&2
+  exit 0
+fi
+
+build_dir="build-tidy"
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+files=()
+if [[ "${1:-}" == "--diff" ]]; then
+  base="${2:?usage: run_tidy.sh --diff <base-ref>}"
+  while IFS= read -r f; do
+    [[ -f "$f" ]] && files+=("$f")
+  done < <(git diff --name-only --diff-filter=ACMR "$base" -- '*.cc' '*.h')
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_tidy.sh: no C++ files changed vs $base."
+    exit 0
+  fi
+elif [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(git ls-files 'src/*.cc' 'tests/*.cc' 'tools/*.cc')
+fi
+
+echo "run_tidy.sh: checking ${#files[@]} file(s)..."
+status=0
+for f in "${files[@]}"; do
+  # Headers are covered via HeaderFilterRegex when their .cc is checked.
+  [[ "$f" == *.h ]] && continue
+  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status
