@@ -1,11 +1,16 @@
-// Shared helpers for the reproduction benches: consistent headers and an
-// environment switch (DUMBNET_QUICK=1) that shrinks the slowest sweeps.
+// Shared helpers for the reproduction benches: consistent headers, an
+// environment switch (DUMBNET_QUICK=1) that shrinks the slowest sweeps, and a
+// machine-readable JSON reporter (--json <path>) whose rows dumbnet-check can
+// gate against a committed baseline.
 #ifndef DUMBNET_BENCH_BENCH_UTIL_H_
 #define DUMBNET_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace dumbnet {
 namespace bench {
@@ -21,6 +26,90 @@ inline void Banner(const char* id, const char* paper_result) {
   std::printf("paper: %s\n", paper_result);
   std::printf("==============================================================================\n");
 }
+
+// Command-line switches every bench understands.
+struct BenchArgs {
+  bool quick = false;        // --quick (equivalent to DUMBNET_QUICK=1)
+  std::string json_path;     // --json <path>: write a JSON report on exit
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  args.quick = QuickMode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// Accumulates measurement rows and writes them as a JSON array of
+//   {"bench": ..., "metric": ..., "value": ..., "unit": ..., "params": {...}}
+// objects. Units are meaningful to dumbnet-check's regression gate: time-like
+// units ("ns", "us", "ms", "s") are lower-is-better, everything else
+// (rates, ratios, counts) higher-is-better.
+class JsonReporter {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  void Add(const std::string& bench, const std::string& metric, double value,
+           const std::string& unit, const Params& params = {}) {
+    Row row;
+    row.bench = bench;
+    row.metric = metric;
+    row.value = value;
+    row.unit = unit;
+    row.params = params;
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes the report; returns false (with a message on stderr) on I/O failure.
+  // A no-op when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", \"params\": {",
+                   r.bench.c_str(), r.metric.c_str(), r.value, r.unit.c_str());
+      for (size_t j = 0; j < r.params.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", j == 0 ? "" : ", ",
+                     r.params[j].first.c_str(), r.params[j].second.c_str());
+      }
+      std::fprintf(f, "}}%s\n", i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu rows to %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    Params params;
+  };
+
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace dumbnet

@@ -12,7 +12,9 @@
 
 using namespace dumbnet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::JsonReporter report;
   bench::Banner("Figure 12 — path graph size vs epsilon (10-cube, s=2)",
                 "longer primaries blow up with epsilon; short paths stay small");
 
@@ -52,10 +54,18 @@ int main() {
       uint64_t paths = CountPathsInSubgraph(topo, pg.value(), 5000);
       std::printf("%6d %6u %14zu %16lu\n", pair.len, eps, pg.value().vertices.size(),
                   static_cast<unsigned long>(paths));
+      bench::JsonReporter::Params jp = {{"len", std::to_string(pair.len)},
+                                        {"epsilon", std::to_string(eps)}};
+      report.Add("fig12", "graph_switches",
+                 static_cast<double>(pg.value().vertices.size()), "switches", jp);
+      report.Add("fig12", "graph_paths", static_cast<double>(paths), "paths", jp);
     }
     std::printf("\n");
   }
   std::printf("shape check: #paths grows steeply with eps for len >= 10, stays modest\n"
               "for len <= 5 — the tradeoff Section 4.3 describes.\n");
+  if (!report.WriteTo(args.json_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -50,11 +50,12 @@ Point RunDiscovery(const char* series, Topology topo, uint32_t controller_host,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::Banner("Figure 8(a) — discovery time vs network size (64-port switches)",
                 "~linear in #switches; <= 70 s at 500 switches; topology and "
                 "controller position secondary");
-  const bool quick = bench::QuickMode();
+  const bool quick = args.quick;
   const uint8_t ports = quick ? 16 : 64;
   std::vector<Point> points;
 
@@ -102,6 +103,16 @@ int main() {
               "(linear growth, as in the paper).\n");
   if (quick) {
     std::printf("(DUMBNET_QUICK=1: reduced sweep, 16-port probing)\n");
+  }
+  bench::JsonReporter report;
+  for (const Point& p : points) {
+    bench::JsonReporter::Params params = {{"series", p.series},
+                                          {"switches", std::to_string(p.switches)}};
+    report.Add("fig8a", "discovery_time", p.seconds, "s", params);
+    report.Add("fig8a", "probe_messages", static_cast<double>(p.pms), "msgs", params);
+  }
+  if (!report.WriteTo(args.json_path)) {
+    return 1;
   }
   return 0;
 }

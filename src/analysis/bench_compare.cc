@@ -1,0 +1,244 @@
+#include "src/analysis/bench_compare.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace dumbnet {
+
+namespace {
+
+// Minimal recursive-descent parser for the reporter's subset of JSON: an array
+// of objects whose values are strings, numbers, or one level of string-valued
+// object ("params"). No escapes beyond \" and \\ are needed or supported.
+class BenchJsonParser {
+ public:
+  explicit BenchJsonParser(const std::string& text) : text_(text) {}
+
+  Result<std::vector<BenchRow>> Parse() {
+    std::vector<BenchRow> rows;
+    SkipSpace();
+    if (!Consume('[')) {
+      return Fail("expected '['");
+    }
+    SkipSpace();
+    if (Consume(']')) {
+      return rows;
+    }
+    for (;;) {
+      auto row = ParseRow();
+      if (!row.ok()) {
+        return row.error();
+      }
+      rows.push_back(std::move(row.value()));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        break;
+      }
+      return Fail("expected ',' or ']' after row");
+    }
+    return rows;
+  }
+
+ private:
+  Error Fail(const std::string& what) {
+    std::ostringstream os;
+    os << "bench json: " << what << " at offset " << pos_;
+    return Error(ErrorCode::kInvalidArgument, os.str());
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    SkipSpace();
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;  // take the escaped character literally
+      }
+      out.push_back(text_[pos_++]);
+    }
+    if (!Consume('"')) {
+      return Fail("unterminated string");
+    }
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) {
+      return Fail("expected a number");
+    }
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  Result<BenchRow> ParseRow() {
+    SkipSpace();
+    if (!Consume('{')) {
+      return Fail("expected '{'");
+    }
+    BenchRow row;
+    SkipSpace();
+    if (Consume('}')) {
+      return row;
+    }
+    for (;;) {
+      auto key = ParseString();
+      if (!key.ok()) {
+        return key.error();
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      if (key.value() == "value") {
+        auto v = ParseNumber();
+        if (!v.ok()) {
+          return v.error();
+        }
+        row.value = v.value();
+      } else if (key.value() == "params") {
+        SkipSpace();
+        if (!Consume('{')) {
+          return Fail("expected '{' for params");
+        }
+        SkipSpace();
+        if (!Consume('}')) {
+          for (;;) {
+            auto pk = ParseString();
+            if (!pk.ok()) {
+              return pk.error();
+            }
+            SkipSpace();
+            if (!Consume(':')) {
+              return Fail("expected ':' in params");
+            }
+            auto pv = ParseString();
+            if (!pv.ok()) {
+              return pv.error();
+            }
+            row.params.emplace_back(std::move(pk.value()), std::move(pv.value()));
+            SkipSpace();
+            if (Consume(',')) {
+              continue;
+            }
+            if (Consume('}')) {
+              break;
+            }
+            return Fail("expected ',' or '}' in params");
+          }
+        }
+      } else {
+        auto v = ParseString();
+        if (!v.ok()) {
+          return v.error();
+        }
+        if (key.value() == "bench") {
+          row.bench = std::move(v.value());
+        } else if (key.value() == "metric") {
+          row.metric = std::move(v.value());
+        } else if (key.value() == "unit") {
+          row.unit = std::move(v.value());
+        }  // unknown string fields are ignored
+      }
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      return Fail("expected ',' or '}' after field");
+    }
+    return row;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string BenchRow::Key() const {
+  auto sorted = params;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = bench + "/" + metric;
+  for (const auto& [k, v] : sorted) {
+    key += "{" + k + "=" + v + "}";
+  }
+  return key;
+}
+
+Result<std::vector<BenchRow>> ParseBenchJson(const std::string& text) {
+  return BenchJsonParser(text).Parse();
+}
+
+bool LowerIsBetter(const std::string& unit) {
+  return unit == "ns" || unit == "us" || unit == "ms" || unit == "s";
+}
+
+std::vector<CheckFinding> CompareBenchRows(const std::vector<BenchRow>& baseline,
+                                           const std::vector<BenchRow>& current,
+                                           double tolerance) {
+  std::map<std::string, const BenchRow*> got;
+  for (const BenchRow& row : current) {
+    got[row.Key()] = &row;
+  }
+  std::vector<CheckFinding> findings;
+  for (const BenchRow& base : baseline) {
+    auto it = got.find(base.Key());
+    if (it == got.end()) {
+      findings.push_back(
+          {"bench-missing", base.Key() + " present in baseline but not in this run"});
+      continue;
+    }
+    const BenchRow& cur = *it->second;
+    const bool lower_better = LowerIsBetter(base.unit);
+    // Worse-than-baseline fraction; positive means regressed.
+    double worse;
+    if (base.value == 0.0) {
+      worse = cur.value == base.value ? 0.0 : 1.0;
+    } else if (lower_better) {
+      worse = cur.value / base.value - 1.0;
+    } else {
+      worse = 1.0 - cur.value / base.value;
+    }
+    if (worse > tolerance) {
+      std::ostringstream os;
+      os << base.Key() << " regressed " << static_cast<int>(worse * 100.0 + 0.5)
+         << "%: baseline " << base.value << " " << base.unit << ", now " << cur.value
+         << " " << cur.unit << " (" << (lower_better ? "lower" : "higher")
+         << " is better, tolerance " << static_cast<int>(tolerance * 100.0 + 0.5)
+         << "%)";
+      findings.push_back({"bench-regression", os.str()});
+    }
+  }
+  return findings;
+}
+
+}  // namespace dumbnet

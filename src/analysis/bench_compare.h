@@ -1,0 +1,47 @@
+// Benchmark regression gate: parses the JSON reports the bench/ binaries emit
+// (bench_util.h's JsonReporter) and compares a current run against a committed
+// baseline. Direction is inferred from the unit: time-like units regress by
+// growing, everything else (rates, ratios, counts) regresses by shrinking.
+// dumbnet-check --bench-json wires this into CI.
+#ifndef DUMBNET_SRC_ANALYSIS_BENCH_COMPARE_H_
+#define DUMBNET_SRC_ANALYSIS_BENCH_COMPARE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/fabric_check.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+
+struct BenchRow {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+  // Key/value qualifiers (topology, size, ...). Order-insensitive for matching.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  // Stable identity: bench/metric plus sorted params.
+  std::string Key() const;
+};
+
+// Parses a JsonReporter-format report: an array of flat row objects. Returns an
+// error (with context) on malformed input.
+Result<std::vector<BenchRow>> ParseBenchJson(const std::string& text);
+
+// True for time-like units ("ns", "us", "ms", "s"), where smaller is better.
+bool LowerIsBetter(const std::string& unit);
+
+// Compares `current` against `baseline`. A row regresses when it is worse than
+// baseline by more than `tolerance` (fractional, e.g. 0.20 = 20%). Baseline rows
+// missing from `current` are findings too (a silently dropped benchmark is how
+// regressions hide); new rows in `current` are fine.
+std::vector<CheckFinding> CompareBenchRows(const std::vector<BenchRow>& baseline,
+                                           const std::vector<BenchRow>& current,
+                                           double tolerance = 0.20);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ANALYSIS_BENCH_COMPARE_H_

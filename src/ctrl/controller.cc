@@ -23,6 +23,7 @@ ControllerService::ControllerService(HostAgent* agent, ControllerConfig config,
 void ControllerService::Start(std::function<void()> on_ready) {
   discovery_.Start([this, on_ready = std::move(on_ready)] {
     db_ = discovery_.db();  // snapshot; further updates flow through both
+    InvalidateRoutingCaches();
     controller_switch_uid_ = discovery_.attach_switch_uid();
     controller_port_ = discovery_.attach_port();
     BootstrapHosts();
@@ -64,6 +65,7 @@ void ControllerService::AdoptTopology(const Topology& truth) {
 
 void ControllerService::AdoptDatabase(TopoDb db) {
   db_ = std::move(db);
+  InvalidateRoutingCaches();
   auto self = db_.LocateHost(agent_->mac());
   if (self.ok()) {
     controller_switch_uid_ = self.value().switch_uid;
@@ -73,14 +75,37 @@ void ControllerService::AdoptDatabase(TopoDb db) {
   ready_ = true;
 }
 
+const SwitchGraph& ControllerService::RoutingGraph() {
+  if (graph_cache_ == nullptr || graph_version_ != db_.version() ||
+      graph_version_ == kNoGraphVersion) {
+    graph_cache_ = std::make_unique<SwitchGraph>(db_.mirror());
+    graph_version_ = db_.version();
+  }
+  return *graph_cache_;
+}
+
+void ControllerService::InvalidateRoutingCaches() {
+  graph_cache_.reset();
+  graph_version_ = kNoGraphVersion;
+  sssp_cache_.Invalidate();
+}
+
 Result<TagList> ControllerService::TagsToHost(const HostLocation& dst) {
   auto src_idx = db_.IndexOf(controller_switch_uid_);
   auto dst_idx = db_.IndexOf(dst.switch_uid);
   if (!src_idx.ok() || !dst_idx.ok()) {
     return Error(ErrorCode::kNotFound, "controller or destination switch unknown");
   }
-  SwitchGraph graph(db_.mirror());
-  auto path = ShortestPath(graph, src_idx.value(), dst_idx.value(), &rng_);
+  // Per-call randomized Dijkstra (scratch-based, so no allocation): response tags
+  // must re-randomize on every retry so repeated queries dodge links the
+  // controller has not yet learned are dead. The SSSP-tree cache is reserved for
+  // bulk work over a settled topology (bootstraps, batch precompute).
+  // Per-call randomized Dijkstra (scratch-based, so no allocation): response tags
+  // must re-randomize on every retry so repeated queries dodge links the
+  // controller has not yet learned are dead. The SSSP-tree cache is reserved for
+  // bulk work over a settled topology (bootstraps, batch precompute).
+  auto path = ShortestPathScaled(RoutingGraph(), src_idx.value(), dst_idx.value(), &rng_,
+                                 tags_scratch_, nullptr);
   if (!path.ok()) {
     return path.error();
   }
@@ -112,8 +137,12 @@ void ControllerService::BootstrapHosts() {
     if (!to_controller.ok() || !ctrl_idx.ok()) {
       continue;
     }
-    SwitchGraph graph(db_.mirror());
-    auto path = ShortestPath(graph, to_controller.value(), ctrl_idx.value(), &rng_);
+    // Per-host randomized paths, deliberately NOT the shared SSSP tree: each
+    // host's stored path-to-controller must be decorrelated from the others', or
+    // one link failure strands every host's control channel at once. The cached
+    // adjacency snapshot plus scratch still makes this allocation-free.
+    auto path = ShortestPathScaled(RoutingGraph(), to_controller.value(), ctrl_idx.value(),
+                                   &rng_, tags_scratch_, nullptr);
     if (!path.ok()) {
       continue;
     }
@@ -168,19 +197,34 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
     ++stats_.queries_failed;
     return;
   }
-  SwitchGraph graph(db_.mirror());
-  auto pg = BuildPathGraph(db_.mirror(), graph, src_idx.value(), dst_idx.value(),
-                           config_.path_graph, &rng_);
+  auto pg = BuildPathGraph(db_.mirror(), RoutingGraph(), src_idx.value(), dst_idx.value(),
+                           config_.path_graph, &rng_, pg_scratch_);
   if (!pg.ok()) {
     ++stats_.queries_failed;
     return;
   }
+  auto wire =
+      MakeWireGraph(pg.value(), requester.value().switch_uid, dst.value().switch_uid);
+
+  auto tags = TagsToHost(requester.value());
+  if (!tags.ok()) {
+    ++stats_.queries_failed;
+    return;
+  }
+  ++stats_.queries_served;
+  PathResponsePayload resp{req.dst_mac, dst.value(), std::move(wire)};
+  agent_->SendTags(std::move(tags.value()), req.requester_mac, std::move(resp));
+}
+
+std::shared_ptr<WirePathGraph> ControllerService::MakeWireGraph(const PathGraph& pg,
+                                                                uint64_t src_uid,
+                                                                uint64_t dst_uid) {
   auto wire = std::make_shared<WirePathGraph>();
-  wire->src_uid = requester.value().switch_uid;
-  wire->dst_uid = dst.value().switch_uid;
-  wire->primary = db_.PathToUids(pg.value().primary);
+  wire->src_uid = src_uid;
+  wire->dst_uid = dst_uid;
+  wire->primary = db_.PathToUids(pg.primary);
   if (config_.send_backup) {
-    wire->backup = db_.PathToUids(pg.value().backup);
+    wire->backup = db_.PathToUids(pg.backup);
   }
   auto push_link = [&](LinkIndex li) {
     const Link& l = db_.mirror().link_at(li);
@@ -188,8 +232,8 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
                                    db_.UidOf(l.b.node.index), l.b.port});
   };
   if (config_.send_detours) {
-    wire->links.reserve(pg.value().links.size());
-    for (LinkIndex li : pg.value().links) {
+    wire->links.reserve(pg.links.size());
+    for (LinkIndex li : pg.links) {
       push_link(li);
     }
   } else {
@@ -211,9 +255,9 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
         }
       }
     };
-    push_path_links(pg.value().primary);
+    push_path_links(pg.primary);
     if (config_.send_backup) {
-      push_path_links(pg.value().backup);
+      push_path_links(pg.backup);
     }
   }
 
@@ -223,15 +267,56 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
   // links, so only audit the complete form.
   DUMBNET_ASSERT(!config_.send_detours || AuditWirePathGraph(*wire).ok(),
                  "controller built a malformed path graph");
+  return wire;
+}
 
-  auto tags = TagsToHost(requester.value());
-  if (!tags.ok()) {
-    ++stats_.queries_failed;
-    return;
+Result<std::vector<WirePathGraph>> ControllerService::PrecomputePathGraphs(
+    uint64_t src_mac, const std::vector<uint64_t>& dst_macs) {
+  auto src_host = db_.LocateHost(src_mac);
+  if (!src_host.ok()) {
+    return src_host.error();
   }
-  ++stats_.queries_served;
-  PathResponsePayload resp{req.dst_mac, dst.value(), std::move(wire)};
-  agent_->SendTags(std::move(tags.value()), req.requester_mac, std::move(resp));
+  auto src_idx = db_.IndexOf(src_host.value().switch_uid);
+  if (!src_idx.ok()) {
+    return src_idx.error();
+  }
+
+  // Resolve destinations first; unknown MACs are skipped, not fatal.
+  std::vector<uint32_t> dst_switches;
+  std::vector<uint64_t> dst_uids;
+  dst_switches.reserve(dst_macs.size());
+  dst_uids.reserve(dst_macs.size());
+  for (uint64_t mac : dst_macs) {
+    auto loc = db_.LocateHost(mac);
+    if (!loc.ok()) {
+      continue;
+    }
+    auto idx = db_.IndexOf(loc.value().switch_uid);
+    if (!idx.ok()) {
+      continue;
+    }
+    dst_switches.push_back(idx.value());
+    dst_uids.push_back(loc.value().switch_uid);
+  }
+
+  const SwitchGraph& graph = RoutingGraph();
+  const SsspTree& tree = sssp_cache_.Get(graph, graph_version_, src_idx.value(), &rng_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>();
+  }
+  auto built = BuildPathGraphBatch(db_.mirror(), graph, tree, dst_switches,
+                                   config_.path_graph, &rng_, pool_.get());
+
+  std::vector<WirePathGraph> out;
+  out.reserve(built.size());
+  for (size_t i = 0; i < built.size(); ++i) {
+    if (!built[i].ok()) {
+      continue;  // e.g. a destination cut off from the source
+    }
+    out.push_back(*MakeWireGraph(built[i].value(), src_host.value().switch_uid,
+                                 dst_uids[i]));
+  }
+  return out;
 }
 
 void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {

@@ -16,7 +16,9 @@
 #include "src/ctrl/replicated_log.h"
 #include "src/host/host_agent.h"
 #include "src/routing/path_graph.h"
+#include "src/routing/sssp_cache.h"
 #include "src/routing/topo_db.h"
+#include "src/util/thread_pool.h"
 
 namespace dumbnet {
 
@@ -74,7 +76,30 @@ class ControllerService {
   // paper stores in ZooKeeper for the standby controllers).
   void AttachLog(ReplicatedLog* log) { log_ = log; }
 
+  // Batch path-graph precompute: builds the wire path graph from `src_mac`'s edge
+  // switch to every destination's edge switch in one pass — the primaries share a
+  // single cached SSSP tree and the per-destination detour/backup work fans out
+  // over an internal thread pool. Destinations that cannot be served (unknown MAC,
+  // disconnected switch) are silently skipped; the returned vector holds one entry
+  // per successful destination, in input order. Errors only when `src_mac` itself
+  // is unknown.
+  Result<std::vector<WirePathGraph>> PrecomputePathGraphs(
+      uint64_t src_mac, const std::vector<uint64_t>& dst_macs);
+
+  // Routing-cache observability (tests + benchmarks).
+  const SsspCache::Stats& sssp_cache_stats() const { return sssp_cache_.stats(); }
+
  private:
+  // The adjacency snapshot for db_.mirror(), rebuilt only when the db version
+  // moved. Valid until the next db_ mutation.
+  const SwitchGraph& RoutingGraph();
+  // Drops the graph snapshot and all cached SSSP trees. Must be called whenever
+  // db_ is *replaced* (version numbering restarts); plain mutations are caught by
+  // the version check in RoutingGraph().
+  void InvalidateRoutingCaches();
+  // Converts a built PathGraph to its wire form under the current config.
+  std::shared_ptr<WirePathGraph> MakeWireGraph(const PathGraph& pg, uint64_t src_uid,
+                                               uint64_t dst_uid);
   bool HandleControl(const Packet& pkt);
   void ServePathRequest(const PathRequestPayload& req);
   void OnLinkEvent(const LinkEventPayload& ev);
@@ -90,6 +115,16 @@ class ControllerService {
   DiscoveryService discovery_;
   Rng rng_;
   ReplicatedLog* log_ = nullptr;
+
+  // Routing caches, all keyed on db_.version() (see RoutingGraph()).
+  std::unique_ptr<SwitchGraph> graph_cache_;
+  uint64_t graph_version_ = kNoGraphVersion;
+  SsspCache sssp_cache_;
+  SsspScratch tags_scratch_;
+  PathGraphScratch pg_scratch_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created by PrecomputePathGraphs
+
+  static constexpr uint64_t kNoGraphVersion = UINT64_MAX;
 
   uint64_t controller_switch_uid_ = 0;
   PortNum controller_port_ = 0;

@@ -43,9 +43,15 @@ void DiscoveryService::SendProbe(TagList tags, ProbeCtx ctx) {
     with_end.push_back(kPathEndTag);
     agent_->SendTags(tags, kBroadcastMac, ProbePayload{id, agent_->mac(), with_end});
     sim_->ScheduleAfter(config_.probe_timeout, [this, id] {
-      if (inflight_.erase(id) > 0) {
-        MaybeFinish();
-      }
+      // Declare the loss through the CPU queue so a reply that already arrived
+      // (and is waiting behind queued sends) is processed first. Erasing here
+      // directly would drop replies whenever the CPU backlog exceeds the
+      // timeout — on large port counts that silently truncated discovery.
+      OnCpu(0, [this, id] {
+        if (inflight_.erase(id) > 0) {
+          MaybeFinish();
+        }
+      });
     });
   });
 }

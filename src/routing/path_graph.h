@@ -2,6 +2,13 @@
 // host when it asks for a route. Contains (i) a primary shortest path, (ii) "s-step,
 // ε-good" local detours around every window of the primary, and (iii) a backup path
 // that avoids primary links where possible.
+//
+// Two construction tiers:
+//   - BuildPathGraph: one (src, dst) pair. The scratch overload reuses a
+//     PathGraphScratch so repeated builds do no O(V)/O(E) allocation.
+//   - BuildPathGraphBatch: many destinations from one source. Primaries come from
+//     a shared SSSP tree (one Dijkstra total instead of one per destination) and
+//     the per-destination detour/backup work fans out over a ThreadPool.
 #ifndef DUMBNET_SRC_ROUTING_PATH_GRAPH_H_
 #define DUMBNET_SRC_ROUTING_PATH_GRAPH_H_
 
@@ -12,6 +19,7 @@
 #include "src/routing/shortest_path.h"
 #include "src/topo/topology.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace dumbnet {
 
@@ -36,11 +44,57 @@ struct PathGraph {
   std::vector<LinkIndex> links;
 };
 
+// Reusable buffers for path-graph construction: Dijkstra/BFS scratch, the per-link
+// weight-scale vector used to repel the backup from the primary, and an
+// epoch-stamped vertex-membership set. One instance per thread.
+class PathGraphScratch {
+ public:
+  PathGraphScratch() = default;
+
+ private:
+  friend class PathGraphBuilder;
+
+  SsspScratch dijkstra_;
+  SsspScratch bfs_a_;
+  SsspScratch bfs_b_;
+  std::vector<double> link_scale_;     // 1.0 except along the primary
+  std::vector<LinkIndex> scaled_;      // undo list for link_scale_
+  std::vector<uint32_t> member_stamp_; // vertex-set membership, epoch-stamped
+  uint32_t member_epoch_ = 0;
+  std::vector<uint32_t> vertices_;
+  std::vector<LinkIndex> links_;
+};
+
 // Builds the path graph between two switches. `graph` must be a current snapshot of
 // `topo`. Randomized equal-cost choices draw from `rng` when provided.
 Result<PathGraph> BuildPathGraph(const Topology& topo, const SwitchGraph& graph,
                                  uint32_t src_switch, uint32_t dst_switch,
                                  const PathGraphParams& params, Rng* rng = nullptr);
+
+// Allocation-free variant: identical output (given the same rng draws), all
+// temporaries live in `scratch`.
+Result<PathGraph> BuildPathGraph(const Topology& topo, const SwitchGraph& graph,
+                                 uint32_t src_switch, uint32_t dst_switch,
+                                 const PathGraphParams& params, Rng* rng,
+                                 PathGraphScratch& scratch);
+
+// Completes a path graph around an externally supplied primary path (e.g. one
+// extracted from a cached SSSP tree): computes the backup, detour sets, and the
+// induced subgraph. `primary` must be a valid path in `graph`.
+Result<PathGraph> BuildPathGraphAround(const Topology& topo, const SwitchGraph& graph,
+                                       SwitchPath primary, const PathGraphParams& params,
+                                       Rng* rng, PathGraphScratch& scratch);
+
+// Builds path graphs from one source to many destinations. Primaries are extracted
+// from `tree` (which must be rooted at src_switch over `graph`); backup/detour work
+// for each destination runs concurrently on `pool` (or inline when pool is null).
+// Deterministic: each destination draws from its own fork of `rng`, so results do
+// not depend on thread scheduling. Per-destination failures (e.g. an unreachable
+// destination) yield error entries; the batch itself always succeeds.
+std::vector<Result<PathGraph>> BuildPathGraphBatch(
+    const Topology& topo, const SwitchGraph& graph, const SsspTree& tree,
+    const std::vector<uint32_t>& dst_switches, const PathGraphParams& params, Rng* rng,
+    ThreadPool* pool);
 
 // Counts distinct simple src→dst paths inside the path-graph subgraph, up to `cap`
 // (the subgraph can encode combinatorially many; Figure 12 reports this count).

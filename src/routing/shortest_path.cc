@@ -7,28 +7,110 @@
 
 namespace dumbnet {
 
-std::vector<uint32_t> BfsDistances(const SwitchGraph& graph, uint32_t src) {
-  std::vector<uint32_t> dist(graph.size(), UINT32_MAX);
-  if (src >= graph.size()) {
-    return dist;
+// Friend accessor: lets the algorithms in this file use the scratch internals
+// without exposing them in the header.
+class SsspAccess {
+ public:
+  using HeapItem = SsspScratch::HeapItem;
+
+  static std::vector<HeapItem>& Heap(SsspScratch& s) { return s.heap_; }
+  static std::vector<uint32_t>& Touched(SsspScratch& s) { return s.touched_; }
+  static bool Done(const SsspScratch& s, uint32_t v) { return s.done_stamp_[v] == s.epoch_; }
+  static void MarkDone(SsspScratch& s, uint32_t v) { s.done_stamp_[v] = s.epoch_; }
+  static void Set(SsspScratch& s, uint32_t v, double cost, uint32_t parent, uint32_t hops) {
+    if (!s.Seen(v)) {
+      s.Touch(v);
+    }
+    s.cost_[v] = cost;
+    s.parent_[v] = parent;
+    s.hops_[v] = hops;
   }
-  std::deque<uint32_t> q;
-  dist[src] = 0;
-  q.push_back(src);
-  while (!q.empty()) {
-    uint32_t u = q.front();
-    q.pop_front();
-    for (const AdjEdge& e : graph.Neighbors(u)) {
-      if (dist[e.to] == UINT32_MAX) {
-        dist[e.to] = dist[u] + 1;
-        q.push_back(e.to);
+};
+
+namespace {
+
+using HeapItem = SsspAccess::HeapItem;
+
+// Min-heap on (cost, tiebreak).
+struct HeapGreater {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    if (a.cost != b.cost) {
+      return a.cost > b.cost;
+    }
+    return a.tiebreak > b.tiebreak;
+  }
+};
+
+inline double EdgeWeight(const AdjEdge& e, const std::vector<double>* link_scale) {
+  if (link_scale != nullptr && e.link < link_scale->size()) {
+    return e.weight * (*link_scale)[e.link];
+  }
+  return e.weight;
+}
+
+// Shared scratch-based Dijkstra core. Early-exits at `dst` unless dst == kNoVertex
+// (full-tree mode). Results live in `scratch` until its next Prepare().
+//
+// Vertices are finalized on first pop and never relaxed again. Without this,
+// randomized tie-breaking cascades on high-ECMP fabrics: every accepted tie
+// re-pushes an equal-cost heap entry, equal-cost pops re-expand, and those
+// expansions trigger more downstream ties — on a unit-weight cube a single query
+// cost ~100x the finalized version. Ties stay randomized among the candidate
+// parents that reach a vertex before it is popped.
+void DijkstraInto(const SwitchGraph& graph, uint32_t src, uint32_t dst, Rng* rng,
+                  SsspScratch& scratch, const std::vector<double>* link_scale) {
+  scratch.Prepare(graph.size());
+  auto& heap = SsspAccess::Heap(scratch);
+  HeapGreater greater;
+  SsspAccess::Set(scratch, src, 0.0, kNoVertex, 0);
+  heap.push_back(HeapItem{0.0, 0, src});
+  while (!heap.empty()) {
+    const HeapItem top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    heap.pop_back();
+    if (SsspAccess::Done(scratch, top.vertex)) {
+      continue;  // duplicate entry; this vertex is already finalized
+    }
+    SsspAccess::MarkDone(scratch, top.vertex);
+    if (top.vertex == dst) {
+      break;
+    }
+    const uint32_t hops = scratch.HopsOr(top.vertex, 0) + 1;
+    for (const AdjEdge& e : graph.Neighbors(top.vertex)) {
+      if (SsspAccess::Done(scratch, e.to)) {
+        continue;  // finalized: cost can't improve, and its parent is settled
+      }
+      const double nc = top.cost + EdgeWeight(e, link_scale);
+      const double old = scratch.CostOr(e.to, kInfCost);
+      const bool better = nc < old;
+      // Randomized tie-break: replace an equal-cost parent with probability 1/2.
+      const bool tie = !better && nc == old && rng != nullptr && rng->Bernoulli(0.5);
+      if (better || tie) {
+        SsspAccess::Set(scratch, e.to, nc, top.vertex, hops);
+        heap.push_back(HeapItem{nc, rng != nullptr ? rng->Next64() : 0, e.to});
+        std::push_heap(heap.begin(), heap.end(), greater);
       }
     }
   }
-  return dist;
 }
 
-namespace {
+Result<SwitchPath> ExtractPath(const SsspScratch& scratch, uint32_t src, uint32_t dst) {
+  if (!scratch.Seen(dst)) {
+    return Error(ErrorCode::kUnavailable, "destination unreachable");
+  }
+  SwitchPath path;
+  for (uint32_t v = dst; v != kNoVertex; v = scratch.ParentOr(v, kNoVertex)) {
+    path.push_back(v);
+    if (v == src) {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != src) {
+    return Error(ErrorCode::kInternal, "path reconstruction failed");
+  }
+  return path;
+}
 
 struct DijkstraItem {
   double cost;
@@ -43,7 +125,9 @@ struct DijkstraItem {
   }
 };
 
-// Shared Dijkstra core with optional banned vertices/edges (for Yen's spur search).
+// Allocating Dijkstra core with optional banned vertices/edges (for Yen's spur
+// search). The scratch-based variants above serve the hot paths; this one keeps
+// the ban-set flexibility Yen needs.
 Result<SwitchPath> DijkstraInternal(const SwitchGraph& graph, uint32_t src, uint32_t dst,
                                     Rng* rng, const std::vector<bool>* banned_vertex,
                                     const std::set<std::pair<uint32_t, uint32_t>>* banned_edge) {
@@ -103,9 +187,105 @@ Result<SwitchPath> DijkstraInternal(const SwitchGraph& graph, uint32_t src, uint
 
 }  // namespace
 
+std::vector<uint32_t> BfsDistances(const SwitchGraph& graph, uint32_t src) {
+  std::vector<uint32_t> dist(graph.size(), UINT32_MAX);
+  if (src >= graph.size()) {
+    return dist;
+  }
+  SsspScratch scratch;
+  BfsDistancesInto(graph, src, scratch);
+  for (uint32_t v : scratch.touched()) {
+    dist[v] = scratch.HopsOr(v, UINT32_MAX);
+  }
+  return dist;
+}
+
+void BfsDistancesInto(const SwitchGraph& graph, uint32_t src, SsspScratch& scratch,
+                      uint32_t max_hops) {
+  scratch.Prepare(graph.size());
+  if (src >= graph.size()) {
+    return;
+  }
+  // touched() doubles as the BFS queue: visit order == touch order.
+  SsspAccess::Set(scratch, src, 0.0, kNoVertex, 0);
+  auto& queue = SsspAccess::Touched(scratch);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const uint32_t u = queue[qi];
+    const uint32_t du = scratch.HopsOr(u, 0);
+    if (du >= max_hops) {
+      continue;  // beyond the horizon: exact inside, unreached outside
+    }
+    for (const AdjEdge& e : graph.Neighbors(u)) {
+      if (!scratch.Seen(e.to)) {
+        SsspAccess::Set(scratch, e.to, static_cast<double>(du + 1), u, du + 1);
+      }
+    }
+  }
+}
+
 Result<SwitchPath> ShortestPath(const SwitchGraph& graph, uint32_t src, uint32_t dst,
                                 Rng* rng) {
-  return DijkstraInternal(graph, src, dst, rng, nullptr, nullptr);
+  if (src >= graph.size() || dst >= graph.size()) {
+    return Error(ErrorCode::kOutOfRange, "vertex out of range");
+  }
+  // Shares DijkstraInto with ShortestPathScaled so both draw from `rng`
+  // identically: same seed, same graph => same path, scaled or not.
+  SsspScratch scratch;
+  DijkstraInto(graph, src, dst, rng, scratch, nullptr);
+  return ExtractPath(scratch, src, dst);
+}
+
+Result<SwitchPath> ShortestPathScaled(const SwitchGraph& graph, uint32_t src, uint32_t dst,
+                                      Rng* rng, SsspScratch& scratch,
+                                      const std::vector<double>* link_scale) {
+  if (src >= graph.size() || dst >= graph.size()) {
+    return Error(ErrorCode::kOutOfRange, "vertex out of range");
+  }
+  DijkstraInto(graph, src, dst, rng, scratch, link_scale);
+  return ExtractPath(scratch, src, dst);
+}
+
+SsspTree BuildSsspTree(const SwitchGraph& graph, uint32_t src, Rng* rng,
+                       SsspScratch* scratch) {
+  SsspTree tree;
+  tree.src = src;
+  tree.cost.assign(graph.size(), kInfCost);
+  tree.parent.assign(graph.size(), kNoVertex);
+  if (src >= graph.size()) {
+    return tree;
+  }
+  SsspScratch local;
+  SsspScratch& s = scratch != nullptr ? *scratch : local;
+  DijkstraInto(graph, src, kNoVertex, rng, s, nullptr);
+  for (uint32_t v : s.touched()) {
+    tree.cost[v] = s.CostOr(v, kInfCost);
+    tree.parent[v] = s.ParentOr(v, kNoVertex);
+  }
+  return tree;
+}
+
+Result<SwitchPath> PathFromTree(const SsspTree& tree, uint32_t dst) {
+  if (dst >= tree.cost.size() || tree.src == kNoVertex) {
+    return Error(ErrorCode::kOutOfRange, "vertex out of range");
+  }
+  if (tree.cost[dst] == kInfCost) {
+    return Error(ErrorCode::kUnavailable, "destination unreachable");
+  }
+  SwitchPath path;
+  for (uint32_t v = dst; v != kNoVertex; v = tree.parent[v]) {
+    path.push_back(v);
+    if (v == tree.src) {
+      break;
+    }
+    if (path.size() > tree.cost.size()) {
+      return Error(ErrorCode::kInternal, "cycle in SSSP tree");
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != tree.src) {
+    return Error(ErrorCode::kInternal, "path reconstruction failed");
+  }
+  return path;
 }
 
 Result<double> PathCost(const SwitchGraph& graph, const SwitchPath& path) {

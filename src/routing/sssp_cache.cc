@@ -1,0 +1,25 @@
+#include "src/routing/sssp_cache.h"
+
+namespace dumbnet {
+
+const SsspTree& SsspCache::Get(const SwitchGraph& graph, uint64_t version, uint32_t src,
+                               Rng* rng) {
+  if (version != version_ || version_ == kNoVersion) {
+    trees_.clear();
+    version_ = version;
+  }
+  auto it = trees_.find(src);
+  if (it != trees_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return trees_.emplace(src, BuildSsspTree(graph, src, rng, &scratch_)).first->second;
+}
+
+void SsspCache::Invalidate() {
+  trees_.clear();
+  version_ = kNoVersion;
+}
+
+}  // namespace dumbnet

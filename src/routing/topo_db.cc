@@ -13,6 +13,7 @@ uint32_t TopoDb::EnsureSwitch(uint64_t uid, uint8_t num_ports) {
   uint32_t index = mirror_.AddSwitch(kMaxPorts);
   uid_to_index_.emplace(uid, index);
   index_to_uid_.push_back(uid);
+  ++version_;
   return index;
 }
 
@@ -48,14 +49,17 @@ Status TopoDb::AddLink(const WireLink& link) {
     if (same) {
       // Already known; make sure it is marked up again.
       mirror_.SetLinkUp(existing, true);
+      ++version_;
       return Status::Ok();
     }
     mirror_.DetachLink(existing);
+    ++version_;
   }
   auto r = mirror_.ConnectSwitches(a, link.port_a, b, link.port_b);
   if (!r.ok()) {
     return r.error();
   }
+  ++version_;
   return Status::Ok();
 }
 
@@ -63,10 +67,14 @@ void TopoDb::SetLinkState(uint64_t uid, PortNum port, bool up) {
   auto li = FindLinkAt(uid, port);
   if (li.ok()) {
     mirror_.SetLinkUp(li.value(), up);
+    ++version_;
   }
 }
 
-void TopoDb::UpsertHost(const HostLocation& loc) { hosts_[loc.mac] = loc; }
+void TopoDb::UpsertHost(const HostLocation& loc) {
+  hosts_[loc.mac] = loc;
+  ++version_;
+}
 
 Status TopoDb::MergePathGraph(const WirePathGraph& graph) {
   for (const WireLink& l : graph.links) {

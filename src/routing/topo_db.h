@@ -60,6 +60,13 @@ class TopoDb {
   // mirror correspond to UidOf()/IndexOf().
   const Topology& mirror() const { return mirror_; }
 
+  // Monotonic mutation counter: bumped by every state-changing operation
+  // (EnsureSwitch, AddLink, SetLinkState, UpsertHost, MergePathGraph). Caches
+  // derived from the mirror (adjacency snapshots, SSSP trees) key on it. Note it
+  // is per-instance: replacing a TopoDb wholesale resets the numbering, so caches
+  // must also be dropped when the object itself changes.
+  uint64_t version() const { return version_; }
+
   // Converts a mirror-index path to UIDs and back.
   std::vector<uint64_t> PathToUids(const std::vector<uint32_t>& path) const;
   Result<std::vector<uint32_t>> PathFromUids(const std::vector<uint64_t>& path) const;
@@ -76,6 +83,7 @@ class TopoDb {
   std::unordered_map<uint64_t, uint32_t> uid_to_index_;
   std::vector<uint64_t> index_to_uid_;
   std::unordered_map<uint64_t, HostLocation> hosts_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace dumbnet

@@ -1,52 +1,215 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace dumbnet {
 
-EventHandle Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+namespace {
+
+// Level that can hold time `at` when the wheel stands at `wheel`: the level of the
+// highest differing bit. Events share all bits above their level's bucket field
+// with the wheel position, which is what makes the per-level "buckets >= current"
+// scan in RefillDue exhaustive.
+inline int LevelOf(uint64_t at, uint64_t wheel) {
+  uint64_t diff = at ^ wheel;
+  if (diff == 0) {
+    return 0;
+  }
+  return (63 - std::countl_zero(diff)) / 6;  // kLevelBits
+}
+
+}  // namespace
+
+Simulator::Simulator() {
+  for (Level& level : levels_) {
+    level.head.fill(kNil);
+    level.tail.fill(kNil);
+  }
+}
+
+uint32_t Simulator::AllocSlot() {
+  if (!free_.empty()) {
+    uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void Simulator::ReclaimSlot(uint32_t idx) {
+  Slot& slot = pool_[idx];
+  slot.fn.Reset();
+  slot.cancelled = false;
+  ++slot.gen;  // outstanding handles to this slot become stale
+  free_.push_back(idx);
+}
+
+void Simulator::FileSlot(uint32_t idx) {
+  Slot& slot = pool_[idx];
+  const uint64_t at = static_cast<uint64_t>(slot.at);
+  const int level_idx = LevelOf(at, static_cast<uint64_t>(wheel_time_));
+  const uint32_t bucket =
+      static_cast<uint32_t>(at >> (kLevelBits * level_idx)) & (kSlotsPerLevel - 1);
+  Level& level = levels_[static_cast<size_t>(level_idx)];
+  slot.next = kNil;
+  if ((level.occupied & (1ULL << bucket)) != 0) {
+    pool_[level.tail[bucket]].next = idx;
+  } else {
+    level.head[bucket] = idx;
+    level.occupied |= 1ULL << bucket;
+  }
+  level.tail[bucket] = idx;
+}
+
+void Simulator::RewindAndRefile(TimeNs new_wheel_time) {
+  std::vector<uint32_t> queued;
+  queued.reserve(queued_);
+  for (Level& level : levels_) {
+    uint64_t occupied = level.occupied;
+    while (occupied != 0) {
+      const uint32_t bucket = static_cast<uint32_t>(std::countr_zero(occupied));
+      occupied &= occupied - 1;
+      for (uint32_t i = level.head[bucket]; i != kNil; i = pool_[i].next) {
+        queued.push_back(i);
+      }
+      level.head[bucket] = kNil;
+      level.tail[bucket] = kNil;
+    }
+    level.occupied = 0;
+  }
+  for (size_t i = due_pos_; i < due_.size(); ++i) {
+    queued.push_back(due_[i]);
+  }
+  due_.clear();
+  due_pos_ = 0;
+  wheel_time_ = new_wheel_time;
+  for (uint32_t idx : queued) {
+    FileSlot(idx);
+  }
+}
+
+EventHandle Simulator::ScheduleAt(TimeNs at, EventFn fn) {
   if (at < now_) {
     at = now_;  // a timestamp in the past fires immediately; time never rewinds
   }
-  uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
-  ++live_events_;
-  return EventHandle(id);
+  if (at < wheel_time_) {
+    // The wheel ran ahead of the clock (an early-stopped RunUntil/RunSteps left a
+    // future batch drained); rewind so this earlier event is reachable.
+    RewindAndRefile(at);
+  }
+  uint32_t idx = AllocSlot();
+  Slot& slot = pool_[idx];
+  slot.at = at;
+  slot.seq = next_seq_++;
+  slot.fn = std::move(fn);
+  FileSlot(idx);
+  ++queued_;
+  return EventHandle(idx, slot.gen);
 }
 
-EventHandle Simulator::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAfter(TimeNs delay, EventFn fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
 void Simulator::Cancel(EventHandle handle) {
-  if (handle.id_ != 0) {
-    cancelled_.push_back(handle.id_);
+  if (!handle.valid() || handle.slot_ >= pool_.size()) {
+    return;
   }
+  Slot& slot = pool_[handle.slot_];
+  if (slot.gen != handle.gen_ || slot.cancelled) {
+    return;  // already ran, already cancelled, or the slot was reused
+  }
+  slot.cancelled = true;
+  slot.fn.Reset();  // release captured resources now, not at expiry
 }
 
-bool Simulator::IsCancelled(uint64_t id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) {
+bool Simulator::RefillDue() {
+  if (due_pos_ < due_.size()) {
+    return true;
+  }
+  due_.clear();
+  due_pos_ = 0;
+  if (queued_ == 0) {
     return false;
   }
-  // Swap-erase: cancellation lists stay tiny (outstanding timers only).
-  *it = cancelled_.back();
-  cancelled_.pop_back();
-  return true;
+  for (;;) {
+    const uint64_t wheel = static_cast<uint64_t>(wheel_time_);
+    int level_idx = -1;
+    uint32_t bucket = 0;
+    for (int k = 0; k < kLevels; ++k) {
+      const uint32_t cur =
+          static_cast<uint32_t>(wheel >> (kLevelBits * k)) & (kSlotsPerLevel - 1);
+      const uint64_t pending = levels_[static_cast<size_t>(k)].occupied & (~0ULL << cur);
+      if (pending != 0) {
+        level_idx = k;
+        bucket = static_cast<uint32_t>(std::countr_zero(pending));
+        break;
+      }
+    }
+    assert(level_idx >= 0 && "queued_ > 0 but the wheel is empty");
+    if (level_idx < 0) {
+      return false;
+    }
+    Level& level = levels_[static_cast<size_t>(level_idx)];
+    uint32_t head = level.head[bucket];
+    level.occupied &= ~(1ULL << bucket);
+    level.head[bucket] = kNil;
+    level.tail[bucket] = kNil;
+
+    if (level_idx == 0) {
+      // A level-0 bucket holds exactly one timestamp: the wheel position with its
+      // low bits replaced by the bucket index.
+      wheel_time_ = static_cast<TimeNs>((wheel & ~static_cast<uint64_t>(kSlotsPerLevel - 1)) |
+                                        bucket);
+      for (uint32_t i = head; i != kNil; i = pool_[i].next) {
+        assert(pool_[i].at == wheel_time_);
+        due_.push_back(i);
+      }
+      // FIFO among same-time events, regardless of how cascades interleaved them.
+      std::sort(due_.begin(), due_.end(),
+                [this](uint32_t a, uint32_t b) { return pool_[a].seq < pool_[b].seq; });
+      return true;
+    }
+
+    // Cascade: advance the wheel to the bucket's start and re-file its events one
+    // level (or more) down. Each event cascades at most kLevels times ever, so
+    // this is amortised O(1) per event.
+    const int shift = kLevelBits * (level_idx + 1);
+    const uint64_t prefix_mask = shift >= 64 ? 0 : ~0ULL << shift;
+    wheel_time_ = static_cast<TimeNs>(
+        (wheel & prefix_mask) |
+        (static_cast<uint64_t>(bucket) << (kLevelBits * level_idx)));
+    for (uint32_t i = head; i != kNil;) {
+      uint32_t next = pool_[i].next;
+      FileSlot(i);
+      i = next;
+    }
+  }
 }
 
 bool Simulator::Step() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  --live_events_;
-  if (IsCancelled(ev.id)) {
+  const uint32_t idx = due_[due_pos_++];
+  Slot& slot = pool_[idx];
+  --queued_;
+  if (slot.cancelled) {
+    ReclaimSlot(idx);
     return false;
   }
-  assert(ev.at >= now_);
-  now_ = ev.at;
-  ev.fn();
+  assert(slot.at >= now_);
+  now_ = slot.at;
+  const uint64_t seq = slot.seq;
+  EventFn fn = std::move(slot.fn);
+  // Reclaim before invoking: a callback cancelling its own (now stale) handle is a
+  // no-op, and nested scheduling may reuse the slot immediately.
+  ReclaimSlot(idx);
+  fn();
   ++executed_;
+  if (trace_hook_) {
+    trace_hook_(now_, seq);
+  }
   if (audit_every_ != 0 && executed_ % audit_every_ == 0 && audit_hook_) {
     audit_hook_();
   }
@@ -58,9 +221,13 @@ void Simulator::SetAuditHook(std::function<void()> hook, uint64_t every_events) 
   audit_every_ = audit_hook_ ? every_events : 0;
 }
 
+void Simulator::SetTraceHook(std::function<void(TimeNs, uint64_t)> hook) {
+  trace_hook_ = std::move(hook);
+}
+
 uint64_t Simulator::Run() {
   uint64_t ran = 0;
-  while (!queue_.empty()) {
+  while (RefillDue()) {
     if (Step()) {
       ++ran;
     }
@@ -70,7 +237,7 @@ uint64_t Simulator::Run() {
 
 uint64_t Simulator::RunUntil(TimeNs deadline) {
   uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (RefillDue() && pool_[due_[due_pos_]].at <= deadline) {
     if (Step()) {
       ++ran;
     }
@@ -83,12 +250,20 @@ uint64_t Simulator::RunUntil(TimeNs deadline) {
 
 uint64_t Simulator::RunSteps(uint64_t max_events) {
   uint64_t ran = 0;
-  while (!queue_.empty() && ran < max_events) {
+  while (ran < max_events && RefillDue()) {
     if (Step()) {
       ++ran;
     }
   }
   return ran;
+}
+
+SimulatorMemStats Simulator::mem_stats() const {
+  SimulatorMemStats stats;
+  stats.pool_slots = pool_.size();
+  stats.free_slots = free_.size();
+  stats.queued_events = queued_;
+  return stats;
 }
 
 }  // namespace dumbnet

@@ -1,35 +1,57 @@
-// Discrete-event simulation engine: a virtual clock plus a priority queue of
-// callbacks. Single-threaded; events with equal timestamps fire in scheduling order
-// so runs are deterministic.
+// Discrete-event simulation engine: a virtual clock plus a hierarchical timer
+// wheel of callbacks. Single-threaded; events with equal timestamps fire in
+// scheduling order so runs are deterministic bit-for-bit.
+//
+// Internals (see DESIGN.md "Performance architecture"): events live in a pooled
+// slot array (EventFn gives closures ≤ ~48 bytes in-place storage, so the steady
+// state allocates nothing per event). Slots are threaded through an 11-level
+// timer wheel of 64 buckets per level (64^11 ticks covers every TimeNs), with a
+// per-level occupancy bitmap so finding the next event skips empty time in O(1)
+// per level instead of scanning. Cancellation is O(1): handles carry a slot
+// generation, Cancel stamps the slot and the wheel reaps it when its time comes —
+// no unbounded side list, no re-sorting.
 #ifndef DUMBNET_SRC_SIM_SIMULATOR_H_
 #define DUMBNET_SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/time.h"
 
 namespace dumbnet {
 
 // Handle that lets a scheduled event be cancelled (e.g. a retransmit timer that the
-// ack beat to the punch). Cancellation is lazy: the event stays queued but is skipped.
+// ack beat to the punch). Cancel is O(1): the pooled slot is stamped cancelled and
+// reclaimed when the wheel reaches it. Handles are generation-checked, so a handle
+// to an event that already ran (or whose slot was reused) is a safe no-op.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return slot_ != UINT32_MAX; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(uint64_t id) : id_(id) {}
-  uint64_t id_ = 0;
+  EventHandle(uint32_t slot, uint32_t gen) : slot_(slot), gen_(gen) {}
+  uint32_t slot_ = UINT32_MAX;
+  uint32_t gen_ = 0;
+};
+
+// Queue-side memory accounting, exposed so tests can assert that cancel-heavy
+// workloads stay bounded (the former lazily-sorted cancellation list grew without
+// limit when cancels raced completions).
+struct SimulatorMemStats {
+  size_t pool_slots = 0;     // slot high-water mark (allocated once, then reused)
+  size_t free_slots = 0;     // currently idle slots
+  size_t queued_events = 0;  // scheduled, incl. cancelled-but-unreaped
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -37,12 +59,12 @@ class Simulator {
   TimeNs Now() const { return now_; }
 
   // Schedules `fn` to run at absolute virtual time `at` (>= Now()).
-  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn);
+  EventHandle ScheduleAt(TimeNs at, EventFn fn);
 
   // Schedules `fn` to run `delay` ns from now.
-  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn);
+  EventHandle ScheduleAfter(TimeNs delay, EventFn fn);
 
-  // Cancels a pending event; no-op if it already ran or was cancelled.
+  // Cancels a pending event; no-op if it already ran or was cancelled. O(1).
   void Cancel(EventHandle handle);
 
   // Runs events until the queue is empty. Returns the number of events executed.
@@ -61,39 +83,71 @@ class Simulator {
   // schedule or cancel events.
   void SetAuditHook(std::function<void()> hook, uint64_t every_events = 256);
 
-  bool Empty() const { return live_events_ == 0; }
+  // Trace mode: `hook(at, seq)` fires after every executed event, where `seq` is
+  // the event's global scheduling sequence number. Two runs of the same seeded
+  // workload must produce identical traces (the golden-trace determinism tests
+  // compare them). Pass an empty hook to detach.
+  void SetTraceHook(std::function<void(TimeNs at, uint64_t seq)> hook);
+
+  bool Empty() const { return queued_ == 0; }
   uint64_t executed_events() const { return executed_; }
+  SimulatorMemStats mem_stats() const;
 
  private:
-  struct Event {
-    TimeNs at;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    uint64_t id;
-    std::function<void()> fn;
+  static constexpr uint32_t kNil = UINT32_MAX;
+  static constexpr int kLevelBits = 6;
+  static constexpr uint32_t kSlotsPerLevel = 64;
+  // 64^11 = 2^66 ticks: every representable TimeNs files into some level, so there
+  // is no overflow list.
+  static constexpr int kLevels = 11;
 
-    bool operator>(const Event& other) const {
-      if (at != other.at) {
-        return at > other.at;
-      }
-      return seq > other.seq;
-    }
+  struct Slot {
+    TimeNs at = 0;
+    uint64_t seq = 0;       // tie-break: FIFO among same-time events
+    uint32_t gen = 0;       // bumped on reclaim; stale handles mismatch
+    uint32_t next = kNil;   // intrusive bucket list
+    bool cancelled = false;
+    EventFn fn;
   };
 
-  // Pops and runs the front event if it is not cancelled. Returns true if an event
-  // actually executed.
+  struct Level {
+    uint64_t occupied = 0;  // bit b set <=> bucket b non-empty
+    std::array<uint32_t, kSlotsPerLevel> head;
+    std::array<uint32_t, kSlotsPerLevel> tail;
+  };
+
+  uint32_t AllocSlot();
+  void ReclaimSlot(uint32_t idx);
+  // Threads `idx` into the wheel relative to wheel_time_.
+  void FileSlot(uint32_t idx);
+  // Rewinds the wheel to `new_wheel_time` and re-files every queued event. Needed
+  // when an insert lands below wheel_time_ — possible only after RunUntil/RunSteps
+  // stopped with a drained-but-unexecuted future batch. O(queued), amortised over
+  // the run boundary that caused it.
+  void RewindAndRefile(TimeNs new_wheel_time);
+  // Ensures due_ holds the next same-timestamp batch (sorted by seq). Cascades
+  // higher-level buckets down as the wheel advances. False when nothing is queued.
+  bool RefillDue();
+  // Pops and runs the next due event if it is not cancelled. Returns true if an
+  // event actually executed. Precondition: RefillDue() returned true.
   bool Step();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::vector<uint64_t> cancelled_;  // sorted lazily; small in practice
+  std::vector<Slot> pool_;
+  std::vector<uint32_t> free_;
+  std::array<Level, kLevels> levels_;
+  std::vector<uint32_t> due_;  // slot indices, one timestamp, ascending seq
+  size_t due_pos_ = 0;
+  // Lower bound on every queued event's timestamp; advances only inside
+  // RefillDue. Inserts are filed relative to this.
+  TimeNs wheel_time_ = 0;
+
   std::function<void()> audit_hook_;
   uint64_t audit_every_ = 0;
+  std::function<void(TimeNs, uint64_t)> trace_hook_;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
-  uint64_t live_events_ = 0;
-
-  bool IsCancelled(uint64_t id);
+  uint64_t queued_ = 0;
 };
 
 }  // namespace dumbnet

@@ -1,0 +1,85 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? std::min<size_t>(hw - 1, 7) : 0;
+  }
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });  // caller is worker 0
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t)>* job = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = job_id_;
+      job = job_;
+      n = job_n_;
+    }
+    for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
+      (*job)(i, worker);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i, 0);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0);
+    active_ = threads_.size();
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0; it drains indices alongside the pool.
+  for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
+    fn(i, 0);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace dumbnet

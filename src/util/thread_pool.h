@@ -1,0 +1,59 @@
+// A small fixed-size worker pool for fanning independent, index-addressed work
+// across cores (the controller's batch path-graph precompute uses it). The calling
+// thread participates as a worker, so a pool with zero threads still makes
+// progress and ParallelFor degrades to a plain loop.
+//
+// Determinism contract: ParallelFor guarantees every index in [0, n) runs exactly
+// once, but says nothing about order or which worker runs it. Callers that need
+// reproducible results must make each index's work self-contained (own RNG, own
+// output slot) — see BuildPathGraphBatch.
+#ifndef DUMBNET_SRC_UTIL_THREAD_POOL_H_
+#define DUMBNET_SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dumbnet {
+
+class ThreadPool {
+ public:
+  // `threads` background workers (the caller makes threads + 1 total). 0 requests
+  // a default of hardware_concurrency - 1, capped at 7.
+  explicit ThreadPool(size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  // Worker slots, including the caller: ParallelFor passes worker ids in
+  // [0, concurrency()). Id 0 is always the calling thread.
+  size_t concurrency() const { return threads_.size() + 1; }
+
+  // Runs fn(index, worker) for every index in [0, n), distributing indices over
+  // the pool plus the calling thread; returns when all n calls have finished.
+  // `fn` must not throw and must not call back into this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t index, size_t worker)>& fn);
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new job to workers
+  std::condition_variable done_cv_;   // signals job completion to the caller
+  const std::function<void(size_t, size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t job_n_ = 0;                  // guarded by mu_
+  uint64_t job_id_ = 0;               // guarded by mu_; bumped per ParallelFor
+  size_t active_ = 0;                 // guarded by mu_; workers still in the job
+  bool stop_ = false;                 // guarded by mu_
+  std::atomic<size_t> next_{0};       // next unclaimed index of the current job
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_UTIL_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/invariants.h"
 #include "src/topo/generators.h"
 #include "tests/test_fabric.h"
 
@@ -209,6 +210,62 @@ TEST_F(ControllerTest, ReplicatedLogMirrorsTopologyEvents) {
   uint64_t spine_uid = fabric_->topo().switch_at(spines_[0]).uid;
   auto link = standby.LinkAt(spine_uid, 1);
   ASSERT_TRUE(link.ok());
+}
+
+TEST_F(ControllerTest, PrecomputePathGraphsServesEveryKnownDestination) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);
+  std::vector<uint64_t> dst_macs;
+  for (uint32_t h = 5; h < 15; ++h) {
+    dst_macs.push_back(fabric_->agent(h).mac());
+  }
+  dst_macs.push_back(0xdeadbeefULL);  // unknown MAC: silently skipped
+  auto graphs = controller_->PrecomputePathGraphs(src.mac(), dst_macs);
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_EQ(graphs.value().size(), 10u);
+  for (const WirePathGraph& wg : graphs.value()) {
+    EXPECT_TRUE(AuditWirePathGraph(wg).ok());
+    ASSERT_FALSE(wg.primary.empty());
+    EXPECT_EQ(wg.primary.front(), wg.src_uid);
+    EXPECT_EQ(wg.primary.back(), wg.dst_uid);
+  }
+  // Unknown source: hard error.
+  EXPECT_FALSE(controller_->PrecomputePathGraphs(0xdeadbeefULL, dst_macs).ok());
+}
+
+TEST_F(ControllerTest, SsspCacheHitsOnRepeatAndInvalidatesOnLinkEvent) {
+  BringUp();
+  HostAgent& src = fabric_->agent(0);
+  std::vector<uint64_t> dst_macs = {fabric_->agent(12).mac(), fabric_->agent(20).mac()};
+
+  uint64_t misses0 = controller_->sssp_cache_stats().misses;
+  ASSERT_TRUE(controller_->PrecomputePathGraphs(src.mac(), dst_macs).ok());
+  EXPECT_EQ(controller_->sssp_cache_stats().misses, misses0 + 1);
+
+  // Same source, unchanged topology: the tree is reused.
+  uint64_t hits0 = controller_->sssp_cache_stats().hits;
+  ASSERT_TRUE(controller_->PrecomputePathGraphs(src.mac(), dst_macs).ok());
+  EXPECT_EQ(controller_->sssp_cache_stats().hits, hits0 + 1);
+  EXPECT_EQ(controller_->sssp_cache_stats().misses, misses0 + 1);
+
+  // A link event bumps the db version: the next precompute must recompute, and
+  // its output must avoid the dead link.
+  LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
+  ASSERT_NE(li, kInvalidLink);
+  fabric_->topo().SetLinkUp(li, false);
+  fabric_->sim().Run();
+  auto graphs = controller_->PrecomputePathGraphs(src.mac(), dst_macs);
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_EQ(controller_->sssp_cache_stats().misses, misses0 + 2);
+  uint64_t spine_uid = fabric_->topo().switch_at(spines_[0]).uid;
+  uint64_t leaf_uid = fabric_->topo().switch_at(leaves_[0]).uid;
+  for (const WirePathGraph& wg : graphs.value()) {
+    for (const WireLink& wl : wg.links) {
+      EXPECT_FALSE((wl.uid_a == spine_uid && wl.uid_b == leaf_uid) ||
+                   (wl.uid_a == leaf_uid && wl.uid_b == spine_uid))
+          << "path graph still uses the dead link";
+    }
+  }
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "src/analysis/invariants.h"
 #include "src/routing/graph.h"
@@ -271,6 +273,213 @@ TEST(PathGraphTest, SingleVertexPath) {
   auto pg = BuildPathGraph(t, g, 2, 2, PathGraphParams{});
   ASSERT_TRUE(pg.ok());
   EXPECT_EQ(pg.value().primary, (SwitchPath{2}));
+}
+
+// ---------------------------------------------------------------------------
+// CSR graph / scratch-SSSP / batch equivalence (the perf rework must not change
+// any routing result).
+// ---------------------------------------------------------------------------
+
+Topology MediumCube() {
+  CubeConfig config;
+  config.dims = {4, 4, 4};
+  config.hosts_per_switch = 0;
+  config.switch_ports = 8;
+  auto cube = MakeCube(config);
+  EXPECT_TRUE(cube.ok());
+  return std::move(cube.value().topo);
+}
+
+TEST(GraphTest, CsrNeighborsMatchTopologyLinks) {
+  Topology t = MediumCube();
+  // Knock one link down: it must disappear from the adjacency.
+  t.SetLinkUp(0, false);
+  SwitchGraph g(t);
+  // Collect expected (switch, peer, link) triples straight from the link table.
+  std::set<std::tuple<uint32_t, uint32_t, LinkIndex>> expected;
+  for (LinkIndex li = 0; li < t.link_count(); ++li) {
+    const Link& l = t.link_at(li);
+    if (!l.up || !l.a.node.is_switch() || !l.b.node.is_switch()) {
+      continue;
+    }
+    expected.insert({l.a.node.index, l.b.node.index, li});
+    expected.insert({l.b.node.index, l.a.node.index, li});
+  }
+  std::set<std::tuple<uint32_t, uint32_t, LinkIndex>> actual;
+  size_t edges = 0;
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    for (const AdjEdge& e : g.Neighbors(v)) {
+      actual.insert({v, e.to, e.link});
+      ++edges;
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(edges, g.edge_count());
+}
+
+TEST(BfsTest, ScratchVariantMatchesAllocatingVariant) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  std::vector<uint32_t> dist = BfsDistances(g, 0);
+  SsspScratch scratch;
+  BfsDistancesInto(g, 0, scratch);
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(scratch.HopsOr(v, UINT32_MAX), dist[v]) << "vertex " << v;
+  }
+}
+
+TEST(BfsTest, TruncationIsExactInsideHorizon) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  std::vector<uint32_t> dist = BfsDistances(g, 0);
+  const uint32_t kHorizon = 3;
+  SsspScratch scratch;
+  BfsDistancesInto(g, 0, scratch, kHorizon);
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    if (dist[v] <= kHorizon) {
+      EXPECT_EQ(scratch.HopsOr(v, UINT32_MAX), dist[v]) << "vertex " << v;
+    } else {
+      EXPECT_FALSE(scratch.Seen(v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(ShortestPathTest, ScaledVariantMatchesPlainWithSameSeed) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  for (uint32_t dst : {7u, 21u, 63u}) {
+    Rng rng_a(99);
+    Rng rng_b(99);
+    auto plain = ShortestPath(g, 0, dst, &rng_a);
+    SsspScratch scratch;
+    auto scaled = ShortestPathScaled(g, 0, dst, &rng_b, scratch, nullptr);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(scaled.ok());
+    EXPECT_EQ(plain.value(), scaled.value()) << "dst " << dst;
+  }
+}
+
+TEST(SsspTreeTest, TreePathsAreShortest) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  Rng rng(5);
+  SsspTree tree = BuildSsspTree(g, 0, &rng);
+  std::vector<uint32_t> dist = BfsDistances(g, 0);
+  for (uint32_t dst = 0; dst < g.size(); ++dst) {
+    auto path = PathFromTree(tree, dst);
+    ASSERT_TRUE(path.ok()) << "dst " << dst;
+    // Unit weights: tree distance == BFS hop count, path length == distance + 1.
+    EXPECT_EQ(path.value().size(), static_cast<size_t>(dist[dst]) + 1);
+    EXPECT_EQ(tree.cost[dst], static_cast<double>(dist[dst]));
+    EXPECT_EQ(path.value().front(), 0u);
+    EXPECT_EQ(path.value().back(), dst);
+    // Every step must be an actual edge.
+    EXPECT_TRUE(PathCost(g, path.value()).ok());
+  }
+}
+
+TEST(SsspTreeTest, PathFromTreeRejectsUnreachable) {
+  Topology t = Diamond();
+  t.AddSwitch(8);  // isolated
+  SwitchGraph g(t);
+  SsspTree tree = BuildSsspTree(g, 0);
+  EXPECT_FALSE(PathFromTree(tree, 6).ok());
+  EXPECT_FALSE(PathFromTree(tree, 99).ok());
+}
+
+TEST(PathGraphTest, ScratchOverloadMatchesAllocatingOverload) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  PathGraphParams params;
+  PathGraphScratch scratch;
+  for (uint32_t dst : {21u, 42u, 63u}) {
+    Rng rng_a(17);
+    Rng rng_b(17);
+    auto plain = BuildPathGraph(t, g, 0, dst, params, &rng_a);
+    auto reused = BuildPathGraph(t, g, 0, dst, params, &rng_b, scratch);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(plain.value().primary, reused.value().primary);
+    EXPECT_EQ(plain.value().backup, reused.value().backup);
+    EXPECT_EQ(plain.value().vertices, reused.value().vertices);
+    EXPECT_EQ(plain.value().links, reused.value().links);
+  }
+}
+
+TEST(PathGraphBatchTest, MatchesSequentialBuildsWithForkedRngs) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  PathGraphParams params;
+  std::vector<uint32_t> dsts;
+  for (uint32_t v = 1; v < g.size(); v += 3) {
+    dsts.push_back(v);
+  }
+  Rng rng_tree_a(123);
+  SsspTree tree = BuildSsspTree(g, 0, &rng_tree_a);
+  // Reference: one sequential BuildPathGraphAround per destination, with the same
+  // fork discipline the batch documents.
+  Rng rng_a(55);
+  std::vector<Rng> forks;
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    forks.push_back(rng_a.Fork(i));
+  }
+  PathGraphScratch scratch;
+  std::vector<Result<PathGraph>> expected;
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    auto primary = PathFromTree(tree, dsts[i]);
+    ASSERT_TRUE(primary.ok());
+    expected.push_back(BuildPathGraphAround(t, g, std::move(primary.value()), params,
+                                            &forks[i], scratch));
+  }
+  Rng rng_b(55);
+  auto batch = BuildPathGraphBatch(t, g, tree, dsts, params, &rng_b, nullptr);
+  ASSERT_EQ(batch.size(), expected.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    ASSERT_TRUE(expected[i].ok());
+    EXPECT_EQ(batch[i].value().primary, expected[i].value().primary) << "dst " << dsts[i];
+    EXPECT_EQ(batch[i].value().backup, expected[i].value().backup) << "dst " << dsts[i];
+    EXPECT_EQ(batch[i].value().vertices, expected[i].value().vertices);
+    EXPECT_EQ(batch[i].value().links, expected[i].value().links);
+  }
+}
+
+TEST(PathGraphBatchTest, PooledMatchesInline) {
+  Topology t = MediumCube();
+  SwitchGraph g(t);
+  PathGraphParams params;
+  std::vector<uint32_t> dsts;
+  for (uint32_t v = 1; v < g.size(); v += 2) {
+    dsts.push_back(v);
+  }
+  SsspTree tree = BuildSsspTree(g, 0);
+  Rng rng_a(9);
+  auto inline_batch = BuildPathGraphBatch(t, g, tree, dsts, params, &rng_a, nullptr);
+  ThreadPool pool(3);
+  Rng rng_b(9);
+  auto pooled_batch = BuildPathGraphBatch(t, g, tree, dsts, params, &rng_b, &pool);
+  ASSERT_EQ(inline_batch.size(), pooled_batch.size());
+  for (size_t i = 0; i < inline_batch.size(); ++i) {
+    ASSERT_TRUE(inline_batch[i].ok());
+    ASSERT_TRUE(pooled_batch[i].ok());
+    EXPECT_EQ(inline_batch[i].value().primary, pooled_batch[i].value().primary);
+    EXPECT_EQ(inline_batch[i].value().backup, pooled_batch[i].value().backup);
+    EXPECT_EQ(inline_batch[i].value().vertices, pooled_batch[i].value().vertices);
+    EXPECT_EQ(inline_batch[i].value().links, pooled_batch[i].value().links);
+  }
+}
+
+TEST(PathGraphBatchTest, UnreachableDestinationYieldsErrorEntry) {
+  Topology t = Diamond();
+  t.AddSwitch(8);  // isolated switch 6
+  SwitchGraph g(t);
+  SsspTree tree = BuildSsspTree(g, 0);
+  auto batch = BuildPathGraphBatch(t, g, tree, {3, 6, 1}, PathGraphParams{}, nullptr,
+                                   nullptr);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_FALSE(batch[1].ok());
+  EXPECT_TRUE(batch[2].ok());
 }
 
 }  // namespace

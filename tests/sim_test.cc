@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 namespace dumbnet {
 namespace {
 
@@ -102,6 +106,55 @@ TEST(SimulatorTest, ManyEventsStress) {
   }
   EXPECT_EQ(sim.Run(), 100000u);
   EXPECT_EQ(fired, 100000u);
+}
+
+// Regression: the old core kept every cancelled id in a lazily-probed list, so a
+// cancel-per-ack workload grew memory without bound. The slot pool must stay
+// bounded by the number of *outstanding* events, not the number ever scheduled.
+TEST(SimulatorTest, CancelHeavyMemoryBounded) {
+  Simulator sim;
+  const uint64_t kTicks = 50000;
+  const uint64_t kWindow = 64;
+  std::vector<EventHandle> timers(kWindow);
+  uint64_t fired = 0;
+  std::function<void(uint64_t)> tick = [&](uint64_t i) {
+    if (i >= kTicks) {
+      return;
+    }
+    sim.Cancel(timers[i % kWindow]);  // the ack beat the timeout
+    timers[i % kWindow] = sim.ScheduleAfter(Ms(5), [&fired] { ++fired; });
+    sim.ScheduleAfter(Us(1), [&tick, i] { tick(i + 1); });
+  };
+  sim.ScheduleAt(0, [&tick] { tick(0); });
+  sim.Run();
+  // Outstanding at any instant: kWindow timeouts + one tick + <= Ms(5)/Us(1)
+  // not-yet-cancelled timers in flight. Far below kTicks if cancellation reclaims.
+  EXPECT_LT(sim.mem_stats().pool_slots, 2 * (kWindow + Ms(5) / Us(1)));
+  EXPECT_EQ(sim.mem_stats().queued_events, 0u);
+  EXPECT_EQ(sim.mem_stats().free_slots, sim.mem_stats().pool_slots);
+}
+
+TEST(SimulatorTest, TraceHookReportsEveryExecutedEvent) {
+  Simulator sim;
+  std::vector<std::pair<TimeNs, uint64_t>> trace;
+  sim.SetTraceHook([&](TimeNs at, uint64_t seq) { trace.emplace_back(at, seq); });
+  EventHandle doomed{};
+  sim.ScheduleAt(Ms(2), [] {});
+  sim.ScheduleAt(Ms(1), [&] {
+    sim.ScheduleAfter(Us(10), [] {});
+    doomed = sim.ScheduleAt(Ms(5), [] { FAIL() << "cancelled event ran"; });
+    sim.ScheduleAt(Ms(3), [&] { sim.Cancel(doomed); });
+  });
+  EXPECT_EQ(sim.Run(), 4u);
+  ASSERT_EQ(trace.size(), 4u);  // cancelled events never reach the hook
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].first, trace[i].first);
+  }
+  // Detach: no further callbacks.
+  sim.SetTraceHook(nullptr);
+  sim.ScheduleAt(Ms(10), [] {});
+  sim.Run();
+  EXPECT_EQ(trace.size(), 4u);
 }
 
 }  // namespace

@@ -1,15 +1,27 @@
-// dumbnet-check: static fabric-state checker. Loads a serialized topology (and
-// optionally the path-graph files hosts would cache) and reports invariant
-// violations without running the simulator:
+// dumbnet-check: static fabric-state checker and benchmark regression gate.
+//
+// Fabric mode — loads a serialized topology (and optionally the path-graph files
+// hosts would cache) and reports invariant violations without running the
+// simulator:
 //
 //   dumbnet-check fabric.topo [pathgraphs.pg ...] [--max-tag-depth N]
 //
+// Bench mode — compares a benchmark JSON report (bench/* --json output) against
+// a committed baseline and flags metrics that regressed beyond the tolerance:
+//
+//   dumbnet-check --bench-json run.json --bench-baseline bench/BENCH_baseline.json
+//                 [--bench-tolerance 0.20]
+//
+// The two modes compose: pass both a topology and --bench-json to gate on both.
 // Exit status: 0 clean, 1 findings reported, 2 usage/load error.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/analysis/bench_compare.h"
 #include "src/analysis/fabric_check.h"
 
 namespace {
@@ -17,12 +29,67 @@ namespace {
 int Usage() {
   std::cerr << "usage: dumbnet-check <topology-file> [pathgraph-file ...]\n"
                "                     [--max-tag-depth N]\n"
+               "       dumbnet-check --bench-json <report.json>\n"
+               "                     --bench-baseline <baseline.json>\n"
+               "                     [--bench-tolerance <frac>]\n"
                "\n"
-               "Checks a serialized fabric state for: structural validity,\n"
+               "Fabric mode checks a serialized state for: structural validity,\n"
                "unreachable hosts, port conflicts and dangling links, loops in\n"
                "primary paths, backups sharing a failed link with their primary,\n"
-               "and tag stacks exceeding the one-byte header budget.\n";
+               "and tag stacks exceeding the one-byte header budget.\n"
+               "Bench mode flags metrics worse than the baseline by more than the\n"
+               "tolerance (default 0.20); time-like units regress by growing,\n"
+               "rates and ratios by shrinking.\n";
   return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Returns findings, or nullopt-equivalent via `ok=false` on load errors.
+int RunBenchGate(const std::string& report_path, const std::string& baseline_path,
+                 double tolerance) {
+  std::string report_text;
+  std::string baseline_text;
+  if (!ReadFile(report_path, &report_text)) {
+    std::cerr << "dumbnet-check: cannot read " << report_path << "\n";
+    return 2;
+  }
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::cerr << "dumbnet-check: cannot read " << baseline_path << "\n";
+    return 2;
+  }
+  auto report = dumbnet::ParseBenchJson(report_text);
+  if (!report.ok()) {
+    std::cerr << "dumbnet-check: " << report_path << ": " << report.error().message()
+              << "\n";
+    return 2;
+  }
+  auto baseline = dumbnet::ParseBenchJson(baseline_text);
+  if (!baseline.ok()) {
+    std::cerr << "dumbnet-check: " << baseline_path << ": "
+              << baseline.error().message() << "\n";
+    return 2;
+  }
+  auto findings =
+      dumbnet::CompareBenchRows(baseline.value(), report.value(), tolerance);
+  for (const auto& f : findings) {
+    std::cout << f.check << ": " << f.detail << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "bench gate: " << baseline.value().size() << " baseline metrics ok ("
+              << report.value().size() << " reported)\n";
+    return 0;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -30,6 +97,9 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string topo_path;
   std::vector<std::string> pathgraph_paths;
+  std::string bench_json;
+  std::string bench_baseline;
+  double bench_tolerance = 0.20;
   dumbnet::FabricCheckOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +114,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.max_tag_depth = static_cast<size_t>(depth);
+    } else if (arg == "--bench-json") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      bench_json = argv[++i];
+    } else if (arg == "--bench-baseline") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      bench_baseline = argv[++i];
+    } else if (arg == "--bench-tolerance") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      char* end = nullptr;
+      bench_tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || bench_tolerance < 0.0) {
+        std::cerr << "dumbnet-check: --bench-tolerance must be a fraction >= 0\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -55,6 +145,18 @@ int main(int argc, char** argv) {
     } else {
       pathgraph_paths.push_back(arg);
     }
+  }
+
+  if (!bench_json.empty() || !bench_baseline.empty()) {
+    if (bench_json.empty() || bench_baseline.empty()) {
+      std::cerr << "dumbnet-check: --bench-json and --bench-baseline go together\n";
+      return Usage();
+    }
+    int bench_rc = RunBenchGate(bench_json, bench_baseline, bench_tolerance);
+    if (bench_rc != 0 || topo_path.empty()) {
+      return bench_rc;
+    }
+    // Fall through to the fabric check; both were requested and bench is clean.
   }
   if (topo_path.empty()) {
     return Usage();
