@@ -39,7 +39,7 @@ Outcome Run(uint32_t fanout, uint8_t notify_hops) {
 
   Outcome outcome;
   outcome.hosts = fabric.host_count();
-  SampleSet delays;
+  LogHistogram delays;  // same log-bucketed collector the telemetry registry uses
   std::vector<bool> heard(fabric.host_count(), false);
   for (uint32_t h = 0; h < fabric.host_count(); ++h) {
     fabric.agent(h).SetLinkEventHook([&, h](const LinkEventPayload& ev, bool fabric_src) {

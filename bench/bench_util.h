@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/telemetry/telemetry.h"
+
 namespace dumbnet {
 namespace bench {
 
@@ -29,8 +31,9 @@ inline void Banner(const char* id, const char* paper_result) {
 
 // Command-line switches every bench understands.
 struct BenchArgs {
-  bool quick = false;        // --quick (equivalent to DUMBNET_QUICK=1)
-  std::string json_path;     // --json <path>: write a JSON report on exit
+  bool quick = false;         // --quick (equivalent to DUMBNET_QUICK=1)
+  std::string json_path;      // --json <path>: write a JSON report on exit
+  std::string metrics_path;   // --metrics-json <path>: dump the telemetry registry
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -41,12 +44,28 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      args.metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>] [--metrics-json <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   return args;
+}
+
+// Dumps the telemetry metrics registry as JSON; call at bench exit when
+// --metrics-json was given. A no-op for an empty path.
+inline void WriteMetricsJson(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (!telemetry::MetricsRegistry::Global().WriteJsonFile(path)) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("wrote telemetry metrics to %s\n", path.c_str());
 }
 
 // Accumulates measurement rows and writes them as a JSON array of

@@ -35,24 +35,28 @@ constexpr TimeNs kDpdkDelay = Us(220);
 // Halving the agent's knob equalizes the per-packet software cost.
 constexpr TimeNs kDumbNetAgentDelay = kDpdkDelay / 2;
 
-void PrintCdf(const char* name, SampleSet& rtts) {
-  std::printf("%-12s n=%5zu  p10=%6.2f  p50=%6.2f  p90=%6.2f  p99=%6.2f  "
+// RTTs are collected through the telemetry registry's log-bucketed histograms,
+// so this CDF and a --metrics-json style telemetry report are the same numbers
+// (bounded relative error ~1.6%, see LogHistogram).
+void PrintCdf(const char* name, const LogHistogram& rtts) {
+  std::printf("%-12s n=%5llu  p10=%6.2f  p50=%6.2f  p90=%6.2f  p99=%6.2f  "
               "p99.5=%6.2f  max=%6.2f   (ms)\n",
-              name, rtts.count(), rtts.Percentile(10) , rtts.Percentile(50),
-              rtts.Percentile(90), rtts.Percentile(99), rtts.Percentile(99.5),
-              rtts.max());
+              name, static_cast<unsigned long long>(rtts.count()), rtts.Percentile(10),
+              rtts.Percentile(50), rtts.Percentile(90), rtts.Percentile(99),
+              rtts.Percentile(99.5), rtts.max());
 }
 
 // --- DumbNet ping mesh --------------------------------------------------------------
 
-SampleSet RunDumbNet() {
+LogHistogram RunDumbNet() {
   auto tb = MakePaperTestbed();
   HostAgentConfig agent_config;
   agent_config.process_delay = kDumbNetAgentDelay;
   SimulatedFabric fabric(std::move(tb.value().topo), agent_config);
   fabric.BringUpAdopted(25);
 
-  SampleSet rtts;
+  telemetry::HistogramMetric* rtts =
+      telemetry::MetricsRegistry::Global().GetHistogram("fig10.rtt_ms.dumbnet");
   struct Pending {
     TimeNs sent;
   };
@@ -60,8 +64,8 @@ SampleSet RunDumbNet() {
   std::vector<std::unordered_map<uint64_t, Pending>> inflight(fabric.host_count());
   for (uint32_t h = 0; h < fabric.host_count(); ++h) {
     HostAgent& agent = fabric.agent(h);
-    agent.SetDataHandler([&fabric, &rtts, &inflight, h](const Packet& pkt,
-                                                        const DataPayload& data) {
+    agent.SetDataHandler([&fabric, rtts, &inflight, h](const Packet& pkt,
+                                                       const DataPayload& data) {
       if (!data.is_ack) {
         DataPayload echo = data;
         echo.is_ack = true;
@@ -70,7 +74,7 @@ SampleSet RunDumbNet() {
       }
       auto it = inflight[h].find(data.flow_id);
       if (it != inflight[h].end()) {
-        rtts.Add(ToMs(fabric.sim().Now() - it->second.sent));
+        rtts->Record(ToMs(fabric.sim().Now() - it->second.sent));
         inflight[h].erase(it);
       }
     });
@@ -97,12 +101,12 @@ SampleSet RunDumbNet() {
     }
   }
   fabric.sim().Run();
-  return rtts;
+  return rtts->Snapshot();
 }
 
 // --- Ethernet ping mesh (native / no-op DPDK) ----------------------------------------
 
-SampleSet RunEthernet(TimeNs host_delay) {
+LogHistogram RunEthernet(const char* metric_name, TimeNs host_delay) {
   auto tb = MakePaperTestbed();
   Simulator sim;
   Topology topo = std::move(tb.value().topo);
@@ -117,7 +121,8 @@ SampleSet RunEthernet(TimeNs host_delay) {
   }
   sim.RunUntil(Sec(2));  // STP convergence + MAC learning warmup
 
-  SampleSet rtts;
+  telemetry::HistogramMetric* rtts =
+      telemetry::MetricsRegistry::Global().GetHistogram(metric_name);
   std::vector<std::unordered_map<uint64_t, TimeNs>> inflight(hosts.size());
   for (uint32_t h = 0; h < hosts.size(); ++h) {
     hosts[h]->SetFrameHandler([&, h](const Packet& pkt, const DataPayload& data) {
@@ -132,7 +137,7 @@ SampleSet RunEthernet(TimeNs host_delay) {
       }
       auto it = inflight[h].find(data.flow_id);
       if (it != inflight[h].end()) {
-        rtts.Add(ToMs(sim.Now() - it->second));
+        rtts->Record(ToMs(sim.Now() - it->second));
         inflight[h].erase(it);
       }
     });
@@ -159,7 +164,7 @@ SampleSet RunEthernet(TimeNs host_delay) {
     }
   }
   sim.RunUntil(sim.Now() + Sec(5) + kPingSpacing * kPingsPerPair);
-  return rtts;
+  return rtts->Snapshot();
 }
 
 }  // namespace
@@ -169,9 +174,9 @@ int main() {
                 "native << no-op DPDK ~= DumbNet; ~0.5% tail at 20-30 ms from "
                 "concurrent cold-path controller queries");
 
-  SampleSet native = RunEthernet(kNativeDelay);
-  SampleSet dpdk = RunEthernet(kDpdkDelay);
-  SampleSet dumbnet = RunDumbNet();
+  LogHistogram native = RunEthernet("fig10.rtt_ms.native", kNativeDelay);
+  LogHistogram dpdk = RunEthernet("fig10.rtt_ms.dpdk", kDpdkDelay);
+  LogHistogram dumbnet = RunDumbNet();
 
   PrintCdf("native", native);
   PrintCdf("no-op DPDK", dpdk);

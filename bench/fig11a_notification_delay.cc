@@ -32,8 +32,10 @@ int main() {
   fabric.controller().AdoptTopology(fabric.topo());
   fabric.sim().Run();
 
-  SampleSet event_delay;
-  SampleSet patch_delay;
+  // Log-bucketed collectors (same class the telemetry histograms use, so the
+  // percentiles here match a telemetry report of the same stream).
+  LogHistogram event_delay;
+  LogHistogram patch_delay;
   std::vector<bool> heard(fabric.host_count(), false);
   for (uint32_t h = 0; h < fabric.host_count(); ++h) {
     fabric.agent(h).SetLinkEventHook(
@@ -55,10 +57,10 @@ int main() {
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(spines[0], 2), false);
   fabric.sim().Run();
 
-  auto print = [](const char* name, SampleSet& s) {
-    std::printf("%-22s n=%3zu  p50=%5.2f ms  p90=%5.2f ms  p99=%5.2f ms  max=%5.2f ms\n",
-                name, s.count(), s.Percentile(50), s.Percentile(90), s.Percentile(99),
-                s.max());
+  auto print = [](const char* name, const LogHistogram& s) {
+    std::printf("%-22s n=%3llu  p50=%5.2f ms  p90=%5.2f ms  p99=%5.2f ms  max=%5.2f ms\n",
+                name, static_cast<unsigned long long>(s.count()), s.Percentile(50),
+                s.Percentile(90), s.Percentile(99), s.max());
   };
   print("link failure msg", event_delay);
   print("topology patch msg", patch_delay);

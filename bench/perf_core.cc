@@ -523,5 +523,6 @@ int main(int argc, char** argv) {
   if (!report.WriteTo(args.json_path)) {
     return 1;
   }
+  bench::WriteMetricsJson(args.metrics_path);
   return 0;
 }

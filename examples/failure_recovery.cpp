@@ -3,16 +3,37 @@
 // handling — switch hardware broadcast, host flooding, local failover to a cached
 // path, and the controller's asynchronous topology patch.
 //
-//   $ ./failure_recovery
+// With telemetry compiled in, the run can also export its instrumentation:
+//
+//   $ ./failure_recovery --trace run.fr --metrics-json metrics.json
+//   $ dumbnet-trace run.fr --chrome trace.json     # open via chrome://tracing
 #include <cstdio>
+#include <cstring>
 
 #include "src/core/fabric.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/topo/generators.h"
 #include "src/transport/reliable_flow.h"
 
 using namespace dumbnet;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace <path>] [--metrics-json <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  telemetry::FlightRecorder::InstallLogCapture();
+
   auto testbed = MakePaperTestbed();
   if (!testbed.ok()) {
     return 1;
@@ -81,5 +102,22 @@ int main() {
               static_cast<unsigned long>(fabric.agent(0).path_table().stats().rebinds),
               static_cast<unsigned long>(
                   fabric.agent(0).path_table().stats().backup_promotions));
+
+  if (!trace_path.empty()) {
+    if (telemetry::FlightRecorder::Global().SaveTo(trace_path)) {
+      std::printf("wrote flight-recorder dump to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (telemetry::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+      std::printf("wrote telemetry metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+  }
   return done ? 0 : 1;
 }

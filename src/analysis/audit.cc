@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -34,6 +36,16 @@ void RecordFailure(bool hard, const char* file, int line, const std::string& mes
   g_last_failure = message;
   DN_ERROR << (hard ? "invariant violated" : "audit failed") << " at " << file << ":"
            << line << " — " << message;
+  DN_COUNTER_INC("audit.failures");
+  // The moments leading up to a violation are usually the diagnosis: dump the
+  // flight recorder's tail alongside the failure itself.
+  if (telemetry::Enabled()) {
+    int64_t now = 0;
+    (void)CurrentLogTime(&now);
+    DN_TRACE_EVENT(kAudit, kAuditFailure, now, static_cast<uint64_t>(line), hard ? 1 : 0);
+    telemetry::FlightRecorder::Global().DumpOnFailure(
+        hard ? "invariant violated" : "audit failed");
+  }
   if (hard && g_abort_on_failure) {
     std::abort();
   }

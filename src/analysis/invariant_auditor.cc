@@ -1,5 +1,7 @@
 #include "src/analysis/invariant_auditor.h"
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -14,6 +16,10 @@ std::vector<InvariantViolation> InvariantAuditor::RunAll() {
     if (Status s = e.check(); !s.ok()) {
       found.push_back(InvariantViolation{e.name, s.error().ToString()});
       DN_ERROR << "invariant '" << e.name << "' violated: " << s.error().ToString();
+      DN_COUNTER_INC("audit.invariant_violations");
+      if (telemetry::Enabled()) {
+        telemetry::FlightRecorder::Global().DumpOnFailure(e.name.c_str());
+      }
     }
   }
   ++runs_;

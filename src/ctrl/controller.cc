@@ -6,6 +6,8 @@
 #include "src/analysis/invariants.h"
 #include "src/routing/graph.h"
 #include "src/routing/shortest_path.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -212,6 +214,8 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
     return;
   }
   ++stats_.queries_served;
+  DN_COUNTER_INC("ctrl.queries_served");
+  DN_TRACE_EVENT(kController, kPathServe, sim_->Now(), req.requester_mac, req.dst_mac);
   PathResponsePayload resp{req.dst_mac, dst.value(), std::move(wire)};
   agent_->SendTags(std::move(tags.value()), req.requester_mac, std::move(resp));
 }
@@ -321,6 +325,8 @@ Result<std::vector<WirePathGraph>> ControllerService::PrecomputePathGraphs(
 
 void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
   ++stats_.link_events;
+  DN_COUNTER_INC("ctrl.link_events");
+  DN_TRACE_EVENT(kController, kDiscovery, sim_->Now(), ev.switch_uid, ev.port);
   if (pending_removed_.empty() && pending_added_.empty()) {
     pending_origin_ = ev.origin_time;
   }
@@ -396,6 +402,13 @@ void ControllerService::FlushPatch() {
   pending_removed_.clear();
   pending_added_.clear();
   ++stats_.patches_sent;
+  DN_COUNTER_INC("ctrl.patches_sent");
+  DN_TRACE_EVENT(kController, kPatch, sim_->Now(), patch.patch_seq,
+                 patch.removed->size() + patch.added->size());
+  DN_LOG_KV(kInfo, "ctrl.patch")
+      .Kv("seq", patch.patch_seq)
+      .Kv("removed", patch.removed->size())
+      .Kv("added", patch.added->size());
   // Applying locally also starts the host-to-host flood from our gossip peers.
   agent_->ApplyPatchLocally(patch, agent_->mac());
 }

@@ -1,5 +1,7 @@
 #include "src/ctrl/discovery.h"
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -38,6 +40,8 @@ void DiscoveryService::SendProbe(TagList tags, ProbeCtx ctx) {
   uint64_t id = next_probe_id_++;
   inflight_.emplace(id, ctx);
   ++stats_.probes_sent;
+  DN_COUNTER_INC("ctrl.probes_sent");
+  DN_TRACE_EVENT(kController, kDiscovery, sim_->Now(), id, tags.size());
   OnCpu(config_.pm_send_cost, [this, id, tags = std::move(tags)] {
     TagList with_end = tags;
     with_end.push_back(kPathEndTag);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -49,7 +51,14 @@ Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) 
   auto route = path_table_.RouteFor(dst_mac, flow_id);
   if (route.ok()) {
     Packet pkt = MakeDumbNetPacket(mac_, dst_mac, route.value().tags, payload);
+    // Arm path provenance: promise the switch-UID sequence this route was
+    // compiled from; the receiver verifies the fabric kept it.
+    if (telemetry::Enabled()) {
+      pkt.provenance.promised = route.value().uid_path;
+    }
     ++stats_.data_sent;
+    DN_COUNTER_INC("host.data_sent");
+    DN_TRACE_EVENT(kHost, kSend, sim_->Now(), mac_, flow_id);
     sim_->ScheduleAfter(config_.process_delay,
                         [this, pkt = std::move(pkt)] { net_->SendFromHost(host_index_, pkt); });
     return Status::Ok();
@@ -58,6 +67,7 @@ Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) 
   Packet pkt = MakeEthernetPacket(mac_, dst_mac, kEtherTypeDumbNet, payload);
   pending_[dst_mac].push_back(std::move(pkt));
   ++stats_.data_blocked;
+  DN_COUNTER_INC("host.data_blocked");
   if (bootstrapped_) {
     RequestPath(dst_mac);
   }
@@ -191,6 +201,19 @@ void HostAgent::DeliverLocal(const Packet& pkt) {
   }
   if (const auto* data = pkt.As<DataPayload>()) {
     ++stats_.data_received;
+    DN_COUNTER_INC("host.data_received");
+    DN_TRACE_EVENT(kHost, kReceive, sim_->Now(), mac_, data->flow_id);
+    // Verify the path taken against the sender's promise (in-band provenance).
+    if (telemetry::Enabled() && pkt.provenance.armed() &&
+        !telemetry::ProvenanceMatches(pkt.provenance)) {
+      ++stats_.path_divergence;
+      DN_COUNTER_INC("host.path_divergence");
+      DN_TRACE_EVENT(kHost, kDivergence, sim_->Now(), mac_, data->flow_id);
+      DN_LOG_KV(kWarn, "host.path_divergence")
+          .Kv("host", mac_)
+          .Kv("flow", data->flow_id)
+          .Kv("detail", telemetry::DescribeProvenance(pkt.provenance));
+    }
     if (data_handler_) {
       data_handler_(pkt, *data);
     }
@@ -211,6 +234,7 @@ void HostAgent::DeliverLocal(const Packet& pkt) {
   }
   if (const auto* resp = pkt.As<PathResponsePayload>()) {
     ++stats_.path_responses;
+    DN_COUNTER_INC("host.path_responses");
     if (resp->graph != nullptr) {
       (void)topo_cache_.Integrate(*resp->graph, resp->dst_location);
     } else {
@@ -268,9 +292,17 @@ void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
   }
   if (from_fabric) {
     ++stats_.port_events_seen;
+    DN_COUNTER_INC("host.port_events_seen");
   } else {
     ++stats_.link_events_seen;
+    DN_COUNTER_INC("host.gossip_events_seen");
   }
+  DN_TRACE_EVENT(kHost, kGossip, sim_->Now(), mac_, switch_uid);
+  DN_LOG_KV(kDebug, "host.link_event")
+      .Kv("host", mac_)
+      .Kv("switch", switch_uid)
+      .Kv("port", static_cast<unsigned>(port))
+      .Kv("up", up ? 1 : 0);
 
   LinkEventPayload ev{event_id, switch_uid, port, up, origin_time};
   if (link_event_hook_) {
@@ -296,10 +328,17 @@ void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
 
 void HostAgent::RepairAfterLinkChange(uint64_t uid_a, uint64_t uid_b) {
   std::vector<uint64_t> starved = path_table_.InvalidateEdge(uid_a, uid_b);
+  ++stats_.link_repairs;
+  DN_COUNTER_INC("host.link_repairs");
+  DN_TRACE_EVENT(kHost, kRepair, sim_->Now(), mac_, starved.size());
   for (uint64_t dst : starved) {
     // Local detours first (the cache already knows the link is down), controller
     // as a last resort.
-    if (Status s = InstallRoutesFor(dst); !s.ok()) {
+    if (Status s = InstallRoutesFor(dst); s.ok()) {
+      ++stats_.reroutes;
+      DN_COUNTER_INC("host.reroutes");
+      DN_TRACE_EVENT(kHost, kFailover, sim_->Now(), mac_, dst);
+    } else {
       RequestPath(dst);
     }
   }
@@ -404,6 +443,7 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
   }
   outstanding_requests_.insert(dst_mac);
   ++stats_.path_requests;
+  DN_COUNTER_INC("host.path_requests");
   (void)SendToController(PathRequestPayload{mac_, dst_mac});
 
   // Retry loop with a bounded count; give up and drop queued packets after that.
@@ -478,7 +518,12 @@ void HostAgent::FlushPending(uint64_t dst_mac) {
     }
     pkt.tags = route.value().tags;
     pkt.tags.push_back(kPathEndTag);
+    if (telemetry::Enabled()) {
+      pkt.provenance.promised = route.value().uid_path;
+    }
     ++stats_.data_sent;
+    DN_COUNTER_INC("host.data_sent");
+    DN_TRACE_EVENT(kHost, kSend, sim_->Now(), mac_, flow_id);
     sim_->ScheduleAfter(config_.process_delay,
                         [this, p = std::move(pkt)] { net_->SendFromHost(host_index_, p); });
   }

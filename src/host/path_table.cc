@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/analysis/audit.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dumbnet {
 
@@ -58,9 +59,11 @@ Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
       ++stats_.hits;
       return entry.paths[bound->second];
     }
-    // Stale binding (path invalidated since); fall through and rebind.
+    // Stale binding (path invalidated since); fall through and rebind. This is
+    // the common failover: the flow moves to a surviving cached path.
     entry.flow_binding.erase(bound);
     ++stats_.rebinds;
+    DN_COUNTER_INC("host.reroutes");
   }
 
   size_t pick = SIZE_MAX;
@@ -90,6 +93,7 @@ Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
     } else {
       // Only the backup remains.
       ++stats_.backup_promotions;
+      DN_COUNTER_INC("host.backup_promotions");
       entry.flow_binding[flow_id] = SIZE_MAX;
       ++stats_.hits;
       return entry.backup;
@@ -126,6 +130,7 @@ std::vector<uint64_t> PathTable::InvalidateEdge(uint64_t a, uint64_t b) {
       // flows rebind (counted once per entry, not per flow, to stay cheap).
       entry.flow_binding.clear();
       ++stats_.rebinds;
+      DN_COUNTER_INC("host.reroutes");
     }
     if (entry.paths.empty()) {
       if (entry.has_backup) {
@@ -134,6 +139,7 @@ std::vector<uint64_t> PathTable::InvalidateEdge(uint64_t a, uint64_t b) {
         entry.paths.push_back(entry.backup);
         entry.has_backup = false;
         ++stats_.backup_promotions;
+        DN_COUNTER_INC("host.backup_promotions");
       } else {
         starved.push_back(mac);
       }

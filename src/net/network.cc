@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -47,6 +49,8 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   const Link& link = topo_->link_at(li);
   if (!link.up) {
     ++stats_.dropped_link_down;
+    DN_COUNTER_INC("net.dropped_link_down");
+    DN_TRACE_EVENT(kNetwork, kDrop, sim_->Now(), li, 0);
     return;
   }
   const bool from_a = (link.a.node == from);
@@ -55,6 +59,8 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   const int64_t size = pkt.WireSize();
   if (dir.queued_bytes + size > config_.queue_capacity_bytes) {
     ++stats_.dropped_queue_full;
+    DN_COUNTER_INC("net.dropped_queue_full");
+    DN_TRACE_EVENT(kNetwork, kDrop, sim_->Now(), li, static_cast<uint64_t>(size));
     return;
   }
 

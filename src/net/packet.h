@@ -18,6 +18,7 @@
 #include "src/routing/tags.h"
 #include "src/routing/wire_types.h"
 #include "src/sim/time.h"
+#include "src/telemetry/provenance.h"
 #include "src/topo/topology.h"
 
 namespace dumbnet {
@@ -156,6 +157,11 @@ struct Packet {
   TagList tags;
   Payload payload = DataPayload{};
   TimeNs sent_time = 0;  // stamped by the first transmitter, for latency stats
+  // In-band path provenance (telemetry): the sender stamps the promised switch
+  // UIDs, each switch appends the hop it actually took, the receiver compares.
+  // Empty (two null vectors) unless telemetry armed it; deliberately NOT charged
+  // to WireSize() so paper-figure byte counts are unaffected — see provenance.h.
+  telemetry::PathProvenance provenance;
 
   // Nominal bytes this packet occupies on the wire.
   int64_t WireSize() const;

@@ -4,9 +4,22 @@
 #include <bit>
 #include <cassert>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/logging.h"
+
 namespace dumbnet {
 
 namespace {
+
+// DN_LOG lines carry simulated time while a simulator is active.
+int64_t SimulatorLogClock(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->Now();
+}
+
+// Progress heartbeat cadence for the flight recorder; power of two so the
+// modulo folds to a mask.
+constexpr uint64_t kProgressEvery = 4096;
 
 // Level that can hold time `at` when the wheel stands at `wheel`: the level of the
 // highest differing bit. Events share all bits above their level's bucket field
@@ -26,6 +39,18 @@ Simulator::Simulator() {
   for (Level& level : levels_) {
     level.head.fill(kNil);
     level.tail.fill(kNil);
+  }
+  // First simulator wins: nested/sequential simulators leave an already
+  // registered clock alone.
+  int64_t unused = 0;
+  if (!CurrentLogTime(&unused)) {
+    SetLogClock(&SimulatorLogClock, this);
+  }
+}
+
+Simulator::~Simulator() {
+  if (LogClockCtx() == this) {
+    SetLogClock(nullptr, nullptr);
   }
 }
 
@@ -207,6 +232,10 @@ bool Simulator::Step() {
   ReclaimSlot(idx);
   fn();
   ++executed_;
+  DN_COUNTER_INC("sim.events");
+  if (executed_ % kProgressEvery == 0) {
+    DN_TRACE_EVENT(kSimulator, kProgress, now_, executed_, queued_);
+  }
   if (trace_hook_) {
     trace_hook_(now_, seq);
   }

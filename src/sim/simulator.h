@@ -52,6 +52,8 @@ struct SimulatorMemStats {
 class Simulator {
  public:
   Simulator();
+  // Unregisters this simulator's log clock if it is the active one.
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

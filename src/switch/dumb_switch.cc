@@ -1,6 +1,8 @@
 #include "src/switch/dumb_switch.h"
 
 #include "src/analysis/audit.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -51,14 +53,16 @@ void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
   if (const auto* probe = pkt.As<ProbePayload>()) {
     probe_id = probe->probe_id;
   }
-  ForwardTagged(pkt, probe_id);
+  ForwardTagged(pkt, probe_id, in_port);
 }
 
-void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id) {
+void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id, PortNum in_port) {
   const PortNum tag = pkt.tags.front();
   if (tag == kPathEndTag) {
     // ø reached a switch: the path was one hop short. Drop.
     ++stats_.dropped_bad_tag;
+    DN_COUNTER_INC("switch.dropped_bad_tag");
+    DN_TRACE_EVENT(kSwitch, kDrop, sim_->Now(), uid_, tag);
     return;
   }
   pkt.tags.erase(pkt.tags.begin());
@@ -68,6 +72,7 @@ void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id) {
     // reply is itself a tagged packet that we forward through the normal pipeline.
     if (pkt.tags.empty()) {
       ++stats_.dropped_bad_tag;
+      DN_COUNTER_INC("switch.dropped_bad_tag");
       return;
     }
     Packet reply;
@@ -78,16 +83,20 @@ void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id) {
     reply.payload = IdReplyPayload{transit_probe_id, uid_};
     reply.sent_time = pkt.sent_time;
     ++stats_.id_replies;
-    ForwardTagged(std::move(reply), transit_probe_id);
+    ForwardTagged(std::move(reply), transit_probe_id, PortNum{0});
     return;
   }
 
   if (tag > num_ports_) {
     ++stats_.dropped_bad_tag;
+    DN_COUNTER_INC("switch.dropped_bad_tag");
+    DN_TRACE_EVENT(kSwitch, kDrop, sim_->Now(), uid_, tag);
     return;
   }
   if (!PortIsUp(tag)) {
     ++stats_.dropped_port_down;
+    DN_COUNTER_INC("switch.dropped_port_down");
+    DN_TRACE_EVENT(kSwitch, kDrop, sim_->Now(), uid_, tag);
     return;
   }
   // ECN marking: if the egress queue this packet is about to join is deep, set
@@ -106,6 +115,14 @@ void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id) {
   ++stats_.forwarded;
   ++port_tx_packets_[tag];
   port_tx_bytes_[tag] += static_cast<uint64_t>(pkt.WireSize());
+  DN_COUNTER_INC("switch.forwarded");
+  DN_TRACE_EVENT(kSwitch, kForward, sim_->Now(), uid_, tag);
+  // Path provenance: record the hop actually taken so the receiving host can
+  // compare it with the sender's promise. Only on armed packets — unarmed
+  // traffic (and telemetry-off builds) skips the append entirely.
+  if (telemetry::Enabled() && pkt.provenance.armed()) {
+    pkt.provenance.hops.push_back(telemetry::PathHop{uid_, in_port, tag});
+  }
   sim_->ScheduleAfter(config_.forwarding_delay, [this, tag, pkt = std::move(pkt)] {
     net_->SendFromSwitch(index_, tag, pkt);
   });

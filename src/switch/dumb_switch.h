@@ -64,8 +64,9 @@ class DumbSwitch : public NetNode {
 
  private:
   // Pops the first tag and forwards; handles ID queries; shared by transit packets
-  // and self-generated replies.
-  void ForwardTagged(Packet pkt, uint64_t transit_probe_id);
+  // and self-generated replies. `in_port` is recorded as the provenance ingress
+  // (0 for self-generated packets such as ID replies).
+  void ForwardTagged(Packet pkt, uint64_t transit_probe_id, PortNum in_port);
 
   // Floods a hop-limited notification out every wired, up port except `skip`
   // (kPathEndTag = no skip).

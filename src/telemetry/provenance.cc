@@ -1,0 +1,40 @@
+#include "src/telemetry/provenance.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dumbnet {
+namespace telemetry {
+
+bool ProvenanceMatches(const PathProvenance& p) {
+  if (p.hops.size() != p.promised.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < p.hops.size(); ++i) {
+    if (p.hops[i].switch_uid != p.promised[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DescribeProvenance(const PathProvenance& p) {
+  std::ostringstream os;
+  os << std::hex;
+  os << "promised=[";
+  for (size_t i = 0; i < p.promised.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "0x" << p.promised[i];
+  }
+  os << "] taken=[";
+  for (size_t i = 0; i < p.hops.size(); ++i) {
+    const PathHop& h = p.hops[i];
+    os << (i == 0 ? "" : ",") << "0x" << h.switch_uid << std::dec << "("
+       << static_cast<unsigned>(h.ingress) << "->" << static_cast<unsigned>(h.egress)
+       << ")" << std::hex;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace dumbnet

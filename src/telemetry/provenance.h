@@ -1,0 +1,66 @@
+// In-band path provenance (telemetry tentpole, part 3).
+//
+// DumbNet sources *choose* the whole path by writing the tag stack, but the
+// stateless switches never echo back which ports actually carried the packet —
+// a misprogrammed tag or a miswired port forwards traffic silently down the
+// wrong path as long as it still reaches a host. The provenance header closes
+// that loop: when telemetry is enabled, the sending host stamps the *promised*
+// path (the switch-UID sequence its cached route was computed from) onto the
+// packet, each switch appends a (switch_uid, ingress, egress) hop record as it
+// pops its tag, and the receiving host compares taken vs promised, bumping the
+// host.path_divergence counter on mismatch.
+//
+// This is a simulation-side diagnosis header: it is not charged to WireSize(),
+// so paper-figure byte counts are unchanged. (A real deployment would carry it
+// as a small INT-style option; the paper's switches would need none of it to
+// forward.) Types are plain integers so this header sits in the telemetry
+// layer, below topo/net.
+#ifndef DUMBNET_SRC_TELEMETRY_PROVENANCE_H_
+#define DUMBNET_SRC_TELEMETRY_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dumbnet {
+namespace telemetry {
+
+// One switch traversal, recorded by the switch as it forwards.
+struct PathHop {
+  uint64_t switch_uid = 0;
+  uint8_t ingress = 0;
+  uint8_t egress = 0;
+
+  bool operator==(const PathHop& o) const {
+    return switch_uid == o.switch_uid && ingress == o.ingress && egress == o.egress;
+  }
+};
+
+// Carried on simulated packets (empty and cost-free unless a sender arms it).
+struct PathProvenance {
+  // Switch UIDs the sender's route promised, source-side first.
+  std::vector<uint64_t> promised;
+  // Hops actually taken, appended by each switch.
+  std::vector<PathHop> hops;
+
+  // True once a sender stamped a promise; receivers only verify armed packets.
+  bool armed() const { return !promised.empty(); }
+
+  void Clear() {
+    promised.clear();
+    hops.clear();
+  }
+};
+
+// True when the taken path matches the promise: same switch count, same UIDs
+// in order. Ingress/egress ports are reported, not matched — the promise is a
+// UID sequence.
+bool ProvenanceMatches(const PathProvenance& p);
+
+// "promised=[0x..,..] taken=[0x..(in->out),..]" for divergence logging.
+std::string DescribeProvenance(const PathProvenance& p);
+
+}  // namespace telemetry
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_TELEMETRY_PROVENANCE_H_

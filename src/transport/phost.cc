@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
+
 namespace dumbnet {
 namespace {
 
@@ -177,6 +180,8 @@ void PHostSender::OnControl(const DataPayload& msg) {
     if (segments_sent_ >= total_segments_ && msg.seq < total_segments_) {
       // Everything has been sent once but the receiver is still missing
       // `msg.seq`: targeted retransmission (one token repairs one loss).
+      DN_COUNTER_INC("transport.retransmissions");
+      DN_TRACE_EVENT(kTransport, kRetransmit, sim_->Now(), flow_id_, msg.seq);
       DataPayload seg;
       seg.flow_id = flow_id_;
       seg.seq = msg.seq;
@@ -205,6 +210,8 @@ void PHostSender::ArmRetry() {
     }
     // Stall: something was lost. Re-announce; the receiver re-grants from what it
     // actually has, and our send cursor rewinds on the next repair hint.
+    DN_COUNTER_INC("transport.timeouts");
+    DN_TRACE_EVENT(kTransport, kTimeout, sim_->Now(), flow_id_, segments_sent_);
     DataPayload rts;
     rts.flow_id = flow_id_;
     rts.seq = UINT64_MAX;

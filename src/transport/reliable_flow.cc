@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
+
 namespace dumbnet {
 
 // --------------------------------------------------------------------------------
@@ -99,6 +102,8 @@ void ReliableFlowSender::SendSegmentAt(uint64_t seq) {
   seg.bytes = config_.segment_bytes;
   if (seq < progress_.segments_sent) {
     ++progress_.retransmissions;
+    DN_COUNTER_INC("transport.retransmissions");
+    DN_TRACE_EVENT(kTransport, kRetransmit, sim_->Now(), flow_id_, seq);
   }
   progress_.segments_sent = std::max(progress_.segments_sent, seq + 1);
   channel_->SendSegment(dst_mac_, seg);
@@ -140,6 +145,8 @@ void ReliableFlowSender::ArmTimer() {
     if (acked_seq_ < next_seq_) {
       // Go-back-N: rewind and resend the whole outstanding window.
       ++progress_.timeouts;
+      DN_COUNTER_INC("transport.timeouts");
+      DN_TRACE_EVENT(kTransport, kTimeout, sim_->Now(), flow_id_, acked_seq_);
       next_seq_ = acked_seq_;
       PumpWindow();
     }

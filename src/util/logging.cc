@@ -6,6 +6,9 @@ namespace dumbnet {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+LogClock g_clock = nullptr;
+const void* g_clock_ctx = nullptr;
+LogKvSink g_kv_sink = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,20 +37,75 @@ const char* Basename(const char* path) {
   return base;
 }
 
+void AppendPrefix(std::ostringstream& os, LogLevel level, const char* file, int line) {
+  os << "[" << LevelName(level);
+  int64_t now = 0;
+  if (CurrentLogTime(&now)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " t=%.3fms", static_cast<double>(now) / 1e6);
+    os << buf;
+  }
+  os << " " << Basename(file) << ":" << line << "] ";
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+void SetLogClock(LogClock clock, const void* ctx) {
+  g_clock = clock;
+  g_clock_ctx = clock != nullptr ? ctx : nullptr;
+}
+
+const void* LogClockCtx() { return g_clock_ctx; }
+
+bool CurrentLogTime(int64_t* out_ns) {
+  if (g_clock == nullptr) {
+    return false;
+  }
+  *out_ns = g_clock(g_clock_ctx);
+  return true;
+}
+
+void SetLogKvSink(LogKvSink sink) { g_kv_sink = sink; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  AppendPrefix(stream_, level, file, line);
 }
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
   std::fputs(stream_.str().c_str(), stderr);
+}
+
+LogKv::LogKv(LogLevel level, const char* file, int line, const char* event)
+    : level_(level),
+      file_(file),
+      line_(line),
+      event_(event),
+      to_stderr_(static_cast<int>(level) >= static_cast<int>(g_level)) {
+  active_ = to_stderr_ || g_kv_sink != nullptr;
+}
+
+LogKv::~LogKv() {
+  if (!active_) {
+    return;
+  }
+  const std::string rendered = stream_.str();
+  if (g_kv_sink != nullptr) {
+    int64_t now = 0;
+    const bool has_time = CurrentLogTime(&now);
+    g_kv_sink(LogKvEvent{level_, event_, now, has_time, rendered});
+  }
+  if (to_stderr_) {
+    std::ostringstream os;
+    AppendPrefix(os, level_, file_, line_);
+    os << event_ << rendered << "\n";
+    std::fputs(os.str().c_str(), stderr);
+  }
 }
 
 }  // namespace internal

@@ -1,9 +1,17 @@
 // Minimal leveled logger. Defaults to kWarn so simulations stay quiet; tests and
 // examples raise verbosity explicitly. Not thread-safe by design: the simulator is
 // single-threaded and benchmarks set the level once up front.
+//
+// Two observability hooks feed richer subsystems without reversing the layering:
+//  - SetLogClock: an active Simulator registers its virtual clock so every line
+//    carries simulated time ("[t=12.345ms]") instead of no time at all.
+//  - SetLogKvSink: DN_LOG_KV structured events are offered to a sink (the
+//    telemetry flight recorder installs one) regardless of the stderr level, so
+//    the recorder sees events even while the console stays quiet.
 #ifndef DUMBNET_SRC_UTIL_LOGGING_H_
 #define DUMBNET_SRC_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,6 +29,28 @@ enum class LogLevel : int {
 // formatting skipped via the macro's level check).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Virtual-clock hook. `clock(ctx)` returns the current simulated time in
+// nanoseconds. Registering a null clock clears it. The Simulator constructor
+// registers itself when no clock is active and unregisters on destruction, so
+// nested/sequential simulators behave (first one wins).
+using LogClock = int64_t (*)(const void* ctx);
+void SetLogClock(LogClock clock, const void* ctx);
+const void* LogClockCtx();
+// Current simulated time; false when no clock is registered.
+bool CurrentLogTime(int64_t* out_ns);
+
+// One structured DN_LOG_KV event, delivered to the sink after rendering.
+// `event` points at the call site's string literal (static storage duration).
+struct LogKvEvent {
+  LogLevel level;
+  const char* event;
+  int64_t time_ns;   // simulated time, valid when has_time
+  bool has_time;
+  const std::string& rendered;  // " key=value key=value" suffix
+};
+using LogKvSink = void (*)(const LogKvEvent&);
+void SetLogKvSink(LogKvSink sink);
 
 namespace internal {
 
@@ -40,6 +70,35 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// One structured log statement: a named event plus key=value pairs. Emitted to
+// stderr (when the level passes) and to the registered sink (always) on
+// destruction. `event` must be a string literal — the sink keeps the pointer.
+class LogKv {
+ public:
+  LogKv(LogLevel level, const char* file, int line, const char* event);
+  ~LogKv();
+
+  LogKv(const LogKv&) = delete;
+  LogKv& operator=(const LogKv&) = delete;
+
+  template <typename T>
+  LogKv& Kv(const char* key, const T& value) {
+    if (active_) {
+      stream_ << ' ' << key << '=' << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  const char* event_;
+  bool active_;    // something (stderr or sink) wants this event
+  bool to_stderr_;
+  std::ostringstream stream_;
+};
+
 }  // namespace internal
 }  // namespace dumbnet
 
@@ -55,5 +114,11 @@ class LogMessage {
 #define DN_INFO DN_LOG(kInfo)
 #define DN_WARN DN_LOG(kWarn)
 #define DN_ERROR DN_LOG(kError)
+
+// Structured variant: DN_LOG_KV(kInfo, "host.failover").Kv("dst", mac).Kv(...).
+// `event` must be a string literal; pairs render as "event k=v k=v".
+#define DN_LOG_KV(level, event)                                             \
+  ::dumbnet::internal::LogKv(::dumbnet::LogLevel::level, __FILE__, __LINE__, \
+                             (event))
 
 #endif  // DUMBNET_SRC_UTIL_LOGGING_H_

@@ -136,4 +136,123 @@ std::string Histogram::ToString() const {
   return os.str();
 }
 
+LogHistogram::LogHistogram(uint32_t sub_bucket_bits) : sub_bucket_bits_(sub_bucket_bits) {}
+
+int64_t LogHistogram::BucketIndex(double x) const {
+  if (!(x > 0.0)) {
+    return INT64_MIN;  // dedicated non-positive bucket
+  }
+  int exp = 0;
+  double m = std::frexp(x, &exp);  // m in [0.5, 1)
+  const int64_t sub = int64_t{1} << sub_bucket_bits_;
+  int64_t sub_idx = static_cast<int64_t>((m - 0.5) * 2.0 * static_cast<double>(sub));
+  if (sub_idx >= sub) {
+    sub_idx = sub - 1;  // guard m rounding up to 1.0
+  }
+  return static_cast<int64_t>(exp) * sub + sub_idx;
+}
+
+double LogHistogram::BucketValue(int64_t index) const {
+  if (index == INT64_MIN) {
+    return min();
+  }
+  const int64_t sub = int64_t{1} << sub_bucket_bits_;
+  int64_t exp = index >= 0 ? index / sub : -((-index + sub - 1) / sub);
+  int64_t sub_idx = index - exp * sub;
+  double width = 1.0 / (2.0 * static_cast<double>(sub));  // mantissa bucket width
+  double m_mid = 0.5 + (static_cast<double>(sub_idx) + 0.5) * width;
+  return std::ldexp(m_mid, static_cast<int>(exp));
+}
+
+void LogHistogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  ++buckets_[BucketIndex(x)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [idx, n] : other.buckets_) {
+    buckets_[idx] += n;
+  }
+}
+
+void LogHistogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = max_ = sum_ = 0.0;
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return min_;
+  }
+  if (p >= 100.0) {
+    return max_;
+  }
+  // Rank convention matches SampleSet::Percentile, so swapping collectors does
+  // not shift reported percentiles beyond the bucket error bound.
+  double target = p / 100.0 * static_cast<double>(count_ - 1) + 1.0;
+  uint64_t cum = 0;
+  for (const auto& [idx, n] : buckets_) {
+    cum += n;
+    if (static_cast<double>(cum) >= target) {
+      return std::clamp(BucketValue(idx), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double LogHistogram::FractionBelow(double x) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const int64_t limit = BucketIndex(x);
+  uint64_t below = 0;
+  for (const auto& [idx, n] : buckets_) {
+    if (idx > limit) {
+      break;
+    }
+    below += n;
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+std::vector<std::pair<double, double>> LogHistogram::Cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0 || points == 0) {
+    return out;
+  }
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(Percentile(100.0 * frac), frac);
+  }
+  return out;
+}
+
 }  // namespace dumbnet

@@ -1,11 +1,15 @@
-// Statistics collectors used by the benchmark harness: online mean/variance,
-// exact-sample percentile/CDF collectors, and fixed-bucket histograms.
+// Statistics collectors used by the benchmark harness and the telemetry
+// subsystem: online mean/variance, exact-sample percentile/CDF collectors,
+// fixed-bucket histograms, and the log-bucketed histogram latency percentiles
+// ride on (bounded relative error at O(log range) memory).
 #ifndef DUMBNET_SRC_UTIL_STATS_H_
 #define DUMBNET_SRC_UTIL_STATS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dumbnet {
@@ -86,6 +90,57 @@ class Histogram {
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+};
+
+// Log-bucketed histogram: power-of-two major buckets (one per binary exponent)
+// subdivided into `1 << sub_bucket_bits` linear sub-buckets, stored sparsely.
+// Quantile estimates are bucket midpoints, so the relative error of any
+// percentile is bounded by 1 / (2 * sub_buckets) — 1.6% at the default 32 —
+// while memory stays proportional to the number of occupied buckets, not the
+// value range. This is the collector behind both the fig10/fig11 CDF benches
+// and the telemetry histogram metric, so the two report identical percentiles
+// for the same sample stream. Non-positive samples land in a dedicated bucket
+// represented by the exact minimum.
+class LogHistogram {
+ public:
+  explicit LogHistogram(uint32_t sub_bucket_bits = 5);
+
+  void Add(double x);
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }  // exact
+  double max() const { return count_ == 0 ? 0.0 : max_; }  // exact
+  double sum() const { return sum_; }
+  double mean() const;
+
+  // Value at percentile p in [0, 100], within the relative error bound.
+  double Percentile(double p) const;
+
+  // Fraction of samples <= x (bucket-resolution, same error bound).
+  double FractionBelow(double x) const;
+
+  // (value, cumulative fraction) pairs at `points` evenly spaced quantiles.
+  std::vector<std::pair<double, double>> Cdf(size_t points = 100) const;
+
+  double RelativeErrorBound() const {
+    return 1.0 / static_cast<double>(2u << sub_bucket_bits_);
+  }
+  size_t occupied_buckets() const { return buckets_.size(); }
+
+ private:
+  // Global sub-bucket index for a positive x; INT64_MIN for x <= 0.
+  int64_t BucketIndex(double x) const;
+  // Representative (midpoint) value of a bucket.
+  double BucketValue(int64_t index) const;
+
+  uint32_t sub_bucket_bits_;
+  std::map<int64_t, uint64_t> buckets_;  // sparse: index -> count
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
 };
 
 }  // namespace dumbnet

@@ -1,0 +1,231 @@
+// dumbnet-trace: inspect flight-recorder dumps and gate telemetry metrics.
+//
+// Usage:
+//   dumbnet-trace <dump> [options]
+//
+//   <dump>                     "dumbnet-flight-recorder v1" text dump, as
+//                              written by FlightRecorder::SaveTo() (e.g. via
+//                              examples/failure_recovery --trace out.fr).
+//   --chrome <out.json>        convert the dump to Chrome trace_event JSON;
+//                              open with chrome://tracing or Perfetto.
+//   --top <N>                  print a per-component summary and the N busiest
+//                              (component, kind) pairs (default 10).
+//   --require-components <N>   fail (exit 1) unless events from at least N
+//                              distinct components are present.
+//   --metrics <metrics.json>   telemetry registry JSON (--metrics-json output)
+//                              for the assertions below.
+//   --require-nonzero <a,b>    fail unless each named metric is present and > 0.
+//   --require-zero <a,b>       fail unless each named metric is absent or == 0.
+//
+// Exit codes: 0 success, 1 assertion failed, 2 usage / I/O / parse error.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/flight_recorder.h"
+
+using dumbnet::telemetry::TraceDump;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump> [--chrome out.json] [--top N]\n"
+               "          [--require-components N]\n"
+               "          [--metrics metrics.json] [--require-nonzero a,b]\n"
+               "          [--require-zero a,b]\n",
+               argv0);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+// Finds `"name": <number>` in the registry JSON (our own WriteJson output —
+// names never contain quotes, numeric values only). Returns false when absent.
+bool FindMetric(const std::string& json, const std::string& name, double* value) {
+  std::string needle = "\"" + name + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos]))) {
+    ++pos;
+  }
+  // Histograms map to an object; gate on its "count" field.
+  if (pos < json.size() && json[pos] == '{') {
+    size_t count_pos = json.find("\"count\":", pos);
+    if (count_pos == std::string::npos) {
+      return false;
+    }
+    pos = count_pos + std::strlen("\"count\":");
+  }
+  char* end = nullptr;
+  double v = std::strtod(json.c_str() + pos, &end);
+  if (end == json.c_str() + pos) {
+    return false;
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  std::string dump_path = argv[1];
+  std::string chrome_path;
+  std::string metrics_path;
+  size_t top_n = 10;
+  bool want_top = false;
+  int require_components = 0;
+  std::vector<std::string> require_nonzero;
+  std::vector<std::string> require_zero;
+
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs an argument\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--chrome") == 0) {
+      chrome_path = next("--chrome");
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top_n = static_cast<size_t>(std::strtoul(next("--top"), nullptr, 10));
+      want_top = true;
+    } else if (std::strcmp(argv[i], "--require-components") == 0) {
+      require_components = std::atoi(next("--require-components"));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--require-nonzero") == 0) {
+      for (auto& m : SplitCommas(next("--require-nonzero"))) {
+        require_nonzero.push_back(m);
+      }
+    } else if (std::strcmp(argv[i], "--require-zero") == 0) {
+      for (auto& m : SplitCommas(next("--require-zero"))) {
+        require_zero.push_back(m);
+      }
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(dump_path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv[0], dump_path.c_str());
+    return 2;
+  }
+  TraceDump dump;
+  std::string error;
+  if (!TraceDump::Load(in, &dump, &error)) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], dump_path.c_str(), error.c_str());
+    return 2;
+  }
+
+  std::set<dumbnet::telemetry::Component> components;
+  for (const auto& ev : dump.events) {
+    components.insert(ev.component);
+  }
+  std::printf("%s: %zu events, %zu components\n", dump_path.c_str(),
+              dump.events.size(), components.size());
+
+  if (want_top || (chrome_path.empty() && metrics_path.empty() &&
+                   require_components == 0)) {
+    dumbnet::telemetry::PrintTopReport(std::cout, dump.events, top_n);
+  }
+
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], chrome_path.c_str());
+      return 2;
+    }
+    dumbnet::telemetry::WriteChromeTrace(out, dump.events);
+    std::printf("wrote Chrome trace (%zu events) to %s — open via chrome://tracing\n",
+                dump.events.size(), chrome_path.c_str());
+  }
+
+  bool failed = false;
+  if (require_components > 0 &&
+      components.size() < static_cast<size_t>(require_components)) {
+    std::fprintf(stderr, "FAIL: %zu distinct components in trace, need >= %d\n",
+                 components.size(), require_components);
+    failed = true;
+  }
+
+  if (!require_nonzero.empty() || !require_zero.empty()) {
+    if (metrics_path.empty()) {
+      std::fprintf(stderr, "%s: --require-nonzero/--require-zero need --metrics\n",
+                   argv[0]);
+      return 2;
+    }
+    std::ifstream mf(metrics_path);
+    if (!mf) {
+      std::fprintf(stderr, "%s: cannot open %s\n", argv[0], metrics_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << mf.rdbuf();
+    std::string json = ss.str();
+    for (const auto& name : require_nonzero) {
+      double v = 0;
+      if (!FindMetric(json, name, &v)) {
+        std::fprintf(stderr, "FAIL: metric %s not found in %s\n", name.c_str(),
+                     metrics_path.c_str());
+        failed = true;
+      } else if (v <= 0) {
+        std::fprintf(stderr, "FAIL: metric %s = %g, need > 0\n", name.c_str(), v);
+        failed = true;
+      } else {
+        std::printf("ok: %s = %g\n", name.c_str(), v);
+      }
+    }
+    for (const auto& name : require_zero) {
+      double v = 0;
+      if (FindMetric(json, name, &v) && v != 0) {
+        std::fprintf(stderr, "FAIL: metric %s = %g, need 0\n", name.c_str(), v);
+        failed = true;
+      } else {
+        std::printf("ok: %s = %g\n", name.c_str(), v);
+      }
+    }
+  }
+
+  if (failed) {
+    return 1;
+  }
+  if (require_components > 0) {
+    std::printf("ok: %zu components >= %d required\n", components.size(),
+                require_components);
+  }
+  return 0;
+}
