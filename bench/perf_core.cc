@@ -34,8 +34,10 @@ using namespace dumbnet;
 namespace {
 
 double WallSeconds(const std::function<void()>& fn) {
+  // dn-lint: allow(wall-clock, benches measure real elapsed time by design)
   auto start = std::chrono::steady_clock::now();
   fn();
+  // dn-lint: allow(wall-clock, benches measure real elapsed time by design)
   auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
 }

@@ -7,10 +7,18 @@
 //
 //   $ ./failure_recovery --trace run.fr --metrics-json metrics.json
 //   $ dumbnet-trace run.fr --chrome trace.json     # open via chrome://tracing
+//
+// For static verification, the post-failure fabric state can be exported and
+// replayed through dumbnet-check:
+//
+//   $ ./failure_recovery --dump-topo fabric.topo --dump-pathgraphs graphs.pg
+//   $ dumbnet-check fabric.topo graphs.pg --verify-pathgraph
 #include <cstdio>
 #include <cstring>
 
+#include "src/analysis/fabric_check.h"
 #include "src/core/fabric.h"
+#include "src/topo/serialize.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/topo/generators.h"
@@ -21,13 +29,21 @@ using namespace dumbnet;
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string topo_path;
+  std::string pathgraphs_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-topo") == 0 && i + 1 < argc) {
+      topo_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-pathgraphs") == 0 && i + 1 < argc) {
+      pathgraphs_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace <path>] [--metrics-json <path>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace <path>] [--metrics-json <path>]\n"
+                   "          [--dump-topo <path>] [--dump-pathgraphs <path>]\n",
                    argv[0]);
       return 2;
     }
@@ -118,6 +134,38 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
       return 2;
     }
+  }
+  // Export the post-failure fabric for offline verification: the topology as the
+  // controller sees it, and freshly recomputed path graphs from host 0 to every
+  // other host (computed against the same snapshot, so a clean dumbnet-check
+  // --verify-pathgraph run is the expected outcome).
+  if (!topo_path.empty()) {
+    if (Status s = SaveTopology(fabric.topo(), topo_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", topo_path.c_str(),
+                   s.error().ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote topology snapshot to %s\n", topo_path.c_str());
+  }
+  if (!pathgraphs_path.empty()) {
+    std::vector<uint64_t> dst_macs;
+    for (uint32_t h = 1; h < fabric.host_count(); ++h) {
+      dst_macs.push_back(fabric.agent(h).mac());
+    }
+    auto graphs = fabric.controller().PrecomputePathGraphs(fabric.agent(0).mac(),
+                                                           dst_macs);
+    if (!graphs.ok()) {
+      std::fprintf(stderr, "path-graph precompute failed: %s\n",
+                   graphs.error().ToString().c_str());
+      return 2;
+    }
+    if (Status s = SaveWirePathGraphs(graphs.value(), pathgraphs_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", pathgraphs_path.c_str(),
+                   s.error().ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %zu path graphs to %s\n", graphs.value().size(),
+                pathgraphs_path.c_str());
   }
   return done ? 0 : 1;
 }

@@ -190,7 +190,283 @@ std::vector<CheckFinding> CheckFabric(const Topology& topo,
   std::vector<CheckFinding> findings = CheckTopology(topo, opts);
   std::vector<CheckFinding> pg = CheckPathGraphs(topo, graphs, opts);
   findings.insert(findings.end(), pg.begin(), pg.end());
+  if (opts.verify_semantics) {
+    std::vector<CheckFinding> sem = VerifyPathGraphSemantics(topo, graphs, opts.verify);
+    findings.insert(findings.end(), sem.begin(), sem.end());
+  }
   return findings;
+}
+
+namespace {
+
+// Hop distances from `src` over `graph`, truncated at `budget`, optionally
+// skipping edges whose normalized (index, index) pair is in `excluded`.
+// Unreached entries are UINT32_MAX. Small fabrics: a plain vector BFS is fine.
+std::vector<uint32_t> BfsWithout(const SwitchGraph& graph, uint32_t src,
+                                 uint32_t budget,
+                                 const std::set<std::pair<uint32_t, uint32_t>>* excluded) {
+  std::vector<uint32_t> dist(graph.size(), UINT32_MAX);
+  if (src >= graph.size()) {
+    return dist;
+  }
+  std::vector<uint32_t> frontier = {src};
+  dist[src] = 0;
+  while (!frontier.empty()) {
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      if (dist[u] >= budget) {
+        continue;
+      }
+      for (const AdjEdge& e : graph.Neighbors(u)) {
+        if (excluded != nullptr) {
+          auto key = u < e.to ? std::pair{u, e.to} : std::pair{e.to, u};
+          if (excluded->count(key) > 0) {
+            continue;
+          }
+        }
+        if (dist[e.to] == UINT32_MAX) {
+          dist[e.to] = dist[u] + 1;
+          next.push_back(e.to);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<CheckFinding> VerifyPathGraphSemantics(
+    const Topology& topo, const std::vector<WirePathGraph>& graphs,
+    const PathGraphVerifyOptions& vopts) {
+  std::vector<CheckFinding> findings;
+  const SwitchGraph fabric(topo);
+
+  for (const WirePathGraph& g : graphs) {
+    const std::string name = GraphName(g);
+
+    // Map every uid the graph mentions to a switch index; an unknown uid makes
+    // the deeper semantic checks meaningless, so flag it and move on.
+    bool uids_ok = true;
+    auto index_of = [&](uint64_t uid, const char* where) -> uint32_t {
+      auto idx = topo.SwitchByUid(uid);
+      if (!idx.ok()) {
+        findings.push_back({"pathgraph-unknown-switch",
+                            name + ": " + where + " mentions " + UidName(uid) +
+                                ", absent from the topology snapshot"});
+        uids_ok = false;
+        return kNoVertex;
+      }
+      return idx.value();
+    };
+    std::vector<uint32_t> primary;
+    primary.reserve(g.primary.size());
+    for (uint64_t uid : g.primary) {
+      primary.push_back(index_of(uid, "primary"));
+    }
+    std::vector<uint32_t> backup;
+    backup.reserve(g.backup.size());
+    for (uint64_t uid : g.backup) {
+      backup.push_back(index_of(uid, "backup"));
+    }
+    if (!uids_ok) {
+      continue;
+    }
+
+    // Loop-freedom of the backup (primary loops are CheckPathGraphs' job).
+    std::set<uint32_t> backup_seen;
+    for (size_t i = 0; i < backup.size(); ++i) {
+      if (!backup_seen.insert(backup[i]).second) {
+        findings.push_back(
+            {"backup-loop", name + ": backup revisits " + UidName(g.backup[i])});
+        break;
+      }
+    }
+
+    // Primary and backup must be real walks over up links.
+    auto check_edges = [&](const std::vector<uint32_t>& path,
+                           const std::vector<uint64_t>& uids, const char* which) {
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        bool adjacent = false;
+        for (const AdjEdge& e : fabric.Neighbors(path[i])) {
+          adjacent = adjacent || e.to == path[i + 1];
+        }
+        if (!adjacent) {
+          findings.push_back({"path-broken-edge",
+                              name + ": " + which + " hop " + UidName(uids[i]) + "->" +
+                                  UidName(uids[i + 1]) + " has no up link"});
+        }
+      }
+    };
+    check_edges(primary, g.primary, "primary");
+    check_edges(backup, g.backup, "backup");
+
+    // The subgraph the host would cache: vertices from both paths plus every
+    // advertised link endpoint; links restricted to ones the fabric confirms.
+    std::set<uint32_t> members(primary.begin(), primary.end());
+    members.insert(backup.begin(), backup.end());
+    std::vector<LinkIndex> sub_links;
+    for (const WireLink& wl : g.links) {
+      LinkIndex li = TruthLink(topo, wl);
+      if (li == kInvalidLink) {
+        continue;  // CheckPathGraphs reports link-conflict for these
+      }
+      auto ia = topo.SwitchByUid(wl.uid_a);
+      auto ib = topo.SwitchByUid(wl.uid_b);
+      members.insert(ia.value());
+      members.insert(ib.value());
+      sub_links.push_back(li);
+    }
+    const SwitchGraph sub(topo, sub_links);
+
+    if (primary.empty()) {
+      continue;  // nothing further to verify without a primary
+    }
+    const uint32_t dst = primary.back();
+
+    // Every subgraph vertex must be able to reach dst inside the subgraph:
+    // packets detoured there during failover must not strand.
+    {
+      std::vector<uint32_t> dist = BfsWithout(sub, dst, UINT32_MAX, nullptr);
+      for (uint32_t v : members) {
+        if (dist[v] == UINT32_MAX) {
+          auto uid = topo.switch_at(v).uid;
+          findings.push_back({"vertex-cannot-reach-dst",
+                              name + ": subgraph vertex " + UidName(uid) +
+                                  " cannot reach the destination switch inside "
+                                  "the subgraph"});
+        }
+      }
+    }
+
+    // Algorithm 1 windows, mirroring the builder exactly: [p_i, p_{i+s}] with
+    // i advancing by s/2, detour budget s + epsilon.
+    const size_t l = primary.size();
+    const uint32_t s = std::max<uint32_t>(1, vopts.s);
+    const uint32_t step = std::max<uint32_t>(1, s / 2);
+    const uint32_t budget = s + vopts.epsilon;
+    for (size_t i = 0; i < l; i += step) {
+      const size_t j = std::min(i + s, l - 1);
+      const uint32_t a = primary[i];
+      const uint32_t b = primary[j];
+
+      // (a) Completeness: every fabric vertex within the window budget must be
+      // a member (this is exactly the builder's membership rule).
+      std::vector<uint32_t> da = BfsWithout(fabric, a, budget, nullptr);
+      std::vector<uint32_t> db = BfsWithout(fabric, b, budget, nullptr);
+      for (uint32_t x = 0; x < fabric.size(); ++x) {
+        if (da[x] != UINT32_MAX && db[x] != UINT32_MAX && da[x] + db[x] <= budget &&
+            members.count(x) == 0) {
+          findings.push_back(
+              {"detour-incomplete",
+               name + ": " + UidName(topo.switch_at(x).uid) + " is " +
+                   std::to_string(da[x]) + "+" + std::to_string(db[x]) +
+                   " hops from window [" + UidName(g.primary[i]) + ".." +
+                   UidName(g.primary[j]) + "] (budget " + std::to_string(budget) +
+                   ") but is not in the subgraph"});
+        }
+      }
+
+      // (b) epsilon-goodness: if the fabric can route around this window's
+      // primary segment within the budget, the cached subgraph must be able to
+      // as well — otherwise a window failure forces a controller round-trip the
+      // paper's design avoids (Section 4.3).
+      std::set<std::pair<uint32_t, uint32_t>> window_edges;
+      for (size_t k = i; k < j; ++k) {
+        uint32_t u = primary[k];
+        uint32_t v = primary[k + 1];
+        window_edges.insert(u < v ? std::pair{u, v} : std::pair{v, u});
+      }
+      std::vector<uint32_t> fab_detour = BfsWithout(fabric, a, budget, &window_edges);
+      if (fab_detour[b] != UINT32_MAX) {
+        std::vector<uint32_t> sub_detour = BfsWithout(sub, a, budget, &window_edges);
+        if (sub_detour[b] == UINT32_MAX) {
+          findings.push_back(
+              {"detour-not-eps-good",
+               name + ": fabric admits a " + std::to_string(fab_detour[b]) +
+                   "-hop detour around window [" + UidName(g.primary[i]) + ".." +
+                   UidName(g.primary[j]) + "] (budget " + std::to_string(budget) +
+                   ") but the subgraph does not"});
+        }
+      }
+      if (i + s >= l - 1) {
+        break;
+      }
+    }
+
+    // Backup link-disjointness score: fraction of backup edges shared with the
+    // primary. The builder only reuses primary links "unless it is unavoidable"
+    // (16x penalty), so a high score on a multipath fabric is a red flag.
+    if (backup.size() >= 2) {
+      std::set<std::pair<uint32_t, uint32_t>> primary_edges;
+      for (size_t i = 0; i + 1 < primary.size(); ++i) {
+        uint32_t u = primary[i];
+        uint32_t v = primary[i + 1];
+        primary_edges.insert(u < v ? std::pair{u, v} : std::pair{v, u});
+      }
+      size_t shared = 0;
+      const size_t backup_edges = backup.size() - 1;
+      for (size_t i = 0; i + 1 < backup.size(); ++i) {
+        uint32_t u = backup[i];
+        uint32_t v = backup[i + 1];
+        shared += primary_edges.count(u < v ? std::pair{u, v} : std::pair{v, u});
+      }
+      const double overlap = static_cast<double>(shared) / static_cast<double>(backup_edges);
+      if (overlap > vopts.max_backup_overlap) {
+        findings.push_back(
+            {"backup-overlap",
+             name + ": backup shares " + std::to_string(shared) + "/" +
+                 std::to_string(backup_edges) + " edges with the primary (" +
+                 std::to_string(overlap) + " > allowed " +
+                 std::to_string(vopts.max_backup_overlap) + ")"});
+      }
+    }
+  }
+  return findings;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CheckFindingsJson(const std::vector<CheckFinding>& findings) {
+  std::ostringstream os;
+  os << "{\"count\":" << findings.size() << ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    os << (i > 0 ? "," : "") << "{\"check\":\"" << JsonEscape(findings[i].check)
+       << "\",\"detail\":\"" << JsonEscape(findings[i].detail) << "\"}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::string SerializeWirePathGraphs(const std::vector<WirePathGraph>& graphs) {
@@ -333,6 +609,14 @@ int RunDumbnetCheck(const std::string& topo_path,
   const std::vector<CheckFinding> findings = CheckFabric(topo.value(), graphs, opts);
   for (const CheckFinding& f : findings) {
     out << "[" << f.check << "] " << f.detail << "\n";
+  }
+  if (!opts.json_path.empty()) {
+    std::ofstream json_out(opts.json_path);
+    if (!json_out) {
+      out << "dumbnet-check: cannot write " << opts.json_path << "\n";
+      return 2;
+    }
+    json_out << CheckFindingsJson(findings) << "\n";
   }
   out << "dumbnet-check: " << topo.value().switch_count() << " switches, "
       << topo.value().host_count() << " hosts, " << graphs.size() << " path graphs, "

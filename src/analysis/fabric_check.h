@@ -14,6 +14,7 @@
 #define DUMBNET_SRC_ANALYSIS_FABRIC_CHECK_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -30,9 +31,25 @@ struct CheckFinding {
   std::string detail;  // human-readable explanation
 };
 
+// Algorithm 1 parameters the semantic verifier checks graphs against. Defaults
+// mirror PathGraphParams so controller-generated graphs verify out of the box.
+struct PathGraphVerifyOptions {
+  uint32_t s = 2;        // detour window length (hops)
+  uint32_t epsilon = 2;  // detour slack: window detours may use s + epsilon hops
+  // Maximum tolerated fraction of backup edges shared with the primary. 1.0
+  // (default) never fires: on single-path topologies full overlap is correct
+  // ("unless it is unavoidable"); tighten for fabrics known to be multipath.
+  double max_backup_overlap = 1.0;
+};
+
 struct FabricCheckOptions {
   // Tag stack budget: hop tags + destination port + ø must fit.
   size_t max_tag_depth = audit::kMaxTagStackDepth;
+  // When true, RunDumbnetCheck also runs VerifyPathGraphSemantics.
+  bool verify_semantics = false;
+  PathGraphVerifyOptions verify;
+  // When non-empty, RunDumbnetCheck writes findings as JSON to this path.
+  std::string json_path;
 };
 
 // Checks the topology alone: structural validity, disconnected (unreachable)
@@ -53,6 +70,28 @@ std::vector<CheckFinding> CheckPathGraphs(const Topology& topo,
 std::vector<CheckFinding> CheckFabric(const Topology& topo,
                                       const std::vector<WirePathGraph>& graphs,
                                       const FabricCheckOptions& opts = {});
+
+// Semantic verifier (Section 4.3 / Algorithm 1): checks each graph against the
+// topology ground truth for
+//   pathgraph-unknown-switch  a path uid absent from the topology snapshot
+//   path-broken-edge          consecutive primary/backup uids with no up link
+//   backup-loop               backup path revisits a switch
+//   detour-incomplete         a vertex within the window budget
+//                             (dist(a,x)+dist(x,b) <= s+epsilon) is missing
+//   detour-not-eps-good       the fabric admits an (s+epsilon)-hop detour around
+//                             a window but the subgraph does not contain one
+//   vertex-cannot-reach-dst   a subgraph vertex cannot reach dst inside the
+//                             subgraph (failover could strand a packet there)
+//   backup-overlap            backup shares more than max_backup_overlap of its
+//                             edges with the primary
+// Loop-freedom of primaries and the tag-stack budget are covered by
+// CheckPathGraphs; run both for full coverage (RunDumbnetCheck does).
+std::vector<CheckFinding> VerifyPathGraphSemantics(
+    const Topology& topo, const std::vector<WirePathGraph>& graphs,
+    const PathGraphVerifyOptions& vopts = {});
+
+// Machine-readable form: {"count":N,"findings":[{"check":...,"detail":...}]}.
+std::string CheckFindingsJson(const std::vector<CheckFinding>& findings);
 
 // Path-graph (de)serialization in the text format above.
 std::string SerializeWirePathGraphs(const std::vector<WirePathGraph>& graphs);

@@ -1,0 +1,85 @@
+// dumbnet-lint: a dependency-free, token-level source linter for project rules the
+// generic toolchain cannot see. The simulator must be bit-deterministic (the
+// golden-trace tests depend on it) and the invariant/telemetry layers have naming
+// contracts; this lint makes both machine-checkable.
+//
+// Rules (stable ids, used in diagnostics and in allow-annotations):
+//
+//   raw-random             rand()/std::random_device/mt19937/... outside
+//                          src/util/rng.{h,cc} — all randomness must flow through
+//                          the seeded Rng so runs are reproducible.
+//   wall-clock             system_clock/steady_clock/time()/... outside the rng
+//                          and logging exemptions — simulated code must use
+//                          virtual time only.
+//   unordered-iter         range-for / begin() iteration over an
+//                          unordered_map/unordered_set in an order-sensitive
+//                          layer (sim, net, host, ctrl, switch, transport), where
+//                          iteration order leaks into event order.
+//   audit-message          DUMBNET_ASSERT / DUMBNET_AUDIT without a (non-empty)
+//                          message argument.
+//   log-kv-key             DN_LOG_KV event names and .Kv() keys must be string
+//                          literals shaped like lowercase.dot.identifiers.
+//   include-guard          headers must open with a matching
+//                          #ifndef/#define ..._H_ pair and close with #endif.
+//   using-namespace-header using namespace at header scope.
+//   bad-suppression        a dn-lint annotation naming an unknown rule or
+//                          missing its reason.
+//
+// Suppression: a comment of the form `dn-lint: allow(unordered-iter, reads only)`
+// — i.e. allow(rule-id, reason) — on the offending line or the line directly
+// above it. The reason is mandatory.
+#ifndef DUMBNET_SRC_ANALYSIS_LINT_H_
+#define DUMBNET_SRC_ANALYSIS_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dumbnet {
+
+struct LintFinding {
+  std::string rule;    // stable rule id, e.g. "unordered-iter"
+  std::string file;    // path as given to the linter
+  size_t line = 0;     // 1-based
+  std::string detail;  // human-readable explanation
+};
+
+struct LintOptions {
+  // Path fragments marking layers where container iteration order reaches the
+  // event stream. Matched as substrings of the (slash-normalized) path.
+  std::vector<std::string> order_sensitive_dirs = {
+      "src/sim/", "src/net/", "src/host/",
+      "src/ctrl/", "src/switch/", "src/transport/"};
+  // Path suffixes exempt from raw-random / wall-clock (the blessed sources of
+  // randomness and of real timestamps).
+  std::vector<std::string> determinism_exempt_suffixes = {
+      "src/util/rng.h", "src/util/rng.cc", "src/util/logging.cc"};
+};
+
+// Rule ids accepted in allow-annotations.
+const std::vector<std::string>& KnownLintRules();
+
+// Lints one translation unit held in memory. `path` selects which rules apply
+// (header rules for *.h, layer and exemption matching). `companion_header`, when
+// non-empty, is scanned for unordered-container member declarations so a .cc
+// iterating a member declared in its header is still caught.
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& content,
+                                    const std::string& companion_header,
+                                    const LintOptions& options = LintOptions());
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& content,
+                                    const LintOptions& options = LintOptions());
+
+// Reads `path` (and `<stem>.h` next to a *.cc/*.cpp, if present) and lints it.
+// Unreadable files produce a single "io-error" finding.
+std::vector<LintFinding> LintFile(const std::string& path,
+                                  const LintOptions& options = LintOptions());
+
+// "file:line: [rule] detail" lines, one per finding.
+std::string FormatLintFindings(const std::vector<LintFinding>& findings);
+
+// Machine-readable form: {"count":N,"findings":[{rule,file,line,detail}...]}.
+std::string LintFindingsJson(const std::vector<LintFinding>& findings);
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ANALYSIS_LINT_H_

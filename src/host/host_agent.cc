@@ -391,11 +391,19 @@ void HostAgent::ApplyBootstrap(const BootstrapPayload& bootstrap) {
     }
     ComputeGossipPeers(*bootstrap.directory);
   }
-  // Anything queued before bootstrap can now be requested.
+  // Anything queued before bootstrap can now be requested — in MAC order, so
+  // the resulting request events are independent of hash-table layout.
+  std::vector<uint64_t> queued;
+  queued.reserve(pending_.size());
+  // dn-lint: allow(unordered-iter, order erased by the sort below)
   for (const auto& [dst, queue] : pending_) {
     if (!queue.empty()) {
-      RequestPath(dst);
+      queued.push_back(dst);
     }
+  }
+  std::sort(queued.begin(), queued.end());
+  for (uint64_t dst : queued) {
+    RequestPath(dst);
   }
 }
 

@@ -113,7 +113,17 @@ void PathTable::ClearBinding(uint64_t dst_mac, uint64_t flow_id) {
 
 std::vector<uint64_t> PathTable::InvalidateEdge(uint64_t a, uint64_t b) {
   std::vector<uint64_t> starved;
-  for (auto& [mac, entry] : entries_) {
+  // Walk entries in ascending MAC order: the starved list drives re-query (and
+  // thus event) order at the caller, so it must not depend on hash layout.
+  std::vector<uint64_t> macs;
+  macs.reserve(entries_.size());
+  // dn-lint: allow(unordered-iter, order erased by the sort below)
+  for (const auto& [mac, unused_entry] : entries_) {
+    macs.push_back(mac);
+  }
+  std::sort(macs.begin(), macs.end());
+  for (uint64_t mac : macs) {
+    PathTableEntry& entry = entries_[mac];
     bool changed = false;
     auto dead = [&](const CachedRoute& r) { return r.UsesEdge(a, b); };
     size_t before = entry.paths.size();

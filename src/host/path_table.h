@@ -5,6 +5,7 @@
 #ifndef DUMBNET_SRC_HOST_PATH_TABLE_H_
 #define DUMBNET_SRC_HOST_PATH_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -75,12 +76,20 @@ class PathTable {
   size_t size() const { return entries_.size(); }
   const PathTableStats& stats() const { return stats_; }
 
-  // Read-only iteration over every installed entry (used by the invariant-audit
-  // layer to cross-check the table against the owning host's TopoCache).
+  // Read-only iteration over every installed entry in ascending MAC order
+  // (used by the invariant-audit layer to cross-check the table against the
+  // owning host's TopoCache; sorted so audit failure order is reproducible).
   void ForEachEntry(
       const std::function<void(uint64_t dst_mac, const PathTableEntry&)>& fn) const {
+    std::vector<uint64_t> macs;
+    macs.reserve(entries_.size());
+    // dn-lint: allow(unordered-iter, order erased by the sort below)
     for (const auto& [mac, entry] : entries_) {
-      fn(mac, entry);
+      macs.push_back(mac);
+    }
+    std::sort(macs.begin(), macs.end());
+    for (uint64_t mac : macs) {
+      fn(mac, entries_.at(mac));
     }
   }
 

@@ -5,6 +5,7 @@
 // stacks, dangling WireLinks, stale cache entries — and must flag it.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -527,6 +528,144 @@ TEST(BenchCompareTest, MissingAndParamMismatchedRowsAreFindings) {
   // Extra rows in the current run are not findings.
   EXPECT_TRUE(CompareBenchRows({base}, {base, MakeRow("new_metric", 5, "ratio")}, 0.20)
                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Semantic path-graph verifier (Section 4.3 / Algorithm 1).
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPathGraphTest, SoundGraphPasses) {
+  Topology t = SquareTopo();
+  auto findings = VerifyPathGraphSemantics(t, {SquarePathGraph(t)});
+  EXPECT_TRUE(findings.empty()) << findings.size() << " findings, first: "
+                                << (findings.empty() ? "" : findings[0].detail);
+}
+
+TEST(VerifyPathGraphTest, UnknownSwitchFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  g.primary[1] = 991199;  // no such switch in the snapshot
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}), "pathgraph-unknown-switch"));
+}
+
+TEST(VerifyPathGraphTest, BackupLoopFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  g.backup = {Uid(t, 0), Uid(t, 3), Uid(t, 0), Uid(t, 3), Uid(t, 2)};
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}), "backup-loop"));
+}
+
+TEST(VerifyPathGraphTest, BrokenEdgeFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  g.primary = {Uid(t, 0), Uid(t, 2)};  // no direct S0<->S2 link exists
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}), "path-broken-edge"));
+}
+
+TEST(VerifyPathGraphTest, MissingDetourVertexFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  // Strip S3 from the graph entirely: no backup, no links touching it. S3 is
+  // 1+1 hops from the (only) window's endpoints, well under budget s+eps = 4,
+  // so Algorithm 1 requires it as a member.
+  g.backup.clear();
+  g.links = {WireLink{Uid(t, 0), 1, Uid(t, 1), 1}, WireLink{Uid(t, 1), 2, Uid(t, 2), 1}};
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}), "detour-incomplete"));
+}
+
+TEST(VerifyPathGraphTest, NonEpsGoodDetourFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  // Keep S3 a member (the S2<->S3 link stays) but drop the S3<->S0 link that
+  // completes the detour: the fabric can route around the S0..S2 window via
+  // S0-S3-S2, the cached subgraph no longer can.
+  g.backup.clear();
+  g.links = {WireLink{Uid(t, 0), 1, Uid(t, 1), 1}, WireLink{Uid(t, 1), 2, Uid(t, 2), 1},
+             WireLink{Uid(t, 2), 2, Uid(t, 3), 1}};
+  auto findings = VerifyPathGraphSemantics(t, {g});
+  EXPECT_TRUE(HasFinding(findings, "detour-not-eps-good"));
+  EXPECT_FALSE(HasFinding(findings, "detour-incomplete"));
+}
+
+TEST(VerifyPathGraphTest, StrandedVertexFlagged) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  // S3 stays a member via the backup path, but the graph advertises no links
+  // touching it: a packet failed over onto the backup would strand there.
+  g.links = {WireLink{Uid(t, 0), 1, Uid(t, 1), 1}, WireLink{Uid(t, 1), 2, Uid(t, 2), 1}};
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}), "vertex-cannot-reach-dst"));
+}
+
+TEST(VerifyPathGraphTest, BackupOverlapScored) {
+  Topology t = SquareTopo();
+  WirePathGraph g = SquarePathGraph(t);
+  g.backup = g.primary;  // total overlap
+  // Default tolerance (1.0) accepts even total overlap...
+  EXPECT_FALSE(HasFinding(VerifyPathGraphSemantics(t, {g}), "backup-overlap"));
+  // ...a tightened one rejects it, and accepts the disjoint original.
+  PathGraphVerifyOptions strict;
+  strict.max_backup_overlap = 0.5;
+  EXPECT_TRUE(HasFinding(VerifyPathGraphSemantics(t, {g}, strict), "backup-overlap"));
+  EXPECT_FALSE(HasFinding(VerifyPathGraphSemantics(t, {SquarePathGraph(t)}, strict),
+                          "backup-overlap"));
+}
+
+TEST(VerifyPathGraphTest, ControllerGeneratedGraphsVerifyClean) {
+  auto tb = MakePaperTestbed();
+  ASSERT_TRUE(tb.ok());
+  TestFabric fabric(std::move(tb.value().topo));
+  fabric.BringUpAdopted(25);
+  fabric.sim().Run();
+  std::vector<uint64_t> dst_macs;
+  for (uint32_t h = 1; h < fabric.host_count(); ++h) {
+    dst_macs.push_back(fabric.agent(h).mac());
+  }
+  auto graphs = fabric.controller().PrecomputePathGraphs(fabric.agent(0).mac(), dst_macs);
+  ASSERT_TRUE(graphs.ok());
+  ASSERT_FALSE(graphs.value().empty());
+  auto findings = VerifyPathGraphSemantics(fabric.topo(), graphs.value());
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " findings, first: " << findings[0].detail;
+  // And still clean after a failure + patch cycle: once the fabric broadcast
+  // reaches the controller it recomputes against the patched topology, so
+  // fresh graphs must re-verify against the new truth.
+  fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(tb.value().leaves[0], 1), false);
+  fabric.sim().Run();
+  auto after = fabric.controller().PrecomputePathGraphs(fabric.agent(0).mac(), dst_macs);
+  ASSERT_TRUE(after.ok());
+  auto post = VerifyPathGraphSemantics(fabric.topo(), after.value());
+  EXPECT_TRUE(post.empty()) << post.size() << " findings, first: " << post[0].detail;
+}
+
+TEST(DumbnetCheckCliTest, VerifyModeAndJsonOutput) {
+  Topology topo = SquareTopo();
+  WirePathGraph bad = SquarePathGraph(topo);
+  bad.backup = {Uid(topo, 0), Uid(topo, 3), Uid(topo, 0), Uid(topo, 3), Uid(topo, 2)};
+  const std::string dir = ::testing::TempDir();
+  const std::string topo_path = dir + "/verify.topo";
+  const std::string pg_path = dir + "/verify.pg";
+  const std::string json_path = dir + "/verify.json";
+  ASSERT_TRUE(SaveTopology(topo, topo_path).ok());
+  ASSERT_TRUE(SaveWirePathGraphs({bad}, pg_path).ok());
+
+  // Without --verify-pathgraph the structural checks alone miss the loop.
+  std::ostringstream quiet;
+  EXPECT_EQ(RunDumbnetCheck(topo_path, {pg_path}, {}, quiet), 0);
+
+  FabricCheckOptions opts;
+  opts.verify_semantics = true;
+  opts.json_path = json_path;
+  std::ostringstream out;
+  EXPECT_EQ(RunDumbnetCheck(topo_path, {pg_path}, opts, out), 1);
+  EXPECT_NE(out.str().find("backup-loop"), std::string::npos) << out.str();
+
+  std::ifstream json_in(json_path);
+  ASSERT_TRUE(json_in.good());
+  std::ostringstream json;
+  json << json_in.rdbuf();
+  EXPECT_NE(json.str().find("\"check\":\"backup-loop\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"count\":"), std::string::npos);
 }
 
 }  // namespace

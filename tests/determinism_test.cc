@@ -87,6 +87,72 @@ TEST(DeterminismTest, FailureRecoveryTraceIsReproducible) {
   ExpectIdentical(first, second);
 }
 
+// Failure-recovery stress targeting the paths where hash-map iteration order
+// could leak into the event stream: the ApplyBootstrap fan-out over pre-bootstrap
+// queued destinations (HostAgent::pending_), and the PathTable::InvalidateEdge
+// sweep (entry iteration decides starved-destination re-query order) driven
+// twice by back-to-back link failures.
+RunResult RunQueuedSendsAndDoubleFailure(uint64_t seed) {
+  auto testbed = MakePaperTestbed();
+  EXPECT_TRUE(testbed.ok());
+  uint32_t spine0 = testbed.value().spines[0];
+  uint32_t spine1 = testbed.value().spines[1];
+  SimulatedFabric fabric(std::move(testbed.value().topo));
+
+  RunResult result;
+  fabric.sim().SetTraceHook(
+      [&](TimeNs at, uint64_t seq) { result.trace.emplace_back(at, seq); });
+
+  // Queue sends to several destinations BEFORE any bring-up: they sit in the
+  // agent's pending map until the bootstrap lands, so the bootstrap's
+  // request fan-out order is on the trace.
+  for (uint32_t h : {17u, 4u, 22u, 9u, 13u}) {
+    EXPECT_TRUE(fabric.agent(0).Send(fabric.agent(h).mac(), h, DataPayload{}).ok());
+    EXPECT_TRUE(fabric.agent(3).Send(fabric.agent(h).mac(), h, DataPayload{}).ok());
+  }
+
+  ControllerConfig config;
+  config.rng_seed = seed;
+  DiscoveryConfig discovery;
+  discovery.max_ports = 16;
+  EXPECT_TRUE(fabric.BringUp(25, config, discovery));
+
+  // Warm many path-table entries so the invalidation sweeps have real fan-out.
+  for (uint32_t h = 0; h < 10; ++h) {
+    EXPECT_TRUE(
+        fabric.agent(h).Send(fabric.agent(h + 12).mac(), 100 + h, DataPayload{}).ok());
+  }
+  fabric.sim().Run();
+
+  // Two failures back to back: every cached route crossing either spine edge is
+  // swept out, starving some destinations into synchronous re-queries.
+  LinkIndex l0 = fabric.topo().LinkAtPort(spine0, 1);
+  LinkIndex l1 = fabric.topo().LinkAtPort(spine1, 1);
+  EXPECT_NE(l0, kInvalidLink);
+  EXPECT_NE(l1, kInvalidLink);
+  fabric.topo().SetLinkUp(l0, false);
+  fabric.topo().SetLinkUp(l1, false);
+  for (uint32_t h = 0; h < 10; ++h) {
+    EXPECT_TRUE(
+        fabric.agent(h).Send(fabric.agent(h + 12).mac(), 200 + h, DataPayload{}).ok());
+  }
+  fabric.sim().Run();
+  fabric.topo().SetLinkUp(l0, true);
+  fabric.topo().SetLinkUp(l1, true);
+  fabric.sim().Run();
+
+  result.db_topology = SerializeTopology(fabric.controller().db().mirror());
+  result.final_time = fabric.sim().Now();
+  return result;
+}
+
+TEST(DeterminismTest, QueuedSendsAndDoubleFailureTraceIsReproducible) {
+  RunResult first = RunQueuedSendsAndDoubleFailure(7);
+  RunResult second = RunQueuedSendsAndDoubleFailure(7);
+  ASSERT_GT(first.trace.size(), 1000u);
+  ExpectIdentical(first, second);
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   // Sanity check that the trace actually captures seed-dependent behaviour:
   // path randomization must show up as different event interleavings.

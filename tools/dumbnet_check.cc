@@ -5,6 +5,14 @@
 // simulator:
 //
 //   dumbnet-check fabric.topo [pathgraphs.pg ...] [--max-tag-depth N]
+//                 [--verify-pathgraph] [--json findings.json]
+//                 [--pathgraph-s N] [--pathgraph-epsilon N]
+//                 [--max-backup-overlap F]
+//
+// --verify-pathgraph adds the semantic verifier (Section 4.3 / Algorithm 1):
+// loop-free backups, real-edge paths, detour completeness and epsilon-goodness
+// per window, subgraph reachability to the destination, and the backup
+// link-disjointness score. --json writes all findings machine-readably.
 //
 // Bench mode — compares a benchmark JSON report (bench/* --json output) against
 // a committed baseline and flags metrics that regressed beyond the tolerance:
@@ -28,7 +36,10 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: dumbnet-check <topology-file> [pathgraph-file ...]\n"
-               "                     [--max-tag-depth N]\n"
+               "                     [--max-tag-depth N] [--verify-pathgraph]\n"
+               "                     [--json <findings.json>]\n"
+               "                     [--pathgraph-s N] [--pathgraph-epsilon N]\n"
+               "                     [--max-backup-overlap <frac>]\n"
                "       dumbnet-check --bench-json <report.json>\n"
                "                     --bench-baseline <baseline.json>\n"
                "                     [--bench-tolerance <frac>]\n"
@@ -114,6 +125,34 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.max_tag_depth = static_cast<size_t>(depth);
+    } else if (arg == "--verify-pathgraph") {
+      opts.verify_semantics = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      opts.json_path = argv[++i];
+    } else if (arg == "--pathgraph-s" || arg == "--pathgraph-epsilon") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      const long value = std::strtol(argv[++i], nullptr, 10);
+      if (value < 0) {
+        std::cerr << "dumbnet-check: " << arg << " must be >= 0\n";
+        return 2;
+      }
+      (arg == "--pathgraph-s" ? opts.verify.s : opts.verify.epsilon) =
+          static_cast<uint32_t>(value);
+    } else if (arg == "--max-backup-overlap") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      char* end = nullptr;
+      opts.verify.max_backup_overlap = std::strtod(argv[++i], &end);
+      if (end == argv[i] || opts.verify.max_backup_overlap < 0.0) {
+        std::cerr << "dumbnet-check: --max-backup-overlap must be a fraction >= 0\n";
+        return 2;
+      }
     } else if (arg == "--bench-json") {
       if (i + 1 >= argc) {
         return Usage();

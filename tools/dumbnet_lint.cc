@@ -1,0 +1,112 @@
+// dumbnet-lint — project-specific determinism and hygiene linter.
+//
+// Usage:
+//   dumbnet-lint [--json <path>] [paths...]
+//
+// Each path may be a file or a directory; directories are walked recursively
+// for *.h / *.cc / *.cpp. With no paths, lints the conventional tree roots
+// (src tools tests bench) relative to the current directory. Exit codes:
+// 0 clean, 1 findings, 2 usage / IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExt(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+int Usage() {
+  std::cerr << "usage: dumbnet-lint [--json <path>] [file-or-dir...]\n"
+            << "rules: ";
+  const auto& rules = dumbnet::KnownLintRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    std::cerr << (i > 0 ? ", " : "") << rules[i];
+  }
+  std::cerr << "\nsuppress with: // dn-lint: allow(<rule>, <reason>)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "dumbnet-lint: --json needs a path\n";
+        return Usage();
+      }
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dumbnet-lint: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    roots = {"src", "tools", "tests", "bench"};
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) {
+          std::cerr << "dumbnet-lint: error walking " << root << ": "
+                    << ec.message() << "\n";
+          return 2;
+        }
+        if (it->is_regular_file() && HasSourceExt(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "dumbnet-lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<dumbnet::LintFinding> findings;
+  for (const std::string& file : files) {
+    auto file_findings = dumbnet::LintFile(file);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "dumbnet-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << dumbnet::LintFindingsJson(findings) << "\n";
+  }
+
+  std::cout << dumbnet::FormatLintFindings(findings);
+  std::cout << "dumbnet-lint: " << files.size() << " files, " << findings.size()
+            << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -3,18 +3,31 @@
 #
 # Usage:
 #   tools/run_tidy.sh                 # whole tree (src/ tests/ tools/)
+#   tools/run_tidy.sh --ci            # whole tree; missing clang-tidy is an error
 #   tools/run_tidy.sh --diff origin/main   # only files changed vs the ref
 #   tools/run_tidy.sh src/routing/tags.cc  # explicit file list
 #
 # Needs a compile_commands.json; one is generated into build-tidy/ if missing.
-# Exits 0 with a notice when clang-tidy is not installed, so the script is safe
-# to call from environments (like the dev container) without clang tooling.
+# Outside --ci mode, exits 0 with a notice when clang-tidy is not installed, so
+# the script is safe to call from environments (like the dev container) without
+# clang tooling. In --ci mode a missing clang-tidy is a hard failure: the gate
+# must never silently pass.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+ci_mode=0
+if [[ "${1:-}" == "--ci" ]]; then
+  ci_mode=1
+  shift
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ $ci_mode -eq 1 ]]; then
+    echo "run_tidy.sh: clang-tidy not found on PATH but --ci requires it." >&2
+    exit 1
+  fi
   echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)." >&2
   exit 0
 fi
