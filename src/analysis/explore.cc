@@ -1,0 +1,238 @@
+#include "src/analysis/explore.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "src/sim/footprint.h"
+#include "src/util/logging.h"
+
+namespace dumbnet {
+namespace explore {
+
+namespace {
+
+// Canonical text signature of a schedule, used for sleep-set deduplication.
+// SerializeSchedule is already canonical (map-ordered, one line per batch).
+std::string Signature(const Schedule& schedule) { return SerializeSchedule(schedule); }
+
+// The executed order of batch `c.batch_index` under `s` (explicit choice, or
+// canonical identity).
+std::vector<uint32_t> ExecutedOrder(const Schedule& s, const Conflict& c) {
+  auto it = s.choices.find(c.batch_index);
+  if (it != s.choices.end() && it->second.size() == c.batch_size) {
+    return it->second;
+  }
+  std::vector<uint32_t> order(c.batch_size);
+  for (uint32_t i = 0; i < c.batch_size; ++i) {
+    order[i] = i;
+  }
+  return order;
+}
+
+// DPOR child: in the parent's executed order, hoist the later-executed member
+// of the conflicting pair to just before the earlier one, reversing the pair's
+// relative order while disturbing nothing else.
+Schedule ChildSchedule(const Schedule& parent, const Conflict& c) {
+  std::vector<uint32_t> order = ExecutedOrder(parent, c);
+  size_t ia = 0;
+  size_t ib = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == c.pos_a) {
+      ia = i;
+    }
+    if (order[i] == c.pos_b) {
+      ib = i;
+    }
+  }
+  const size_t early = std::min(ia, ib);
+  const size_t late = std::max(ia, ib);
+  const uint32_t moved = order[late];
+  order.erase(order.begin() + static_cast<std::ptrdiff_t>(late));
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(early), moved);
+  Schedule child = parent;
+  child.choices[c.batch_index] = std::move(order);
+  return child;
+}
+
+bool Diverges(const RunOutcome& base, const RunOutcome& out) {
+  return out.state_hash != base.state_hash || out.violations != base.violations;
+}
+
+}  // namespace
+
+std::string SerializeSchedule(const Schedule& schedule) {
+  std::ostringstream out;
+  out << "# dumbnet-explore schedule v1\n";
+  for (const auto& [batch, order] : schedule.choices) {
+    out << "batch " << batch << " order";
+    for (uint32_t p : order) {
+      out << ' ' << p;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<Schedule> ParseSchedule(const std::string& text) {
+  Schedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kw_batch;
+    std::string kw_order;
+    uint64_t batch = 0;
+    if (!(fields >> kw_batch >> batch >> kw_order) || kw_batch != "batch" ||
+        kw_order != "order") {
+      return Error(ErrorCode::kMalformed,
+                   "schedule line " + std::to_string(line_no) +
+                       ": expected 'batch <index> order <p0> <p1> ...'");
+    }
+    std::vector<uint32_t> order;
+    uint32_t p = 0;
+    while (fields >> p) {
+      order.push_back(p);
+    }
+    if (!fields.eof()) {
+      return Error(ErrorCode::kMalformed, "schedule line " + std::to_string(line_no) +
+                                              ": non-numeric position");
+    }
+    if (order.empty()) {
+      return Error(ErrorCode::kMalformed,
+                   "schedule line " + std::to_string(line_no) + ": empty order");
+    }
+    std::vector<bool> hit(order.size(), false);
+    for (uint32_t pos : order) {
+      if (pos >= order.size() || hit[pos]) {
+        return Error(ErrorCode::kMalformed,
+                     "schedule line " + std::to_string(line_no) +
+                         ": order is not a permutation of 0.." +
+                         std::to_string(order.size() - 1));
+      }
+      hit[pos] = true;
+    }
+    if (!schedule.choices.emplace(batch, std::move(order)).second) {
+      return Error(ErrorCode::kMalformed, "schedule line " + std::to_string(line_no) +
+                                              ": duplicate batch " +
+                                              std::to_string(batch));
+    }
+  }
+  return schedule;
+}
+
+Simulator::BatchPermuter MakePermuter(Schedule schedule) {
+  return [schedule = std::move(schedule)](uint64_t batch_index, TimeNs /*at*/,
+                                          std::vector<uint32_t>& order) {
+    auto it = schedule.choices.find(batch_index);
+    if (it == schedule.choices.end()) {
+      return;
+    }
+    if (it->second.size() != order.size()) {
+      DN_WARN << "schedule order for batch " << batch_index << " has "
+              << it->second.size() << " entries, batch has " << order.size()
+              << "; keeping canonical order";
+      return;
+    }
+    order = it->second;
+  };
+}
+
+HazardCollector::HazardCollector(Simulator* sim) : sim_(sim) {
+  sim_->SetHazardHook([this](const footprint::BatchHazard& hazard) {
+    Conflict c;
+    c.batch_index = hazard.batch_index;
+    c.batch_size = hazard.batch_size;
+    c.pos_a = hazard.pos_a;
+    c.pos_b = hazard.pos_b;
+    if (!seen_.insert(c).second) {
+      return;
+    }
+    conflicts_.push_back(c);
+    std::string line;
+    footprint::FormatHazard(hazard, line);
+    lines_.push_back(std::move(line));
+  });
+}
+
+HazardCollector::~HazardCollector() { sim_->SetHazardHook(nullptr); }
+
+ExploreReport Explore(const ScenarioFn& run, const ExploreConfig& config) {
+  ExploreReport report;
+  report.base = run(Schedule{});
+  report.schedules_run = 1;
+
+  std::unordered_set<std::string> visited;  // sleep set: schedules already run
+  visited.insert(Signature(Schedule{}));
+  std::set<Conflict> all_conflicts(report.base.conflicts.begin(),
+                                   report.base.conflicts.end());
+
+  std::deque<Schedule> frontier;
+  auto push_children = [&](const Schedule& parent, const RunOutcome& out) {
+    for (const Conflict& c : out.conflicts) {
+      all_conflicts.insert(c);
+      Schedule child = ChildSchedule(parent, c);
+      if (visited.insert(Signature(child)).second) {
+        frontier.push_back(std::move(child));
+      }
+    }
+  };
+  push_children(Schedule{}, report.base);
+
+  while (!frontier.empty() && !report.diverged) {
+    if (report.schedules_run >= config.max_schedules) {
+      report.budget_exhausted = true;
+      break;
+    }
+    Schedule schedule = std::move(frontier.front());
+    frontier.pop_front();
+    RunOutcome out = run(schedule);
+    ++report.schedules_run;
+    for (const Conflict& c : out.conflicts) {
+      all_conflicts.insert(c);
+    }
+    if (Diverges(report.base, out)) {
+      report.diverged = true;
+      report.counterexample = schedule;
+      report.divergent_hash = out.state_hash;
+      report.divergent_violations = out.violations;
+      break;
+    }
+    push_children(schedule, out);
+  }
+  report.distinct_conflicts = all_conflicts.size();
+
+  if (report.diverged && config.minimize) {
+    // Greedy delta-debugging over batch choices: drop one choice at a time and
+    // keep the drop whenever divergence persists. Counterexamples are typically
+    // one or two choices, so the quadratic worst case never bites.
+    bool shrunk = true;
+    while (shrunk && report.counterexample.choices.size() > 1) {
+      shrunk = false;
+      for (const auto& [batch, order] : report.counterexample.choices) {
+        Schedule trial = report.counterexample;
+        trial.choices.erase(batch);
+        RunOutcome out = run(trial);
+        ++report.schedules_run;
+        if (Diverges(report.base, out)) {
+          report.counterexample = std::move(trial);
+          report.divergent_hash = out.state_hash;
+          report.divergent_violations = std::move(out.violations);
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace explore
+}  // namespace dumbnet

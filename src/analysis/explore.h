@@ -1,0 +1,139 @@
+// DPOR schedule exploration (the engine behind tools/dumbnet-explore).
+//
+// The simulator executes same-timestamp events in FIFO scheduling order — one
+// arbitrary linearization of a causally-concurrent batch. Footprint tracking
+// (src/sim/footprint.h) flags batch pairs whose declared footprints conflict;
+// this module *tests* those flags by re-executing the scenario under permuted
+// batch orders and comparing terminal states. A hazard whose reorderings all
+// converge is noise (and should be annotated DN_FP_COMMUTES with a reason); a
+// hazard with a diverging reordering is a confirmed ordering race, and the
+// minimized schedule that exposes it is a replayable counterexample.
+//
+// The search is dynamic partial-order reduction in spirit:
+//   - Persistent sets: child schedules are generated only from *observed
+//     conflicting pairs* (the simulator already restricts those to consecutive
+//     accessors per entity, the transitive generator set). Batches whose events
+//     never conflict are never permuted.
+//   - Sleep sets: every explored schedule is signature-deduplicated, so an
+//     interleaving reachable along two paths runs once.
+//   - Budget: exploration is breadth-first from the canonical run and stops at
+//     `max_schedules` executions, so CI can bound the cost.
+//
+// The engine is fabric-agnostic: callers supply a ScenarioFn that builds a fresh
+// Simulator + model, runs it under the given Schedule, and returns the terminal
+// state digest plus observed conflicts. Helpers below adapt a Schedule to the
+// Simulator's BatchPermuter and collect hazards into conflicts.
+#ifndef DUMBNET_SRC_ANALYSIS_EXPLORE_H_
+#define DUMBNET_SRC_ANALYSIS_EXPLORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/result.h"
+
+namespace dumbnet {
+namespace explore {
+
+// A schedule: execution orders for selected batches, keyed by batch index (the
+// running count of size>=2 same-timestamp batches — stable across permuted
+// re-executions, unlike raw event seq numbers). Each order is a permutation of
+// canonical positions 0..n-1; batches not listed run in canonical (FIFO) order.
+struct Schedule {
+  std::map<uint64_t, std::vector<uint32_t>> choices;
+
+  bool empty() const { return choices.empty(); }
+  bool operator==(const Schedule& other) const { return choices == other.choices; }
+};
+
+// Text form, replayable across builds and sessions:
+//   # dumbnet-explore schedule v1
+//   batch 17 order 2 0 1
+std::string SerializeSchedule(const Schedule& schedule);
+Result<Schedule> ParseSchedule(const std::string& text);
+
+// One conflicting same-batch event pair observed during a run (an unannotated
+// determinism hazard). Canonical positions, pos_a < pos_b.
+struct Conflict {
+  uint64_t batch_index = 0;
+  uint32_t batch_size = 0;
+  uint32_t pos_a = 0;
+  uint32_t pos_b = 0;
+
+  bool operator<(const Conflict& other) const {
+    return std::tie(batch_index, pos_a, pos_b) <
+           std::tie(other.batch_index, other.pos_a, other.pos_b);
+  }
+};
+
+// What one scenario execution under one schedule produced.
+struct RunOutcome {
+  // Digest of the converged (control-plane) terminal state. Two runs of the same
+  // scenario under different schedules must agree here, or the ordering raced.
+  uint64_t state_hash = 0;
+  uint64_t events = 0;             // executed simulator events
+  uint64_t batches = 0;            // size>=2 batches formed
+  std::vector<Conflict> conflicts; // deduplicated unannotated hazards
+  std::vector<std::string> hazard_lines;  // human rendering, parallel-ish order
+  std::vector<std::string> violations;    // invariant/audit failures, if any
+};
+
+// Re-executes the scenario from scratch under `schedule`. Must be deterministic:
+// same schedule, same outcome.
+using ScenarioFn = std::function<RunOutcome(const Schedule& schedule)>;
+
+struct ExploreConfig {
+  uint64_t max_schedules = 128;  // execution budget, including the base run
+  bool minimize = true;          // shrink the first diverging schedule
+};
+
+struct ExploreReport {
+  RunOutcome base;            // the canonical-order run
+  uint64_t schedules_run = 0; // scenario executions, incl. base and minimization
+  uint64_t distinct_conflicts = 0;  // unique (batch, pos, pos) pairs seen anywhere
+  bool budget_exhausted = false;    // frontier remained when the budget ran out
+
+  bool diverged = false;      // a reordering changed the terminal state
+  Schedule counterexample;    // minimal diverging schedule (when diverged)
+  uint64_t divergent_hash = 0;
+  std::vector<std::string> divergent_violations;
+};
+
+// Breadth-first DPOR exploration from the canonical run. Divergence means: a
+// different state hash, or a violation set differing from the base run's.
+ExploreReport Explore(const ScenarioFn& run, const ExploreConfig& config = {});
+
+// Adapts a Schedule to the Simulator's permuter interface. Orders whose size
+// does not match the actual batch are left canonical (the simulator would also
+// reject non-permutations). Capture by value: the permuter outlives the caller's
+// schedule copy.
+Simulator::BatchPermuter MakePermuter(Schedule schedule);
+
+// Collects hazards from a Simulator into deduplicated Conflicts for a run.
+// Install before running, Take* after. Detaches the hook on destruction.
+class HazardCollector {
+ public:
+  explicit HazardCollector(Simulator* sim);
+  ~HazardCollector();
+  HazardCollector(const HazardCollector&) = delete;
+  HazardCollector& operator=(const HazardCollector&) = delete;
+
+  std::vector<Conflict> TakeConflicts() { return std::move(conflicts_); }
+  std::vector<std::string> TakeLines() { return std::move(lines_); }
+
+ private:
+  Simulator* sim_;
+  std::vector<Conflict> conflicts_;
+  std::vector<std::string> lines_;
+  std::set<Conflict> seen_;
+};
+
+}  // namespace explore
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_ANALYSIS_EXPLORE_H_

@@ -592,10 +592,13 @@ int RunDumbnetCheck(const std::string& topo_path,
                     const FabricCheckOptions& opts, std::ostream& out) {
   auto topo = LoadTopology(topo_path);
   if (!topo.ok()) {
-    // A topology so broken it fails structural validation at parse time is itself
-    // a (fatal) finding; report it as such rather than a usage error.
+    // Exit-code contract: 1 is reserved for *findings about a loadable fabric*;
+    // anything that prevents the checks from running at all — unreadable or
+    // unparseable input included — is an input error, code 2. Callers scripting
+    // the gate can therefore distinguish "checked and failed" from "never
+    // checked".
     out << "dumbnet-check: " << topo_path << ": " << topo.error().ToString() << "\n";
-    return topo.error().code() == ErrorCode::kMalformed ? 1 : 2;
+    return 2;
   }
   std::vector<WirePathGraph> graphs;
   for (const std::string& p : pathgraph_paths) {

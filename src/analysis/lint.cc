@@ -525,6 +525,98 @@ void CheckUnorderedIteration(const std::vector<Tok>& toks,
 }
 
 // ---------------------------------------------------------------------------------
+// Rule: pointer-key (order-sensitive layers only). Pointer values vary run to
+// run with the allocator; a container keyed (or ordered) by them, or an address
+// laundered into an integer key, silently breaks trace determinism.
+
+const std::set<std::string>& KeyedContainerNames() {
+  static const std::set<std::string> kSet = {
+      "map",           "multimap",           "set",           "multiset",
+      "unordered_map", "unordered_multimap", "unordered_set", "unordered_multiset"};
+  return kSet;
+}
+
+void CheckPointerKeys(const std::vector<Tok>& toks, const std::string& path,
+                      std::vector<LintFinding>* findings) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident) {
+      continue;
+    }
+    // <container><<T>*...>: pointer in the first template argument (the key for
+    // maps, the element for sets). Later arguments — mapped values, custom
+    // comparators — may legitimately hold pointers.
+    if (KeyedContainerNames().count(toks[i].text) > 0 && toks[i + 1].text == "<") {
+      int depth = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (toks[j].ident) {
+          continue;
+        }
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (t == ";") {
+          break;  // not a type usage after all
+        } else if (depth == 1 && t == ",") {
+          break;
+        } else if (depth == 1 && t == "*") {
+          findings->push_back(
+              {"pointer-key", path, toks[i].line + 1,
+               "'" + toks[i].text +
+                   "' keyed by a pointer: addresses vary run to run, so ordering "
+                   "and iteration leak allocator state into the event stream; key "
+                   "by a stable id (uid, mac, index) or annotate dn-lint: "
+                   "allow(pointer-key, <why order never escapes>)"});
+          break;
+        }
+      }
+      continue;
+    }
+    // reinterpret_cast<integer>(...): a pointer address turned into a number.
+    // Casting *to* a pointer type (has a '*' in the target) is not flagged.
+    if (toks[i].text == "reinterpret_cast" && toks[i + 1].text == "<") {
+      int depth = 0;
+      bool to_pointer = false;
+      std::string last_ident;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].ident) {
+          last_ident = toks[j].text;
+          continue;
+        }
+        const std::string& t = toks[j].text;
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (t == "*" || t == "&") {
+          to_pointer = true;
+        } else if (t == ";") {
+          break;
+        }
+      }
+      const bool integer_target =
+          last_ident == "uintptr_t" || last_ident == "intptr_t" ||
+          last_ident == "size_t" || last_ident.rfind("uint", 0) == 0 ||
+          last_ident.rfind("int", 0) == 0;
+      if (!to_pointer && integer_target) {
+        findings->push_back(
+            {"pointer-key", path, toks[i].line + 1,
+             "reinterpret_cast<" + last_ident +
+                 "> launders a pointer address into an integer; addresses vary "
+                 "run to run and must never feed keys, hashes, or ordering — use "
+                 "a stable id, or annotate dn-lint: allow(pointer-key, <why the "
+                 "value never affects simulation state>)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------------
 // Rules: audit-message, log-kv-key.
 
 // Top-level comma positions (token indexes) between toks[open+1, close).
@@ -725,8 +817,8 @@ std::string JsonEscape(const std::string& s) {
 const std::vector<std::string>& KnownLintRules() {
   static const std::vector<std::string> kRules = {
       "raw-random",    "wall-clock",          "unordered-iter",
-      "audit-message", "log-kv-key",          "include-guard",
-      "using-namespace-header", "bad-suppression"};
+      "pointer-key",   "audit-message",       "log-kv-key",
+      "include-guard", "using-namespace-header", "bad-suppression"};
   return kRules;
 }
 
@@ -761,6 +853,7 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
       CollectUnorderedNames(Tokenize(header_src), &names, &aliases);
     }
     CheckUnorderedIteration(toks, names, aliases, path, &raw_findings);
+    CheckPointerKeys(toks, path, &raw_findings);
   }
 
   CheckMacroContracts(toks, src, path, &raw_findings);

@@ -15,6 +15,11 @@
 //                          unordered_map/unordered_set in an order-sensitive
 //                          layer (sim, net, host, ctrl, switch, transport), where
 //                          iteration order leaks into event order.
+//   pointer-key            in the same order-sensitive layers: an associative
+//                          container keyed by a pointer type, or a
+//                          reinterpret_cast of a pointer to an integer —
+//                          addresses vary run to run, so pointer-derived keys
+//                          and orderings are hidden nondeterminism.
 //   audit-message          DUMBNET_ASSERT / DUMBNET_AUDIT without a (non-empty)
 //                          message argument.
 //   log-kv-key             DN_LOG_KV event names and .Kv() keys must be string

@@ -11,6 +11,25 @@
 #include "src/util/logging.h"
 
 namespace dumbnet {
+namespace {
+
+// Footprint entity salts/families for the controller's shared state. Entities are
+// keyed by the controller host's mac so concurrent controllers never collide.
+constexpr uint64_t kSaltCtrlDbVersion = 0xDBE5;
+constexpr uint64_t kSaltCtrlCpu = 0xC901;
+constexpr uint64_t kSaltPatchPending = 0x9A5B;
+constexpr const char kFpCpuQueue[] =
+    "single-server fifo cpu; service order shifts latency only";
+constexpr const char kFpDbBump[] = "db version bump";
+constexpr const char kFpPatchAccum[] =
+    "patch accumulation; delivery is lww-merged at hosts";
+
+uint64_t CtrlEdgeCell(uint64_t mac, const WireLink& l) {
+  return footprint::FpKey(mac, footprint::FpKey(std::min(l.uid_a, l.uid_b),
+                                                std::max(l.uid_a, l.uid_b)));
+}
+
+}  // namespace
 
 ControllerService::ControllerService(HostAgent* agent, ControllerConfig config,
                                      DiscoveryConfig discovery_config)
@@ -92,7 +111,7 @@ void ControllerService::InvalidateRoutingCaches() {
   sssp_cache_.Invalidate();
 }
 
-Result<TagList> ControllerService::TagsToHost(const HostLocation& dst) {
+Result<TagList> ControllerService::TagsToHost(const HostLocation& dst, Rng* rng) {
   auto src_idx = db_.IndexOf(controller_switch_uid_);
   auto dst_idx = db_.IndexOf(dst.switch_uid);
   if (!src_idx.ok() || !dst_idx.ok()) {
@@ -102,11 +121,7 @@ Result<TagList> ControllerService::TagsToHost(const HostLocation& dst) {
   // must re-randomize on every retry so repeated queries dodge links the
   // controller has not yet learned are dead. The SSSP-tree cache is reserved for
   // bulk work over a settled topology (bootstraps, batch precompute).
-  // Per-call randomized Dijkstra (scratch-based, so no allocation): response tags
-  // must re-randomize on every retry so repeated queries dodge links the
-  // controller has not yet learned are dead. The SSSP-tree cache is reserved for
-  // bulk work over a settled topology (bootstraps, batch precompute).
-  auto path = ShortestPathScaled(RoutingGraph(), src_idx.value(), dst_idx.value(), &rng_,
+  auto path = ShortestPathScaled(RoutingGraph(), src_idx.value(), dst_idx.value(), rng,
                                  tags_scratch_, nullptr);
   if (!path.ok()) {
     return path.error();
@@ -154,11 +169,13 @@ void ControllerService::BootstrapHosts() {
     }
     boot.path_to_controller = std::move(up_tags.value());
 
-    auto down_tags = TagsToHost(loc);
+    auto down_tags = TagsToHost(loc, &rng_);
     if (!down_tags.ok()) {
       continue;
     }
     ++stats_.bootstraps_sent;
+    DN_FP_COMMUTES(kCtrlCpu, footprint::FpKey(agent_->mac(), kSaltCtrlCpu),
+                   kFpCpuQueue);
     TimeNs start = std::max(sim_->Now(), cpu_free_);
     cpu_free_ = start + config_.query_cost;
     sim_->ScheduleAt(cpu_free_, [this, tags = std::move(down_tags.value()), mac = loc.mac,
@@ -174,6 +191,11 @@ bool ControllerService::HandleControl(const Packet& pkt) {
       return true;  // swallowed; the host's retry will find us ready
     }
     PathRequestPayload copy = *req;
+    // The CPU queue head is a read-modify-write, but service order only shifts
+    // latency: each query's response content is derived from (requester, dst,
+    // attempt), never from the shared rng stream — see ServePathRequest.
+    DN_FP_COMMUTES(kCtrlCpu, footprint::FpKey(agent_->mac(), kSaltCtrlCpu),
+                   kFpCpuQueue);
     TimeNs start = std::max(sim_->Now(), cpu_free_);
     cpu_free_ = start + config_.query_cost;
     sim_->ScheduleAt(cpu_free_, [this, copy] { ServePathRequest(copy); });
@@ -187,6 +209,8 @@ bool ControllerService::HandleControl(const Packet& pkt) {
 }
 
 void ControllerService::ServePathRequest(const PathRequestPayload& req) {
+  DN_FP_SCOPE("ctrl.path_serve", req.requester_mac);
+  DN_FP_READ(kCtrlDb, footprint::FpKey(agent_->mac(), kSaltCtrlDbVersion));
   auto requester = db_.LocateHost(req.requester_mac);
   auto dst = db_.LocateHost(req.dst_mac);
   if (!requester.ok() || !dst.ok()) {
@@ -199,8 +223,14 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
     ++stats_.queries_failed;
     return;
   }
+  // Tie-breaks draw from a per-query stream seeded by (requester, dst, attempt):
+  // the response is a pure function of the query and the db snapshot, so the
+  // order concurrent queries drain from the CPU queue cannot leak into route
+  // content (the shared rng_ would advance differently per service order).
+  Rng query_rng(config_.rng_seed ^
+                footprint::FpKey(req.requester_mac, req.dst_mac, req.attempt));
   auto pg = BuildPathGraph(db_.mirror(), RoutingGraph(), src_idx.value(), dst_idx.value(),
-                           config_.path_graph, &rng_, pg_scratch_);
+                           config_.path_graph, &query_rng, pg_scratch_);
   if (!pg.ok()) {
     ++stats_.queries_failed;
     return;
@@ -208,7 +238,7 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
   auto wire =
       MakeWireGraph(pg.value(), requester.value().switch_uid, dst.value().switch_uid);
 
-  auto tags = TagsToHost(requester.value());
+  auto tags = TagsToHost(requester.value(), &query_rng);
   if (!tags.ok()) {
     ++stats_.queries_failed;
     return;
@@ -327,12 +357,18 @@ void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
   ++stats_.link_events;
   DN_COUNTER_INC("ctrl.link_events");
   DN_TRACE_EVENT(kController, kDiscovery, sim_->Now(), ev.switch_uid, ev.port);
+  DN_FP_COMMUTES(kCtrlDb, footprint::FpKey(agent_->mac(), kSaltPatchPending),
+                 kFpPatchAccum);
+  DN_FP_COMMUTES(kCtrlDb, footprint::FpKey(agent_->mac(), kSaltCtrlDbVersion),
+                 kFpDbBump);
   if (pending_removed_.empty() && pending_added_.empty()) {
     pending_origin_ = ev.origin_time;
   }
   if (!ev.up) {
     auto link = db_.LinkAt(ev.switch_uid, ev.port);
     if (link.ok()) {
+      DN_FP_WRITE(kCtrlDb, CtrlEdgeCell(agent_->mac(), link.value()));
+      DN_FP_WRITE(kCtrlLog, CtrlEdgeCell(agent_->mac(), link.value()));
       db_.SetLinkState(ev.switch_uid, ev.port, false);
       discovery_.db().SetLinkState(ev.switch_uid, ev.port, false);
       pending_removed_.push_back(link.value());
@@ -351,6 +387,7 @@ void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
       // already knew about.
       auto link = db_.LinkAt(ev.switch_uid, ev.port);
       if (link.ok()) {
+        DN_FP_WRITE(kCtrlDb, CtrlEdgeCell(agent_->mac(), link.value()));
         db_.SetLinkState(ev.switch_uid, ev.port, true);
         pending_added_.push_back(link.value());
         if (!patch_scheduled_) {
@@ -367,6 +404,10 @@ void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
       if (!link.ok()) {
         return;
       }
+      DN_FP_WRITE(kCtrlDb, CtrlEdgeCell(agent_->mac(), link.value()));
+      DN_FP_WRITE(kCtrlLog, CtrlEdgeCell(agent_->mac(), link.value()));
+      DN_FP_COMMUTES(kCtrlDb, footprint::FpKey(agent_->mac(), kSaltPatchPending),
+                     kFpPatchAccum);
       (void)db_.AddLink(link.value());
       pending_added_.push_back(link.value());
       if (log_ != nullptr) {
@@ -389,6 +430,9 @@ void ControllerService::OnLinkEvent(const LinkEventPayload& ev) {
 }
 
 void ControllerService::FlushPatch() {
+  DN_FP_SCOPE("ctrl.patch_flush", agent_->mac());
+  DN_FP_COMMUTES(kCtrlDb, footprint::FpKey(agent_->mac(), kSaltPatchPending),
+                 kFpPatchAccum);
   patch_scheduled_ = false;
   if (pending_removed_.empty() && pending_added_.empty()) {
     return;

@@ -105,8 +105,11 @@ class ControllerService {
   void OnLinkEvent(const LinkEventPayload& ev);
   void FlushPatch();
   void BootstrapHosts();
-  // Tag path from the controller to a host (compiled on the global db).
-  Result<TagList> TagsToHost(const HostLocation& dst);
+  // Tag path from the controller to a host (compiled on the global db). `rng`
+  // breaks equal-cost ties: bulk work (bootstraps) passes the shared stream,
+  // query serving passes a per-query stream derived from (requester, dst,
+  // attempt) so a response's content never depends on service order.
+  Result<TagList> TagsToHost(const HostLocation& dst, Rng* rng);
 
   HostAgent* agent_;
   Simulator* sim_;

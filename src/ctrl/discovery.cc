@@ -9,6 +9,15 @@ namespace {
 
 uint64_t PortKey(uint64_t uid, PortNum port) { return (uid << 8) | port; }
 
+// Footprint salts/families. Everything substantive in discovery runs serialized
+// on the prober's CPU queue; the conflict surface at batch granularity is the
+// queue-head read-modify-write at enqueue time plus first-wins probe resolution.
+constexpr uint64_t kSaltDiscCpu = 0xD15C;
+constexpr uint64_t kSaltInflight = 0x1F17;
+constexpr const char kFpDiscCpu[] =
+    "single-server fifo cpu; service order shifts latency only";
+constexpr const char kFpProbeFirstWins[] = "first-wins probe resolution";
+
 }  // namespace
 
 DiscoveryService::DiscoveryService(HostAgent* agent, DiscoveryConfig config)
@@ -31,6 +40,7 @@ void DiscoveryService::Start(std::function<void()> on_complete) {
 }
 
 void DiscoveryService::OnCpu(TimeNs cost, std::function<void()> fn) {
+  DN_FP_COMMUTES(kDiscovery, footprint::FpKey(agent_->mac(), kSaltDiscCpu), kFpDiscCpu);
   TimeNs start = std::max(sim_->Now(), cpu_free_);
   cpu_free_ = start + cost;
   sim_->ScheduleAt(cpu_free_, std::move(fn));
@@ -38,20 +48,28 @@ void DiscoveryService::OnCpu(TimeNs cost, std::function<void()> fn) {
 
 void DiscoveryService::SendProbe(TagList tags, ProbeCtx ctx) {
   uint64_t id = next_probe_id_++;
+  DN_FP_COMMUTES(kDiscovery, footprint::FpKey(agent_->mac(), id, kSaltInflight),
+                 kFpProbeFirstWins);
   inflight_.emplace(id, ctx);
   ++stats_.probes_sent;
   DN_COUNTER_INC("ctrl.probes_sent");
   DN_TRACE_EVENT(kController, kDiscovery, sim_->Now(), id, tags.size());
   OnCpu(config_.pm_send_cost, [this, id, tags = std::move(tags)] {
+    DN_FP_SCOPE("disc.probe_send", id);
     TagList with_end = tags;
     with_end.push_back(kPathEndTag);
     agent_->SendTags(tags, kBroadcastMac, ProbePayload{id, agent_->mac(), with_end});
     sim_->ScheduleAfter(config_.probe_timeout, [this, id] {
+      DN_FP_SCOPE("disc.probe_timeout", id);
       // Declare the loss through the CPU queue so a reply that already arrived
       // (and is waiting behind queued sends) is processed first. Erasing here
       // directly would drop replies whenever the CPU backlog exceeds the
       // timeout — on large port counts that silently truncated discovery.
       OnCpu(0, [this, id] {
+        DN_FP_SCOPE("disc.probe_expire", id);
+        DN_FP_COMMUTES(kDiscovery,
+                       footprint::FpKey(agent_->mac(), id, kSaltInflight),
+                       kFpProbeFirstWins);
         if (inflight_.erase(id) > 0) {
           MaybeFinish();
         }
@@ -63,6 +81,7 @@ void DiscoveryService::SendProbe(TagList tags, ProbeCtx ctx) {
 void DiscoveryService::HandleProbeEvent(const Packet& pkt) {
   // All reply processing is controller CPU work.
   OnCpu(config_.pm_recv_cost, [this, pkt] {
+    DN_FP_SCOPE("disc.probe_reply", agent_->mac());
     if (const auto* id_reply = pkt.As<IdReplyPayload>()) {
       auto it = inflight_.find(id_reply->probe_id);
       if (it == inflight_.end()) {

@@ -11,6 +11,31 @@ namespace {
 
 constexpr int kMaxPathRequestRetries = 10;
 
+// Footprint entity salts within this host's kHost space (see DN_FP_* below).
+constexpr uint64_t kSaltSeenEvent = 0x5EE4;
+constexpr uint64_t kSaltSeenPatch = 0x9A7C;
+constexpr uint64_t kSaltOutstanding = 0x0075;
+constexpr uint64_t kSaltBootstrap = 0xB007;
+constexpr uint64_t kSaltPortObs = 0xF0B7;
+
+// Commute families. The conflict checker compares these by content: two
+// commuting writes are benign only when they claim the same family.
+constexpr const char kFpDedup[] = "idempotent dedup-set insert";
+constexpr const char kFpLinkObsLww[] = "lww link-observation merge";
+constexpr const char kFpRouteRecompute[] = "route recompute from merged cache";
+constexpr const char kFpRequestDedup[] = "first-wins path-request dedup";
+
+// One LWW cell per physical link, independent of which endpoint reported it.
+uint64_t EdgeCell(uint64_t uid_a, uint64_t uid_b) {
+  return footprint::FpKey(std::min(uid_a, uid_b), std::max(uid_a, uid_b));
+}
+
+// Fallback cell for observations about a link the cache cannot resolve yet; a
+// later path-graph merge that introduces the edge replays the freshest of these.
+uint64_t PortObsCell(uint64_t uid, PortNum port) {
+  return footprint::FpKey(uid, static_cast<uint64_t>(port), kSaltPortObs);
+}
+
 // Stable 64-bit mix for link-event dedup ids.
 uint64_t MixEventId(uint64_t uid, PortNum port, uint64_t seq, bool up) {
   uint64_t x = uid * 0x9e3779b97f4a7c15ULL;
@@ -191,6 +216,7 @@ void HostAgent::HandleTransitProbe(const Packet& pkt, const ProbePayload& probe)
 }
 
 void HostAgent::DeliverLocal(const Packet& pkt) {
+  DN_FP_SCOPE("host.deliver", mac_);
   // A service running on this host (the controller) gets first refusal — except
   // for link events and patches, which the agent processes itself (deduplicated
   // link events are re-offered to the control handler by ProcessLinkState).
@@ -235,11 +261,44 @@ void HostAgent::DeliverLocal(const Packet& pkt) {
   if (const auto* resp = pkt.As<PathResponsePayload>()) {
     ++stats_.path_responses;
     DN_COUNTER_INC("host.path_responses");
+    // Installing a response is order-sensitive state (the controller-provided
+    // backup path is a plain overwrite), hence a Write — concurrent responses
+    // for the same destination are a hazard worth hearing about.
+    DN_FP_WRITE(kPathTable, footprint::FpKey(mac_, resp->dst_mac));
     if (resp->graph != nullptr) {
       (void)topo_cache_.Integrate(*resp->graph, resp->dst_location);
+      // A merge teaches structure only; it never changes a cached link's state.
+      // Replay the freshest observation that arrived before the edge was cached
+      // (recorded under the port fallback cell), so "down heard before the edge
+      // existed" survives the merge no matter which event ran first.
+      for (const WireLink& l : resp->graph->links) {
+        const uint64_t cell = EdgeCell(l.uid_a, l.uid_b);
+        DN_FP_COMMUTES(kTopoCache, footprint::FpKey(mac_, cell), kFpLinkObsLww);
+        uint64_t key = 0;
+        if (auto it = link_obs_key_.find(PortObsCell(l.uid_a, l.port_a));
+            it != link_obs_key_.end()) {
+          key = std::max(key, it->second);
+        }
+        if (auto it = link_obs_key_.find(PortObsCell(l.uid_b, l.port_b));
+            it != link_obs_key_.end()) {
+          key = std::max(key, it->second);
+        }
+        if (key == 0) {
+          continue;
+        }
+        auto [cit, inserted] = link_obs_key_.emplace(cell, key);
+        if (!inserted && key > cit->second) {
+          cit->second = key;
+        }
+        if ((cit->second & 1) == 0) {
+          topo_cache_.db().SetLinkState(l.uid_a, l.port_a, false);
+        }
+      }
     } else {
       topo_cache_.UpsertHost(resp->dst_location);
     }
+    DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, resp->dst_mac, kSaltOutstanding),
+                   kFpRequestDedup);
     outstanding_requests_.erase(resp->dst_mac);
     if (Status s = InstallRoutesFor(resp->dst_mac); s.ok()) {
       FlushPending(resp->dst_mac);
@@ -263,22 +322,62 @@ void HostAgent::DeliverLocal(const Packet& pkt) {
 }
 
 void HostAgent::ApplyPatchLocally(const TopologyPatchPayload& patch, uint64_t from_mac) {
-  if (patch.patch_seq <= last_patch_seq_) {
+  DN_FP_SCOPE("host.patch", mac_);
+  DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, patch.patch_seq, kSaltSeenPatch),
+                 kFpDedup);
+  if (!seen_patches_.insert(patch.patch_seq).second) {
     return;  // duplicate via another flood path
   }
-  last_patch_seq_ = patch.patch_seq;
+  // Note: NOT a monotonic cutoff. A patch overtaken on the wire by a later one
+  // still applies, entry by entry, gated per link below — the old
+  // `patch_seq <= last` check silently dropped its unrelated entries.
+  last_patch_seq_ = std::max(last_patch_seq_, patch.patch_seq);
   ++stats_.patches_applied;
   static const std::vector<WireLink> kEmpty;
   const auto& removed = patch.removed != nullptr ? *patch.removed : kEmpty;
   const auto& added = patch.added != nullptr ? *patch.added : kEmpty;
-  topo_cache_.ApplyPatch(removed, added);
+  // Per-link LWW merge: a patch entry and a gossiped link event are the same
+  // observation in different envelopes, so both funnel through
+  // RecordLinkObservation keyed by the physical edge. A stale entry heard after
+  // a fresher observation no longer rolls the cache back, which makes
+  // patch-vs-gossip arrival order irrelevant to the converged state. (The patch
+  // stamps its aggregation window's first origin on every entry — a deliberately
+  // coarse attribution; see DESIGN.md §11.)
   for (const WireLink& l : removed) {
+    const uint64_t cell = EdgeCell(l.uid_a, l.uid_b);
+    DN_FP_COMMUTES(kTopoCache, footprint::FpKey(mac_, cell), kFpLinkObsLww);
+    if (!RecordLinkObservation(cell, /*up=*/false, patch.origin_time)) {
+      continue;
+    }
+    topo_cache_.db().SetLinkState(l.uid_a, l.port_a, false);
     RepairAfterLinkChange(l.uid_a, l.uid_b);
+  }
+  for (const WireLink& l : added) {
+    const uint64_t cell = EdgeCell(l.uid_a, l.uid_b);
+    DN_FP_COMMUTES(kTopoCache, footprint::FpKey(mac_, cell), kFpLinkObsLww);
+    if (!RecordLinkObservation(cell, /*up=*/true, patch.origin_time)) {
+      continue;
+    }
+    // AddLink marks a pre-existing link up again and inserts a new one.
+    (void)topo_cache_.db().AddLink(l);
   }
   if (patch_hook_) {
     patch_hook_(patch);
   }
   FloodToPeers(patch, from_mac);
+}
+
+bool HostAgent::RecordLinkObservation(uint64_t cell, bool up, TimeNs origin_time) {
+  const uint64_t key = (static_cast<uint64_t>(origin_time) << 1) | (up ? 1ULL : 0ULL);
+  auto [it, inserted] = link_obs_key_.emplace(cell, key);
+  if (inserted) {
+    return true;
+  }
+  if (key <= it->second) {
+    return false;
+  }
+  it->second = key;
+  return true;
 }
 
 // ---------------------------------------------------------------------------------
@@ -287,6 +386,8 @@ void HostAgent::ApplyPatchLocally(const TopologyPatchPayload& patch, uint64_t fr
 void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
                                  TimeNs origin_time, uint64_t event_id, bool from_fabric,
                                  uint64_t from_mac) {
+  DN_FP_SCOPE("host.link_state", mac_);
+  DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, event_id, kSaltSeenEvent), kFpDedup);
   if (!seen_events_.insert(event_id).second) {
     return;  // duplicate alarm, suppressed (host side of Section 4.2)
   }
@@ -310,10 +411,20 @@ void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
   }
 
   // Update the cache and fail over *before* spending time flooding: the data path
-  // recovers first.
-  auto edge = topo_cache_.MarkLinkAt(switch_uid, port, up);
-  if (!up && edge.ok()) {
-    RepairAfterLinkChange(edge.value().first, edge.value().second);
+  // recovers first. Application is gated by the per-link last-writer-wins merge:
+  // a stale event arriving after a fresher one (via a longer flood path) can no
+  // longer roll the cache back, so every arrival order converges to the same
+  // marked state.
+  auto edge = topo_cache_.ResolveEdge(switch_uid, port);
+  const uint64_t cell = edge.ok()
+                            ? EdgeCell(edge.value().first, edge.value().second)
+                            : PortObsCell(switch_uid, port);
+  DN_FP_COMMUTES(kTopoCache, footprint::FpKey(mac_, cell), kFpLinkObsLww);
+  if (RecordLinkObservation(cell, up, origin_time) && edge.ok()) {
+    topo_cache_.db().SetLinkState(switch_uid, port, up);
+    if (!up) {
+      RepairAfterLinkChange(edge.value().first, edge.value().second);
+    }
   }
 
   // Relay to gossip peers (peer-to-peer flooding).
@@ -369,6 +480,7 @@ void HostAgent::FloodToPeers(const Payload& payload, uint64_t exclude_mac) {
 // Bootstrap & controller protocol
 
 void HostAgent::ApplyBootstrap(const BootstrapPayload& bootstrap) {
+  DN_FP_WRITE(kHost, footprint::FpKey(mac_, kSaltBootstrap));
   self_ = bootstrap.self;
   controller_mac_ = bootstrap.controller_mac;
   controller_tags_ = bootstrap.path_to_controller;
@@ -446,13 +558,15 @@ void HostAgent::ComputeGossipPeers(const std::vector<HostLocation>& directory) {
 }
 
 void HostAgent::RequestPath(uint64_t dst_mac) {
+  DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, dst_mac, kSaltOutstanding),
+                 kFpRequestDedup);
   if (!bootstrapped_ || outstanding_requests_.count(dst_mac) > 0) {
     return;
   }
   outstanding_requests_.insert(dst_mac);
   ++stats_.path_requests;
   DN_COUNTER_INC("host.path_requests");
-  (void)SendToController(PathRequestPayload{mac_, dst_mac});
+  (void)SendToController(PathRequestPayload{mac_, dst_mac, /*attempt=*/0});
 
   // Retry loop with a bounded count; give up and drop queued packets after that.
   // The closure holds only a weak_ptr to itself (a shared self-capture would be a
@@ -461,6 +575,9 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
   auto retry = std::make_shared<std::function<void(int)>>();
   std::weak_ptr<std::function<void(int)>> weak_retry = retry;
   *retry = [this, dst_mac, weak_retry](int attempt) {
+    DN_FP_SCOPE("host.path_retry", mac_);
+    DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, dst_mac, kSaltOutstanding),
+                   kFpRequestDedup);
     if (outstanding_requests_.count(dst_mac) == 0) {
       return;  // answered
     }
@@ -471,7 +588,8 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
       return;
     }
     ++stats_.path_requests;
-    (void)SendToController(PathRequestPayload{mac_, dst_mac});
+    (void)SendToController(
+        PathRequestPayload{mac_, dst_mac, static_cast<uint64_t>(attempt)});
     auto next = weak_retry.lock();  // non-null: we are executing through an owner
     sim_->ScheduleAfter(config_.request_timeout, [next, attempt] { (*next)(attempt + 1); });
   };
@@ -479,6 +597,9 @@ void HostAgent::RequestPath(uint64_t dst_mac) {
 }
 
 Status HostAgent::InstallRoutesFor(uint64_t dst_mac) {
+  // Commutes: the installed entry is recomputed from the (order-converged) topo
+  // cache, so concurrent recomputes for one destination land on the same routes.
+  DN_FP_COMMUTES(kPathTable, footprint::FpKey(mac_, dst_mac), kFpRouteRecompute);
   auto entry = topo_cache_.BuildEntry(self_.switch_uid, dst_mac, config_.k_paths);
   if (!entry.ok()) {
     return entry.error();

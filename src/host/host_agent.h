@@ -149,6 +149,16 @@ class HostAgent : public NetNode {
   void ProcessLinkState(uint64_t switch_uid, PortNum port, bool up, TimeNs origin_time,
                         uint64_t event_id, bool from_fabric, uint64_t from_mac);
   void RepairAfterLinkChange(uint64_t uid_a, uint64_t uid_b);
+  // Last-writer-wins link-observation merge. `cell` names one physical link (the
+  // normalized endpoint-uid pair when the edge is cached, the (switch, port)
+  // fallback when not); the merge key is (origin_time << 1) | up, so the freshest
+  // origin wins and "up" wins a same-instant tie. Returns true when this
+  // observation is fresher than everything recorded for the cell — the caller
+  // should apply it — and false for stale/duplicate observations. Because the
+  // merged state is the max over a join-semilattice, the surviving state is
+  // independent of arrival order: this is what makes gossip floods and patch
+  // application commute.
+  bool RecordLinkObservation(uint64_t cell, bool up, TimeNs origin_time);
   void RequestPath(uint64_t dst_mac);
   void FlushPending(uint64_t dst_mac);
   void ComputeGossipPeers(const std::vector<HostLocation>& directory);
@@ -178,8 +188,11 @@ class HostAgent : public NetNode {
   std::vector<HostLocation> gossip_peers_;
   std::unordered_map<uint64_t, std::deque<Packet>> pending_;  // dst -> queued packets
   std::unordered_set<uint64_t> outstanding_requests_;
-  std::unordered_set<uint64_t> seen_events_;  // link-event dedup
-  uint64_t last_patch_seq_ = 0;
+  std::unordered_set<uint64_t> seen_events_;   // link-event dedup
+  std::unordered_set<uint64_t> seen_patches_;  // patch re-flood dedup, by seq
+  // Per-link freshest observation key, see RecordLinkObservation.
+  std::unordered_map<uint64_t, uint64_t> link_obs_key_;
+  uint64_t last_patch_seq_ = 0;  // high-water mark (stats/introspection only)
 
   HostAgentStats stats_;
 };

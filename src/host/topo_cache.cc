@@ -16,8 +16,8 @@ Status TopoCache::Integrate(const WirePathGraph& graph, const HostLocation& dst)
   return Status::Ok();
 }
 
-Result<std::pair<uint64_t, uint64_t>> TopoCache::MarkLinkAt(uint64_t switch_uid,
-                                                            PortNum port, bool up) {
+Result<std::pair<uint64_t, uint64_t>> TopoCache::ResolveEdge(uint64_t switch_uid,
+                                                             PortNum port) const {
   auto idx = db_.IndexOf(switch_uid);
   if (!idx.ok()) {
     return idx.error();
@@ -27,8 +27,17 @@ Result<std::pair<uint64_t, uint64_t>> TopoCache::MarkLinkAt(uint64_t switch_uid,
     return Error(ErrorCode::kNotFound, "link not cached");
   }
   const Link& l = db_.mirror().link_at(li);
-  db_.SetLinkState(switch_uid, port, up);
   return std::pair<uint64_t, uint64_t>{db_.UidOf(l.a.node.index), db_.UidOf(l.b.node.index)};
+}
+
+Result<std::pair<uint64_t, uint64_t>> TopoCache::MarkLinkAt(uint64_t switch_uid,
+                                                            PortNum port, bool up) {
+  auto edge = ResolveEdge(switch_uid, port);
+  if (!edge.ok()) {
+    return edge;
+  }
+  db_.SetLinkState(switch_uid, port, up);
+  return edge;
 }
 
 void TopoCache::ApplyPatch(const std::vector<WireLink>& removed,

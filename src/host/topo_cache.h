@@ -29,6 +29,12 @@ class TopoCache {
   Result<std::pair<uint64_t, uint64_t>> MarkLinkAt(uint64_t switch_uid, PortNum port,
                                                    bool up);
 
+  // Resolves (switch_uid, port) to the cached edge's endpoint uid pair without
+  // touching link state. The host agent keys its last-writer-wins link-observation
+  // merge on this pair so the flood path and the patch path name the same cell.
+  Result<std::pair<uint64_t, uint64_t>> ResolveEdge(uint64_t switch_uid,
+                                                    PortNum port) const;
+
   // Applies a controller topology patch.
   void ApplyPatch(const std::vector<WireLink>& removed, const std::vector<WireLink>& added);
 

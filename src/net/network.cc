@@ -2,11 +2,25 @@
 
 #include <algorithm>
 
+#include "src/sim/footprint.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
+
+namespace {
+// One footprint cell per link direction. Two same-instant enqueues to the same
+// direction commute up to per-packet latency: the final next_free / occupancy are
+// order-independent (sums and maxes), only which packet serializes first shifts.
+// Control-plane convergence must not depend on that order — the host/controller
+// layers merge via LWW, so the annotation is a claim the explorer can test.
+constexpr const char kFpLinkFifo[] =
+    "fifo link queue; occupancy and next_free are order-independent sums";
+uint64_t DirCell(LinkIndex li, bool from_a) {
+  return footprint::FpKey(li, from_a ? 1 : 0);
+}
+}  // namespace
 
 Network::Network(Simulator* sim, Topology* topo, NetworkConfig config)
     : sim_(sim), topo_(topo), config_(config) {
@@ -54,6 +68,7 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
     return;
   }
   const bool from_a = (link.a.node == from);
+  DN_FP_COMMUTES(kLinkQueue, DirCell(li, from_a), kFpLinkFifo);
   DirState& dir = dirs_[li][from_a ? 0 : 1];
 
   const int64_t size = pkt.WireSize();
@@ -73,11 +88,16 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
 
   // Queue occupancy drains when serialization finishes.
   sim_->ScheduleAt(tx_done, [this, li, from_a, size] {
+    DN_FP_SCOPE("net.queue_drain", li);
+    DN_FP_COMMUTES(kLinkQueue, DirCell(li, from_a), kFpLinkFifo);
     dirs_[li][from_a ? 0 : 1].queued_bytes -= size;
   });
 
   const Endpoint to = from_a ? link.b : link.a;
-  sim_->ScheduleAt(arrival, [this, to, pkt = std::move(pkt)] { Deliver(to, pkt); });
+  sim_->ScheduleAt(arrival, [this, to, pkt = std::move(pkt)] {
+    DN_FP_SCOPE("net.deliver", to.node.index);
+    Deliver(to, pkt);
+  });
 }
 
 void Network::Deliver(const Endpoint& to, const Packet& pkt) {
@@ -103,6 +123,7 @@ int64_t Network::QueueBacklog(LinkIndex li, const NodeId& from) const {
 void Network::OnLinkStateChange(LinkIndex li, bool up) {
   const Link link = topo_->link_at(li);
   sim_->ScheduleAfter(config_.link_detect_delay, [this, link, up] {
+    DN_FP_SCOPE("net.link_detect", link.a.node.index);
     for (const Endpoint& e : {link.a, link.b}) {
       NetNode* node = e.node.is_switch() ? switch_nodes_[e.node.index]
                                          : host_nodes_[e.node.index];

@@ -94,10 +94,15 @@ struct PortEventPayload {
   TimeNs origin_time = 0;
 };
 
-// Host -> controller: "give me a path graph to dst".
+// Host -> controller: "give me a path graph to dst". `attempt` is the host's
+// retry counter for this destination; the controller folds it into the seed of
+// the per-query randomized path choice, so a response's content is a pure
+// function of (requester, dst, attempt) and never of the order concurrent
+// queries happened to reach the controller's CPU queue.
 struct PathRequestPayload {
   uint64_t requester_mac = 0;
   uint64_t dst_mac = 0;
+  uint64_t attempt = 0;
 };
 
 // Controller -> host: path graph plus the destination's attach point.

@@ -29,7 +29,7 @@ Result<LinkIndex> TopoDb::FindLinkAt(uint64_t uid, PortNum port) const {
   return li;
 }
 
-Status TopoDb::AddLink(const WireLink& link) {
+Status TopoDb::AddLink(const WireLink& link, bool revive) {
   uint32_t a = EnsureSwitch(link.uid_a);
   uint32_t b = EnsureSwitch(link.uid_b);
 
@@ -47,9 +47,11 @@ Status TopoDb::AddLink(const WireLink& link) {
                 ((sw == a && peer.node.index == b && peer.port == link.port_b) ||
                  (sw == b && peer.node.index == a && peer.port == link.port_a));
     if (same) {
-      // Already known; make sure it is marked up again.
-      mirror_.SetLinkUp(existing, true);
-      ++version_;
+      if (revive) {
+        // Already known; make sure it is marked up again.
+        mirror_.SetLinkUp(existing, true);
+        ++version_;
+      }
       return Status::Ok();
     }
     mirror_.DetachLink(existing);
@@ -78,7 +80,7 @@ void TopoDb::UpsertHost(const HostLocation& loc) {
 
 Status TopoDb::MergePathGraph(const WirePathGraph& graph) {
   for (const WireLink& l : graph.links) {
-    if (Status s = AddLink(l); !s.ok()) {
+    if (Status s = AddLink(l, /*revive=*/false); !s.ok()) {
       return s;
     }
   }

@@ -25,8 +25,12 @@ class TopoDb {
   // `num_ports` grows a previously seen switch if a higher port shows up.
   uint32_t EnsureSwitch(uint64_t uid, uint8_t num_ports = kMaxPorts);
 
-  // Records a link; idempotent. Both switches are auto-registered.
-  Status AddLink(const WireLink& link);
+  // Records a link; idempotent. Both switches are auto-registered. When the link
+  // is already known, `revive` controls whether it is marked up again (the
+  // authoritative patch path wants that; path-graph merges must NOT resurrect a
+  // link the local observation channel has marked down, or the merged-in state
+  // would depend on whether the merge arrived before or after the down event).
+  Status AddLink(const WireLink& link, bool revive = true);
 
   // Marks the link at (uid, port) up/down. Unknown attach points are ignored (a
   // notification can outrun the patch that introduces the link).
@@ -36,7 +40,9 @@ class TopoDb {
   void UpsertHost(const HostLocation& loc);
 
   // Merges a path graph received from the controller: its switches and links all
-  // become part of this db. Links are marked up.
+  // become part of this db. New links are inserted up; links already known keep
+  // their current state (link *state* flows through the observation channel —
+  // gossip events and patches — never through structure merges).
   Status MergePathGraph(const WirePathGraph& graph);
 
   // --- Lookups ---------------------------------------------------------------

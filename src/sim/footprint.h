@@ -1,0 +1,257 @@
+// Event footprint tracking: the dynamic half of the determinism toolchain.
+//
+// dn-lint (src/analysis/lint.cc) catches *syntactic* nondeterminism — hash-map
+// iteration, raw randomness, wall clocks. This layer catches *semantic* ordering
+// races: two events that fire at the same virtual timestamp, are ordered only by
+// the scheduler's FIFO tie-break, and touch the same entity with at least one
+// write. Such a pair is a determinism hazard — the run's result silently depends
+// on an ordering the model never promised — and it is exactly what must be proven
+// absent before the DES can be sharded across threads.
+//
+// Event handlers declare what they touch through four macros:
+//
+//   DN_FP_SCOPE(label, entity)        — names the running handler ("host.link_state")
+//   DN_FP_READ(space, id)             — handler reads entity `id` in `space`
+//   DN_FP_WRITE(space, id)            — handler writes it (order-sensitive)
+//   DN_FP_COMMUTES(space, id, reason) — handler writes it, but the write commutes
+//                                       with every other commuting write (max-merge,
+//                                       set-union, idempotent dedup...). This is the
+//                                       machine-checked form of the
+//                                       `dn-explore: commutes(<reason>)` annotation.
+//
+// Two gates stack, mirroring DUMBNET_TELEMETRY:
+//   - Compile time: CMake option DUMBNET_FOOTPRINTS (ON by default) defines
+//     DUMBNET_FOOTPRINTS_ENABLED. When OFF every macro compiles away and
+//     footprint::Active() is constexpr false, so the simulator's per-event hooks
+//     fold to nothing — the perf_core gate holds this to within 2% of baseline.
+//   - Runtime: SetEnabled(true) opts a run in (default OFF, the opposite of
+//     telemetry — footprints cost per-access vector pushes, so only race-hunting
+//     runs pay them). The simulator only collects within same-timestamp batches
+//     of two or more events; singleton batches cannot race and cost nothing.
+//
+// Everything here is single-threaded by design: footprints are recorded by event
+// handlers on the simulator thread between Collector::BeginEvent/TakeEvent. Do
+// not place DN_FP_* macros in code reachable from ThreadPool workers (e.g. the
+// batched path-graph builders).
+#ifndef DUMBNET_SRC_SIM_FOOTPRINT_H_
+#define DUMBNET_SRC_SIM_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dumbnet {
+namespace footprint {
+
+// Entity namespaces. An entity is (space, 64-bit id); ids in different spaces
+// never conflict. Compose structured ids with FpKey below.
+enum class FpSpace : uint8_t {
+  kHost = 0,      // per-host agent state (dedup sets, patch cursor, bootstrap)
+  kSwitch,        // per-switch state (alarm suppression windows, port counters)
+  kLink,          // ground-truth link state (reads by forwarding, writes by flaps)
+  kLinkQueue,     // per-direction egress serialization point in Network
+  kPathTable,     // one host's route cache, per destination
+  kTopoCache,     // one host's topology mirror, per link
+  kCtrlDb,        // controller topology database, per link / directory entry
+  kCtrlLog,       // controller replicated log, per logged entity
+  kCtrlCpu,       // controller single-server CPU queue (serialization point)
+  kDiscovery,     // prober state: inflight probes, port bindings
+  kFlow,          // one transport flow's sender/receiver state
+  kScenario,      // test/CLI-injected shared state (explorer regression fixtures)
+};
+
+const char* FpSpaceName(FpSpace space);
+
+enum class FpAccess : uint8_t {
+  kRead = 0,
+  kWrite,
+  kCommute,  // a write asserted to commute with other commuting writes
+};
+
+const char* FpAccessName(FpAccess access);
+
+// Mixes two (or three) ids into one entity id. Collisions only blur hazard
+// attribution, they never corrupt simulation state, so a cheap mix is fine.
+constexpr uint64_t FpKey(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL;
+  x ^= b + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  return x ^ (x >> 27);
+}
+constexpr uint64_t FpKey(uint64_t a, uint64_t b, uint64_t c) {
+  return FpKey(FpKey(a, b), c);
+}
+
+// One declared access.
+struct FpRecord {
+  FpSpace space = FpSpace::kHost;
+  FpAccess access = FpAccess::kRead;
+  uint64_t id = 0;
+  const char* reason = nullptr;  // commute justification (string literal)
+};
+
+// Everything one event declared while it ran.
+struct EventFootprint {
+  const char* label = nullptr;  // DN_FP_SCOPE label (string literal), may be null
+  uint64_t entity = 0;          // DN_FP_SCOPE entity (who ran: mac, uid, flow id)
+  std::vector<FpRecord> accesses;
+};
+
+// A conflicting pair of same-timestamp events. Positions are *canonical*: the
+// event's index within its batch sorted by scheduling seq (the order the
+// untouched simulator would execute). Canonical positions are stable across
+// permuted re-executions — raw seq numbers are not, because permuting one batch
+// shifts every seq allocated afterwards — so schedules and hazards both speak
+// in (batch_index, position).
+struct BatchHazard {
+  TimeNs at = 0;
+  uint64_t batch_index = 0;  // index among size>=2 batches since sim start
+  uint32_t batch_size = 0;
+  uint32_t pos_a = 0;  // canonical positions, pos_a < pos_b
+  uint32_t pos_b = 0;
+  uint64_t seq_a = 0;
+  uint64_t seq_b = 0;
+  const char* label_a = nullptr;
+  const char* label_b = nullptr;
+  uint64_t entity_a = 0;
+  uint64_t entity_b = 0;
+  FpSpace space = FpSpace::kHost;  // the contested entity
+  uint64_t id = 0;
+  FpAccess access_a = FpAccess::kRead;
+  FpAccess access_b = FpAccess::kRead;
+  const char* reason_a = nullptr;  // commute reasons, when the access commutes
+  const char* reason_b = nullptr;
+};
+
+#ifdef DUMBNET_FOOTPRINTS_ENABLED
+inline constexpr bool kCompiledIn = true;
+namespace internal {
+// Plain bools: footprints are recorded on the simulator thread only.
+extern bool g_enabled;     // runtime opt-in (default off)
+extern bool g_collecting;  // a tracked event is currently executing
+}  // namespace internal
+inline bool Enabled() { return internal::g_enabled; }
+void SetEnabled(bool on);
+inline bool Active() { return internal::g_enabled && internal::g_collecting; }
+#else
+inline constexpr bool kCompiledIn = false;
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+constexpr bool Active() { return false; }
+#endif
+
+// Accumulates the running event's footprint. The Simulator brackets each event
+// of a tracked batch with BeginEvent/TakeEvent; the DN_FP_* macros feed Record.
+// The API exists in every build (the explorer links against it); only the macro
+// call sites and the Active() fast path are compile-gated.
+class Collector {
+ public:
+  static Collector& Global();
+
+  void BeginEvent();
+  EventFootprint TakeEvent();
+
+  void SetScope(const char* label, uint64_t entity) {
+    cur_.label = label;
+    cur_.entity = entity;
+  }
+  void Record(FpSpace space, FpAccess access, uint64_t id, const char* reason) {
+    cur_.accesses.push_back(FpRecord{space, access, id, reason});
+  }
+
+ private:
+  EventFootprint cur_;
+};
+
+// One event's effective access to one entity after collapsing its records.
+struct FpEffect {
+  FpAccess access = FpAccess::kRead;
+  const char* reason = nullptr;  // set iff access == kCommute
+};
+
+// Collapse rule (Write > Commute > Read): a handler that reads and then
+// commute-updates an entity is asserting the whole read-modify-write commutes.
+// Two commute records with *different* reasons escalate to Write — the handler
+// claimed membership in two incompatible commuting families, so no single
+// algebraic argument covers the combined update.
+FpEffect MergeEffects(const FpEffect& a, const FpEffect& b);
+
+// Conflict rule between two events' effective accesses: any pair involving a
+// plain Write conflicts; Read-vs-Read is clean; Commute-vs-Commute is clean only
+// when both claim the *same* reason (compared by string content — the commuting
+// family is the reason literal, and max-merge does not commute with set-union);
+// Read-vs-Commute conflicts because the commute claim covers other writers, not
+// observers. Exposed for the unit tests; the Simulator applies the same rules
+// per batch.
+bool EffectsConflict(const FpEffect& a, const FpEffect& b);
+
+// True when both reasons are null or both compare equal by strcmp.
+bool SameReason(const char* a, const char* b);
+
+// One-line human rendering: "host.link_state[0x2a] W topo-cache/0x... vs ...".
+// Used by the default hazard report and the explorer CLI.
+void FormatHazard(const BatchHazard& hazard, std::string& out);
+
+}  // namespace footprint
+}  // namespace dumbnet
+
+// Footprint declaration macros. One predictable branch per call site when
+// compiled in but runtime-disabled (or outside a tracked batch); nothing at all
+// when compiled out.
+#ifdef DUMBNET_FOOTPRINTS_ENABLED
+
+#define DN_FP_SCOPE(label_, entity_)                                          \
+  do {                                                                        \
+    if (::dumbnet::footprint::Active()) {                                     \
+      ::dumbnet::footprint::Collector::Global().SetScope((label_), (entity_)); \
+    }                                                                         \
+  } while (0)
+
+#define DN_FP_READ(space_, id_)                                               \
+  do {                                                                        \
+    if (::dumbnet::footprint::Active()) {                                     \
+      ::dumbnet::footprint::Collector::Global().Record(                       \
+          ::dumbnet::footprint::FpSpace::space_,                              \
+          ::dumbnet::footprint::FpAccess::kRead, (id_), nullptr);             \
+    }                                                                         \
+  } while (0)
+
+#define DN_FP_WRITE(space_, id_)                                              \
+  do {                                                                        \
+    if (::dumbnet::footprint::Active()) {                                     \
+      ::dumbnet::footprint::Collector::Global().Record(                       \
+          ::dumbnet::footprint::FpSpace::space_,                              \
+          ::dumbnet::footprint::FpAccess::kWrite, (id_), nullptr);            \
+    }                                                                         \
+  } while (0)
+
+#define DN_FP_COMMUTES(space_, id_, reason_)                                  \
+  do {                                                                        \
+    if (::dumbnet::footprint::Active()) {                                     \
+      ::dumbnet::footprint::Collector::Global().Record(                       \
+          ::dumbnet::footprint::FpSpace::space_,                              \
+          ::dumbnet::footprint::FpAccess::kCommute, (id_), (reason_));        \
+    }                                                                         \
+  } while (0)
+
+#else
+
+#define DN_FP_SCOPE(label_, entity_) \
+  do {                               \
+  } while (0)
+#define DN_FP_READ(space_, id_) \
+  do {                          \
+  } while (0)
+#define DN_FP_WRITE(space_, id_) \
+  do {                           \
+  } while (0)
+#define DN_FP_COMMUTES(space_, id_, reason_) \
+  do {                                       \
+  } while (0)
+
+#endif  // DUMBNET_FOOTPRINTS_ENABLED
+
+#endif  // DUMBNET_SRC_SIM_FOOTPRINT_H_

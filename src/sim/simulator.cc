@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
@@ -155,6 +159,10 @@ bool Simulator::RefillDue() {
   if (due_pos_ < due_.size()) {
     return true;
   }
+  if (!batch_fps_.empty()) {
+    FlushBatchFootprints();
+  }
+  batch_tracking_ = false;
   due_.clear();
   due_pos_ = 0;
   if (queued_ == 0) {
@@ -196,6 +204,9 @@ bool Simulator::RefillDue() {
       // FIFO among same-time events, regardless of how cascades interleaved them.
       std::sort(due_.begin(), due_.end(),
                 [this](uint32_t a, uint32_t b) { return pool_[a].seq < pool_[b].seq; });
+      if (due_.size() > 1) {
+        PrepareBatch();
+      }
       return true;
     }
 
@@ -215,6 +226,155 @@ bool Simulator::RefillDue() {
   }
 }
 
+void Simulator::PrepareBatch() {
+  const size_t n = due_.size();
+  // Every size>=2 batch consumes an index, whether or not this run tracks or
+  // permutes, so batch indices agree between detection, replay, and plain runs.
+  const uint64_t index = batch_index_++;
+  const bool track = footprint::Enabled();
+  if (!track && !permuter_) {
+    return;
+  }
+  due_canon_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    due_canon_[i] = i;
+  }
+  if (permuter_) {
+    permuter_(index, wheel_time_, due_canon_);
+    bool valid = due_canon_.size() == n;
+    if (valid) {
+      batch_scratch_.assign(n, 0);
+      for (uint32_t p : due_canon_) {
+        if (p >= n || batch_scratch_[p] != 0) {
+          valid = false;
+          break;
+        }
+        batch_scratch_[p] = 1;
+      }
+    }
+    if (!valid) {
+      DN_WARN << "batch permuter returned a non-permutation for batch " << index
+              << "; keeping canonical order";
+      due_canon_.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        due_canon_[i] = i;
+      }
+    } else {
+      // due_canon_[i] now names which canonical event runs i-th; reorder due_
+      // to match.
+      batch_scratch_ = due_;
+      for (uint32_t i = 0; i < n; ++i) {
+        due_[i] = batch_scratch_[due_canon_[i]];
+      }
+    }
+  }
+  if (track) {
+    batch_tracking_ = true;
+    batch_fps_.clear();
+    batch_cur_index_ = index;
+    batch_size_ = static_cast<uint32_t>(n);
+    batch_at_ = wheel_time_;
+  }
+}
+
+void Simulator::FlushBatchFootprints() {
+  // Collapse each event's accesses to one effective access per entity, then
+  // group by entity. std::map keys keep hazard emission order deterministic.
+  using EntityKey = std::pair<uint8_t, uint64_t>;
+  struct Acc {
+    uint32_t fp_idx;
+    footprint::FpEffect effect;
+  };
+  std::map<EntityKey, std::vector<Acc>> by_entity;
+  for (uint32_t i = 0; i < batch_fps_.size(); ++i) {
+    std::map<EntityKey, footprint::FpEffect> effective;
+    for (const footprint::FpRecord& r : batch_fps_[i].fp.accesses) {
+      const EntityKey key{static_cast<uint8_t>(r.space), r.id};
+      const footprint::FpEffect effect{r.access, r.reason};
+      auto it = effective.find(key);
+      if (it == effective.end()) {
+        effective.emplace(key, effect);
+      } else {
+        it->second = footprint::MergeEffects(it->second, effect);
+      }
+    }
+    for (const auto& [key, effect] : effective) {
+      by_entity[key].push_back(Acc{i, effect});
+    }
+  }
+  // Consecutive conflicting accessors per entity are the DPOR generator set:
+  // reversing an adjacent conflicting pair reaches every reachable reordering
+  // transitively, so there is no need to emit the full quadratic pair set.
+  std::set<std::pair<uint32_t, uint32_t>> reported;
+  for (const auto& [key, accs] : by_entity) {
+    if (accs.size() < 2) {
+      continue;
+    }
+    for (size_t k = 1; k < accs.size(); ++k) {
+      const Acc& first = accs[k - 1];
+      const Acc& second = accs[k];
+      if (!footprint::EffectsConflict(first.effect, second.effect)) {
+        continue;
+      }
+      const BatchEventFp& a = batch_fps_[first.fp_idx];
+      const BatchEventFp& b = batch_fps_[second.fp_idx];
+      const auto pos_pair = std::minmax(a.pos, b.pos);
+      if (!reported.insert(pos_pair).second) {
+        continue;  // this event pair already conflicted on another entity
+      }
+      footprint::BatchHazard hazard;
+      hazard.at = batch_at_;
+      hazard.batch_index = batch_cur_index_;
+      hazard.batch_size = batch_size_;
+      hazard.pos_a = pos_pair.first;
+      hazard.pos_b = pos_pair.second;
+      const bool a_first = a.pos <= b.pos;
+      hazard.seq_a = a_first ? a.seq : b.seq;
+      hazard.seq_b = a_first ? b.seq : a.seq;
+      hazard.label_a = a_first ? a.fp.label : b.fp.label;
+      hazard.label_b = a_first ? b.fp.label : a.fp.label;
+      hazard.entity_a = a_first ? a.fp.entity : b.fp.entity;
+      hazard.entity_b = a_first ? b.fp.entity : a.fp.entity;
+      hazard.space = static_cast<footprint::FpSpace>(key.first);
+      hazard.id = key.second;
+      hazard.access_a = a_first ? first.effect.access : second.effect.access;
+      hazard.access_b = a_first ? second.effect.access : first.effect.access;
+      hazard.reason_a = a_first ? first.effect.reason : second.effect.reason;
+      hazard.reason_b = a_first ? second.effect.reason : first.effect.reason;
+      ++hazards_;
+      if (hazard_hook_) {
+        hazard_hook_(hazard);
+      } else {
+        DefaultHazardReport(hazard);
+      }
+    }
+  }
+  batch_fps_.clear();
+}
+
+void Simulator::DefaultHazardReport(const footprint::BatchHazard& hazard) {
+  // One report per (handler pair, space): a racing pattern tends to recur once
+  // per affected entity and would otherwise flood the log.
+  const uint64_t sig = footprint::FpKey(
+      reinterpret_cast<uint64_t>(hazard.label_a),  // dn-lint: allow(pointer-key, literal addresses are stable in-run; sig only gates log emission)
+      reinterpret_cast<uint64_t>(hazard.label_b), static_cast<uint64_t>(hazard.space));
+  if (!hazard_sigs_.insert(sig).second) {
+    return;
+  }
+  std::string line;
+  footprint::FormatHazard(hazard, line);
+  DN_WARN << "determinism hazard: " << line;
+  if (hazard_sigs_.size() == 1) {
+    telemetry::FlightRecorder::Global().DumpOnFailure("determinism hazard");
+  }
+}
+
+void Simulator::SetHazardHook(HazardHook hook) { hazard_hook_ = std::move(hook); }
+
+void Simulator::SetBatchPermuter(BatchPermuter permuter) {
+  permuter_ = std::move(permuter);
+}
+
 bool Simulator::Step() {
   const uint32_t idx = due_[due_pos_++];
   Slot& slot = pool_[idx];
@@ -230,7 +390,17 @@ bool Simulator::Step() {
   // Reclaim before invoking: a callback cancelling its own (now stale) handle is a
   // no-op, and nested scheduling may reuse the slot immediately.
   ReclaimSlot(idx);
-  fn();
+  if (batch_tracking_) {
+    footprint::Collector::Global().BeginEvent();
+    fn();
+    BatchEventFp rec;
+    rec.pos = due_canon_[due_pos_ - 1];
+    rec.seq = seq;
+    rec.fp = footprint::Collector::Global().TakeEvent();
+    batch_fps_.push_back(std::move(rec));
+  } else {
+    fn();
+  }
   ++executed_;
   DN_COUNTER_INC("sim.events");
   if (executed_ % kProgressEvery == 0) {

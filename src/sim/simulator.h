@@ -16,9 +16,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "src/sim/event_fn.h"
+#include "src/sim/footprint.h"
 #include "src/sim/time.h"
 
 namespace dumbnet {
@@ -91,6 +93,30 @@ class Simulator {
   // compare them). Pass an empty hook to detach.
   void SetTraceHook(std::function<void(TimeNs at, uint64_t seq)> hook);
 
+  // Race-detection mode (footprint::SetEnabled(true) opts a run in): within each
+  // same-timestamp batch of two or more events, the simulator collects the
+  // footprints the handlers declare (DN_FP_* in src/sim/footprint.h) and, at the
+  // batch boundary, reports every pair of tie-break-ordered events with
+  // conflicting footprints. With no hook installed, hazards are DN_WARN-logged
+  // (deduplicated by handler pair) and the first one dumps flight-recorder
+  // context. The hook runs between batches and must not schedule or cancel.
+  using HazardHook = std::function<void(const footprint::BatchHazard&)>;
+  void SetHazardHook(HazardHook hook);
+  uint64_t hazards_detected() const { return hazards_; }
+
+  // Schedule control (the dumbnet-explore DPOR driver): whenever a batch of two
+  // or more same-timestamp events is formed, `permuter(batch_index, at, order)`
+  // may reorder `order` — initially the identity over canonical positions 0..n-1
+  // (ascending scheduling seq, the order an untouched run executes). The batch
+  // then runs in the permuted order. A non-permutation is ignored with a
+  // warning. Works whether or not footprints are compiled in, so minimized
+  // counterexample schedules replay on any build.
+  using BatchPermuter =
+      std::function<void(uint64_t batch_index, TimeNs at, std::vector<uint32_t>& order)>;
+  void SetBatchPermuter(BatchPermuter permuter);
+  // Batches of size >= 2 formed so far; the next such batch gets this index.
+  uint64_t batches_formed() const { return batch_index_; }
+
   bool Empty() const { return queued_ == 0; }
   uint64_t executed_events() const { return executed_; }
   SimulatorMemStats mem_stats() const;
@@ -133,6 +159,13 @@ class Simulator {
   // Pops and runs the next due event if it is not cancelled. Returns true if an
   // event actually executed. Precondition: RefillDue() returned true.
   bool Step();
+  // Called once per freshly refilled batch: assigns the batch index, applies the
+  // permuter, and arms footprint collection for batches of size >= 2.
+  void PrepareBatch();
+  // Conflict-checks the completed batch's collected footprints (no-op when none
+  // were collected) and routes hazards to the hook or the default report.
+  void FlushBatchFootprints();
+  void DefaultHazardReport(const footprint::BatchHazard& hazard);
 
   std::vector<Slot> pool_;
   std::vector<uint32_t> free_;
@@ -150,6 +183,27 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   uint64_t queued_ = 0;
+
+  // Race detection / schedule control. All of it idles unless a permuter is
+  // installed or footprint tracking is runtime-enabled; singleton batches skip
+  // everything but one size check.
+  struct BatchEventFp {
+    uint32_t pos = 0;  // canonical position within the batch
+    uint64_t seq = 0;
+    footprint::EventFootprint fp;
+  };
+  HazardHook hazard_hook_;
+  BatchPermuter permuter_;
+  std::vector<uint32_t> due_canon_;   // canonical position of due_[i]
+  std::vector<uint32_t> batch_scratch_;
+  std::vector<BatchEventFp> batch_fps_;
+  bool batch_tracking_ = false;  // current batch collects footprints
+  uint64_t batch_index_ = 0;     // size>=2 batches formed so far
+  uint64_t batch_cur_index_ = 0;
+  uint32_t batch_size_ = 0;
+  TimeNs batch_at_ = 0;
+  uint64_t hazards_ = 0;
+  std::unordered_set<uint64_t> hazard_sigs_;  // default-report dedup
 };
 
 }  // namespace dumbnet

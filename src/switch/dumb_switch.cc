@@ -1,11 +1,19 @@
 #include "src/switch/dumb_switch.h"
 
 #include "src/analysis/audit.h"
+#include "src/sim/footprint.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
+
+namespace {
+// Footprint cell for the per-port alarm suppression window (last_sent / pending /
+// pending_state / seq). Data-plane forwarding state is deliberately unrecorded:
+// transient loss under in-flight failures is racy by design (Section 4.3).
+constexpr uint64_t kSaltAlarm = 0xA1A2;
+}  // namespace
 
 DumbSwitch::DumbSwitch(Network* net, uint32_t index, DumbSwitchConfig config)
     : net_(net),
@@ -124,6 +132,7 @@ void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id, PortNum in
     pkt.provenance.hops.push_back(telemetry::PathHop{uid_, in_port, tag});
   }
   sim_->ScheduleAfter(config_.forwarding_delay, [this, tag, pkt = std::move(pkt)] {
+    DN_FP_SCOPE("switch.tx", uid_);
     net_->SendFromSwitch(index_, tag, pkt);
   });
 }
@@ -132,6 +141,8 @@ void DumbSwitch::HandlePortChange(PortNum port, bool up) {
   if (port >= alarms_.size()) {
     return;
   }
+  DN_FP_SCOPE("switch.port_change", uid_);
+  DN_FP_WRITE(kSwitch, footprint::FpKey(uid_, port, kSaltAlarm));
   AlarmState& alarm = alarms_[port];
   const TimeNs now = sim_->Now();
   if (now - alarm.last_sent >= config_.alarm_suppression) {
@@ -147,6 +158,8 @@ void DumbSwitch::HandlePortChange(PortNum port, bool up) {
     alarm.pending = true;
     TimeNs fire_at = alarm.last_sent + config_.alarm_suppression;
     sim_->ScheduleAt(fire_at, [this, port] {
+      DN_FP_SCOPE("switch.alarm_trailing", uid_);
+      DN_FP_WRITE(kSwitch, footprint::FpKey(uid_, port, kSaltAlarm));
       AlarmState& a = alarms_[port];
       if (a.pending) {
         a.pending = false;
@@ -175,6 +188,7 @@ void DumbSwitch::FloodNotification(const Packet& pkt, PortNum skip) {
       continue;
     }
     sim_->ScheduleAfter(config_.forwarding_delay, [this, p, pkt] {
+      DN_FP_SCOPE("switch.tx", uid_);
       net_->SendFromSwitch(index_, p, pkt);
     });
   }

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 
+#include "src/sim/footprint.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dumbnet {
+
+namespace {
+// Footprint cells: one per flow endpoint. Transport state is annotated as
+// commuting because the protocol itself recovers from reordering — cumulative
+// acks are a max-merge, go-back-N retransmits are idempotent at the receiver —
+// so any same-instant processing order converges to the same completed flow.
+constexpr uint64_t kSaltFlowSender = 0x5E4D;
+constexpr uint64_t kSaltFlowRecv = 0x4ECF;
+constexpr const char kFpFlowSender[] =
+    "cumulative-ack max-merge; go-back-n retransmits idempotent";
+constexpr const char kFpFlowRecv[] =
+    "in-order receive; reordering recovered by retransmission";
+}  // namespace
 
 // --------------------------------------------------------------------------------
 // Channels
@@ -110,6 +124,7 @@ void ReliableFlowSender::SendSegmentAt(uint64_t seq) {
 }
 
 void ReliableFlowSender::OnAck(const DataPayload& ack) {
+  DN_FP_COMMUTES(kFlow, footprint::FpKey(flow_id_, kSaltFlowSender), kFpFlowSender);
   if (!running_) {
     return;
   }
@@ -139,6 +154,8 @@ void ReliableFlowSender::OnAck(const DataPayload& ack) {
 void ReliableFlowSender::ArmTimer() {
   uint64_t epoch = ++timer_epoch_;
   sim_->ScheduleAfter(config_.rto, [this, epoch] {
+    DN_FP_SCOPE("flow.rto", flow_id_);
+    DN_FP_COMMUTES(kFlow, footprint::FpKey(flow_id_, kSaltFlowSender), kFpFlowSender);
     if (epoch != timer_epoch_ || !running_) {
       return;
     }
@@ -167,6 +184,7 @@ ReliableFlowReceiver::ReliableFlowReceiver(TransportChannel* channel, uint64_t f
 }
 
 void ReliableFlowReceiver::OnSegment(uint64_t src_mac, const DataPayload& seg) {
+  DN_FP_COMMUTES(kFlow, footprint::FpKey(flow_id_, kSaltFlowRecv), kFpFlowRecv);
   ++segments_received_;
   if (seg.seq == expected_seq_) {
     ++expected_seq_;

@@ -25,7 +25,7 @@ bool Fires(const std::vector<LintFinding>& findings, const std::string& rule) {
 size_t Count(const std::vector<LintFinding>& findings, const std::string& rule) {
   size_t n = 0;
   for (const LintFinding& f : findings) {
-    n += f.rule == rule ? 1 : 0;
+    n += f.rule == rule ? 1u : 0u;
   }
   return n;
 }
@@ -227,6 +227,60 @@ namespace dn = dumbnet;
 )cc";
   EXPECT_FALSE(
       Fires(LintSource("src/host/fixture.h", good), "using-namespace-header"));
+}
+
+TEST(LintRuleTest, PointerKeyContainersFireInOrderSensitiveLayers) {
+  const std::string bad = R"cc(
+#include <map>
+#include <set>
+#include <unordered_map>
+struct Agent;
+std::map<Agent*, int> by_agent;
+std::set<const Agent*> live;
+std::unordered_map<Agent*, int> fast;
+)cc";
+  auto findings = LintSource("src/host/fixture.cc", bad);
+  EXPECT_EQ(Count(findings, "pointer-key"), 3u);
+  // Outside the order-sensitive layers, pointer keys are someone else's
+  // problem (analysis tooling sorts its own output).
+  EXPECT_FALSE(Fires(LintSource("src/analysis/fixture.cc", bad), "pointer-key"));
+  // Pointer VALUES are fine — only the key position is order-bearing.
+  const std::string good = R"cc(
+#include <map>
+#include <vector>
+struct Agent;
+std::map<int, Agent*> by_index;
+std::map<std::pair<int, int>, Agent*> by_cell;
+std::vector<Agent*> agents;
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/host/fixture.cc", good), "pointer-key"));
+}
+
+TEST(LintRuleTest, PointerToIntegerCastFires) {
+  const std::string bad = R"cc(
+#include <cstdint>
+struct Agent;
+uint64_t Key(Agent* a) { return reinterpret_cast<uint64_t>(a); }
+size_t Key2(Agent* a) { return reinterpret_cast<std::uintptr_t>(a); }
+)cc";
+  auto findings = LintSource("src/switch/fixture.cc", bad);
+  EXPECT_EQ(Count(findings, "pointer-key"), 2u);
+  // Pointer-to-pointer reinterpretation does not mint an address-derived key.
+  const std::string good = R"cc(
+#include <cstdint>
+struct Agent;
+char* Bytes(Agent* a) { return reinterpret_cast<char*>(a); }
+const uint8_t* View(Agent* a) { return reinterpret_cast<const uint8_t*>(a); }
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/switch/fixture.cc", good), "pointer-key"));
+  // allow() with a reason silences it like any other rule.
+  const std::string allowed = R"cc(
+#include <cstdint>
+struct Agent;
+// dn-lint: allow(pointer-key, log-only tag never ordered or compared)
+uint64_t Tag(Agent* a) { return reinterpret_cast<uint64_t>(a); }
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/switch/fixture.cc", allowed), "pointer-key"));
 }
 
 TEST(LintSuppressionTest, AllowSilencesSameAndNextLine) {

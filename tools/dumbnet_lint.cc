@@ -108,5 +108,13 @@ int main(int argc, char** argv) {
   std::cout << dumbnet::FormatLintFindings(findings);
   std::cout << "dumbnet-lint: " << files.size() << " files, " << findings.size()
             << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+  // Exit-code contract: 1 means the lint ran and found rule violations; a file
+  // that could not be read means the lint did NOT fully run — that is an IO
+  // error (2), not a finding, so CI can tell "dirty tree" from "broken setup".
+  for (const auto& f : findings) {
+    if (f.rule == "io-error") {
+      return 2;
+    }
+  }
   return findings.empty() ? 0 : 1;
 }
