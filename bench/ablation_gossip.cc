@@ -57,7 +57,7 @@ Outcome Run(uint32_t fanout, uint8_t notify_hops) {
   // a 1-hop broadcast cannot reach any of them directly... except via the agg's
   // edge neighbors' hosts).
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(agg, 3), false);
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+  fabric.RunUntil(fabric.Now() + Sec(2));
 
   outcome.p50_ms = delays.Percentile(50);
   outcome.p99_ms = delays.Percentile(99);

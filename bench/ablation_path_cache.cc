@@ -50,7 +50,7 @@ Outcome RunConfig(uint32_t k_paths, bool cache_backup, uint32_t epsilon,
   SimulatedFabric fabric(std::move(ls.value().topo), agent_config);
   fabric.AddController(24, controller_config);
   fabric.controller().AdoptTopology(fabric.topo());
-  fabric.sim().Run();
+  fabric.Run();
 
   DumbNetChannel src_channel(&fabric.agent(0));
   DumbNetChannel dst_channel(&fabric.agent(6));
@@ -60,7 +60,7 @@ Outcome RunConfig(uint32_t k_paths, bool cache_backup, uint32_t epsilon,
   flow.rto = Ms(25);
   ReliableFlowSender sender(&src_channel, 1, fabric.agent(6).mac(), flow);
   sender.Start();
-  fabric.sim().RunUntil(fabric.sim().Now() + Ms(200));
+  fabric.RunUntil(fabric.Now() + Ms(200));
 
   // Cut the uplink the flow is bound to.
   const PathTableEntry* entry = fabric.agent(0).path_table().Find(fabric.agent(6).mac());
@@ -73,7 +73,7 @@ Outcome RunConfig(uint32_t k_paths, bool cache_backup, uint32_t epsilon,
   }
   uint64_t requests_before = fabric.agent(0).stats().path_requests;
   uint64_t bytes_at_cut = sender.progress().bytes_acked;
-  TimeNs cut_at = fabric.sim().Now();
+  TimeNs cut_at = fabric.Now();
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(leaves[0], uplink), false);
 
   // Recovery = first time bytes flow again after the cut (sampled at 1 ms).
@@ -83,16 +83,16 @@ Outcome RunConfig(uint32_t k_paths, bool cache_backup, uint32_t epsilon,
       return;
     }
     if (sender.progress().bytes_acked > bytes_at_cut + 200000) {
-      outcome.recovery_ms = ToMs(fabric.sim().Now() - cut_at);
+      outcome.recovery_ms = ToMs(fabric.Now() - cut_at);
       outcome.finished = true;
       return;
     }
     fabric.sim().ScheduleAfter(Ms(1), probe);
   };
   fabric.sim().ScheduleAfter(Ms(1), probe);
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(3));
+  fabric.RunUntil(fabric.Now() + Sec(3));
   sender.Stop();
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(1));
+  fabric.RunUntil(fabric.Now() + Sec(1));
 
   outcome.path_requests = fabric.agent(0).stats().path_requests - requests_before;
   return outcome;

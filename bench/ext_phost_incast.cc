@@ -60,14 +60,14 @@ Outcome RunPHost(int senders) {
                                                   kFlowBase + 1 + static_cast<uint64_t>(i),
                                                   fabric->agent(sink).mac(), kBytes, config));
   }
-  TimeNs start = fabric->sim().Now();
+  TimeNs start = fabric->Now();
   for (auto& flow : flows) {
     flow->Start([&done] { ++done; });
   }
-  fabric->sim().Run();
+  fabric->Run();
   Outcome outcome;
   outcome.drops = fabric->net().stats().dropped_queue_full;
-  outcome.finish_ms = done == senders ? ToMs(fabric->sim().Now() - start) : -1;
+  outcome.finish_ms = done == senders ? ToMs(fabric->Now() - start) : -1;
   return outcome;
 }
 
@@ -90,14 +90,14 @@ Outcome RunWindowed(int senders) {
         channels.back().get(), 100 + static_cast<uint64_t>(i), fabric->agent(sink).mac(),
         flow));
   }
-  TimeNs start = fabric->sim().Now();
+  TimeNs start = fabric->Now();
   for (auto& flow : flows) {
     flow->Start([&done] { ++done; });
   }
-  fabric->sim().Run();
+  fabric->Run();
   Outcome outcome;
   outcome.drops = fabric->net().stats().dropped_queue_full;
-  outcome.finish_ms = done == senders ? ToMs(fabric->sim().Now() - start) : -1;
+  outcome.finish_ms = done == senders ? ToMs(fabric->Now() - start) : -1;
   return outcome;
 }
 

@@ -74,14 +74,14 @@ LogHistogram RunDumbNet() {
       }
       auto it = inflight[h].find(data.flow_id);
       if (it != inflight[h].end()) {
-        rtts->Record(ToMs(fabric.sim().Now() - it->second.sent));
+        rtts->Record(ToMs(fabric.Now() - it->second.sent));
         inflight[h].erase(it);
       }
     });
   }
   // Everyone pings everyone, all starting at the same time (the paper's worst-case
   // concurrent-query setup), kPingsPerPair packets spaced 2 ms.
-  TimeNs epoch = fabric.sim().Now();
+  TimeNs epoch = fabric.Now();
   uint64_t flow = 1;
   for (uint32_t src = 0; src < fabric.host_count(); ++src) {
     for (uint32_t dst = 0; dst < fabric.host_count(); ++dst) {
@@ -91,7 +91,7 @@ LogHistogram RunDumbNet() {
       for (int seq = 0; seq < kPingsPerPair; ++seq) {
         uint64_t id = flow++;
         fabric.sim().ScheduleAt(epoch + kPingSpacing * seq, [&fabric, &inflight, src, dst, id] {
-          inflight[src][id] = {fabric.sim().Now()};
+          inflight[src][id] = {fabric.Now()};
           DataPayload ping;
           ping.flow_id = id;
           ping.bytes = 64;
@@ -100,7 +100,7 @@ LogHistogram RunDumbNet() {
       }
     }
   }
-  fabric.sim().Run();
+  fabric.Run();
   return rtts->Snapshot();
 }
 

@@ -30,7 +30,7 @@ int main() {
   SimulatedFabric fabric(std::move(tb.value().topo), agent_config);
   fabric.AddController(25, controller_config);
   fabric.controller().AdoptTopology(fabric.topo());
-  fabric.sim().Run();
+  fabric.Run();
 
   // Log-bucketed collectors (same class the telemetry histograms use, so the
   // percentiles here match a telemetry report of the same stream).
@@ -44,18 +44,18 @@ int main() {
           // (the same failure is alarmed by both endpoint switches).
           if (!ev.up && !heard[h]) {
             heard[h] = true;
-            event_delay.Add(ToMs(fabric.sim().Now() - ev.origin_time));
+            event_delay.Add(ToMs(fabric.Now() - ev.origin_time));
           }
         });
     fabric.agent(h).SetPatchHook([&patch_delay, &fabric](const TopologyPatchPayload& p) {
-      patch_delay.Add(ToMs(fabric.sim().Now() - p.origin_time));
+      patch_delay.Add(ToMs(fabric.Now() - p.origin_time));
     });
   }
 
   // Cut a spine0 <-> leaf1 link. Origin time is the switch alarm (the paper also
   // measures from failure discovery, excluding physical detection).
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(spines[0], 2), false);
-  fabric.sim().Run();
+  fabric.Run();
 
   auto print = [](const char* name, const LogHistogram& s) {
     std::printf("%-22s n=%3llu  p50=%5.2f ms  p90=%5.2f ms  p99=%5.2f ms  max=%5.2f ms\n",

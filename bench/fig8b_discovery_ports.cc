@@ -44,7 +44,7 @@ int main() {
     discovery_config.max_ports = static_cast<uint8_t>(ports);
     DiscoveryService discovery(&fabric.agent(0), discovery_config);
     discovery.Start(nullptr);
-    fabric.sim().Run();
+    fabric.Run();
 
     double seconds = ToSec(discovery.stats().finished_at - discovery.stats().started_at);
     double per_p2 = 1e3 * seconds / static_cast<double>(ports) / static_cast<double>(ports);

@@ -20,6 +20,7 @@
 #include <queue>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -32,6 +33,20 @@
 using namespace dumbnet;
 
 namespace {
+
+// Execution-environment params attached to every metric whose value depends on
+// sharding, so tools/dumbnet-check only gates like-for-like runs (a 4-shard
+// multicore number must never be compared against a single-shard baseline).
+// Core count is printed, not recorded: params are row-identity keys, and a
+// machine-dependent key would turn every baseline row into a false
+// "bench-missing" on a runner with a different core count. The committed
+// baseline only keeps rows whose thread count is machine-stable (shards=1).
+bench::JsonReporter::Params ShardParams(uint32_t shards, uint32_t threads,
+                                        bench::JsonReporter::Params extra = {}) {
+  extra.push_back({"shards", std::to_string(shards)});
+  extra.push_back({"threads", std::to_string(threads)});
+  return extra;
+}
 
 double WallSeconds(const std::function<void()>& fn) {
   // dn-lint: allow(wall-clock, benches measure real elapsed time by design)
@@ -409,20 +424,23 @@ BatchResult RunPathGraphBatch(const Topology& topo, uint32_t src,
 
 // ---------------------------------------------------------------------------
 // Workload 3: full bring-up (probing discovery + bootstraps) wall-clock on
-// leaf-spine fabrics of 1k/4k/16k hosts.
+// leaf-spine fabrics of 1k/4k/16k hosts and 3-tier fat-trees of 65,536 and
+// 128,000 hosts (k = 64, 80 — the closest fat-tree sizes to the 65,536- and
+// 131,072-host targets; the leaf-spine shape tops out at 254 spine ports).
 // ---------------------------------------------------------------------------
-double RunBringUp(uint32_t leaves, uint32_t hosts_per_leaf, size_t* hosts_out) {
-  LeafSpineConfig config;
-  config.num_spine = 4;
-  config.num_leaf = leaves;
-  config.hosts_per_leaf = hosts_per_leaf;
-  config.switch_ports = static_cast<uint8_t>(std::min<uint32_t>(hosts_per_leaf + 8, 254));
-  auto ls = MakeLeafSpine(config);
-  SimulatedFabric fabric(std::move(ls.value().topo));
-  *hosts_out = fabric.host_count();
-  DiscoveryConfig discovery;
-  discovery.max_ports = config.switch_ports;
-  double secs = WallSeconds([&] {
+struct BringUpResult {
+  double secs = 0;
+  size_t hosts = 0;
+  uint32_t shards = 1;
+  uint32_t threads = 1;
+};
+
+BringUpResult MeasureBringUp(SimulatedFabric& fabric, const DiscoveryConfig& discovery) {
+  BringUpResult r;
+  r.hosts = fabric.host_count();
+  r.shards = fabric.shard_count();
+  r.threads = fabric.shard_set().thread_count();
+  r.secs = WallSeconds([&] {
     if (!fabric.BringUp(0, ControllerConfig(), discovery)) {
       std::printf("WARNING: bring-up did not complete\n");
     }
@@ -434,7 +452,116 @@ double RunBringUp(uint32_t leaves, uint32_t hosts_per_leaf, size_t* hosts_out) {
     std::printf("WARNING: discovery found %zu of %zu switches; timing is invalid\n",
                 found, expect);
   }
-  return secs;
+  return r;
+}
+
+BringUpResult RunBringUp(uint32_t leaves, uint32_t hosts_per_leaf) {
+  LeafSpineConfig config;
+  config.num_spine = 4;
+  config.num_leaf = leaves;
+  config.hosts_per_leaf = hosts_per_leaf;
+  config.switch_ports = static_cast<uint8_t>(std::min<uint32_t>(hosts_per_leaf + 8, 254));
+  auto ls = MakeLeafSpine(config);
+  SimulatedFabric fabric(std::move(ls.value().topo));
+  DiscoveryConfig discovery;
+  discovery.max_ports = config.switch_ports;
+  return MeasureBringUp(fabric, discovery);
+}
+
+BringUpResult RunBringUpFatTree(uint32_t k) {
+  FatTreeConfig config;
+  config.k = k;
+  auto ft = MakeFatTree(config);
+  if (!ft.ok()) {
+    std::printf("WARNING: fat-tree k=%u generation failed\n", k);
+    return {};
+  }
+  SimulatedFabric fabric(std::move(ft.value().topo));
+  DiscoveryConfig discovery;
+  discovery.max_ports = static_cast<PortNum>(k + 1);
+  return MeasureBringUp(fabric, discovery);
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: sharded fabric throughput. A 3-tier fat-tree (k=8: 80 switches,
+// 128 hosts) with 2 us inter-switch cables is partitioned into N shards; every
+// host ping-pongs with a partner half the fabric away (nearly all traffic
+// crosses pods, hence shards). Reported events/s covers the whole run —
+// windows, barriers and channel drains included — so the single-shard number is
+// the honest baseline for the sharded one. On a multicore host the N-shard run
+// uses one worker thread per shard; on a single core it runs the sequential
+// reference mode, and the recorded threads/cores params keep CI gating
+// like-for-like.
+// ---------------------------------------------------------------------------
+struct ShardWorkloadResult {
+  double events_per_sec = 0;
+  uint64_t events = 0;
+  uint64_t windows = 0;
+  uint64_t cross_posts = 0;
+  uint32_t shards = 1;
+  uint32_t threads = 1;
+};
+
+ShardWorkloadResult RunShardWorkload(uint32_t shards, int pings_per_host) {
+  FatTreeConfig config;
+  config.k = 8;
+  auto ft = MakeFatTree(config);
+  Topology topo = std::move(ft.value().topo);
+  // Inter-switch cables at datacenter scale (2 us ~ 400 m of fiber): the shard
+  // plan's lookahead is the minimum cross-shard propagation, so this sets the
+  // conservative window width. Host drops stay at the default.
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    const Link& l = topo.link_at(li);
+    if (l.a.node.is_switch() && l.b.node.is_switch()) {
+      topo.SetLinkPropagation(li, Us(2));
+    }
+  }
+  SimulatedFabric fabric(std::move(topo), HostAgentConfig(), DumbSwitchConfig(),
+                         NetworkConfig(), shards);
+  fabric.BringUpAdopted(0);
+
+  const uint32_t n = static_cast<uint32_t>(fabric.host_count());
+  for (uint32_t h = 0; h < n; ++h) {
+    fabric.agent(h).SetDataHandler(
+        [&fabric, h](const Packet& pkt, const DataPayload& data) {
+          if (!data.is_ack) {
+            DataPayload echo = data;
+            echo.is_ack = true;
+            (void)fabric.agent(h).Send(pkt.eth.src_mac, data.flow_id, echo);
+          }
+        });
+  }
+
+  // Per-host self-rescheduling ping chain. Every event runs on its own host's
+  // shard (the chain reschedules on the host's simulator), so the driver itself
+  // never violates shard ownership.
+  std::vector<std::function<void(int)>> ticks(n);
+  for (uint32_t h = 0; h < n; ++h) {
+    const uint32_t partner = (h + n / 2) % n;
+    Simulator& hsim = fabric.net().SimFor(NodeId::Host(h));
+    ticks[h] = [&fabric, &ticks, &hsim, h, partner, pings_per_host](int i) {
+      if (i >= pings_per_host) {
+        return;
+      }
+      DataPayload ping;
+      ping.flow_id = (static_cast<uint64_t>(h) << 20) | static_cast<uint64_t>(i);
+      ping.bytes = 64;
+      (void)fabric.agent(h).Send(fabric.agent(partner).mac(), ping.flow_id, ping);
+      hsim.ScheduleAfter(Us(25), [&ticks, h, i] { ticks[h](i + 1); });
+    };
+    hsim.ScheduleAfter(Us(1) + h % 97, [&ticks, h] { ticks[h](0); });
+  }
+
+  ShardWorkloadResult r;
+  r.shards = fabric.shard_count();
+  r.threads = fabric.shard_set().thread_count();
+  const uint64_t before = fabric.executed_events();
+  const double secs = WallSeconds([&] { fabric.Run(); });
+  r.events = fabric.executed_events() - before;
+  r.events_per_sec = static_cast<double>(r.events) / secs;
+  r.windows = fabric.shard_set().stats().windows;
+  r.cross_posts = fabric.shard_set().stats().cross_posts;
+  return r;
 }
 
 }  // namespace
@@ -500,7 +627,7 @@ int main(int argc, char** argv) {
   report.Add("perf_core", "path_graph_pooled_speedup", pooled_speedup, "ratio",
              batch_params);
 
-  // --- 3. bring-up wall-clock at 1k/4k/16k hosts ---------------------------
+  // --- 3. bring-up wall-clock, 1k .. 128k hosts ----------------------------
   struct Scale {
     uint32_t leaves;
     uint32_t hosts_per_leaf;
@@ -511,13 +638,49 @@ int main(int argc, char** argv) {
     scales.push_back({128, 128});  // ~16k hosts
   }
   std::printf("\nbring-up wall-clock (probing discovery + bootstraps, leaf-spine):\n");
+  auto report_bring_up = [&report](const BringUpResult& b) {
+    std::printf("  %6zu hosts  %8.2f s wall (%u shard(s), %u thread(s))\n", b.hosts,
+                b.secs, b.shards, b.threads);
+    report.Add("perf_core", "bring_up_wall", b.secs, "s",
+               ShardParams(b.shards, b.threads, {{"hosts", std::to_string(b.hosts)}}));
+  };
   for (const Scale& sc : scales) {
-    size_t hosts = 0;
-    double secs = RunBringUp(sc.leaves, sc.hosts_per_leaf, &hosts);
-    std::printf("  %6zu hosts  %8.2f s wall\n", hosts, secs);
-    report.Add("perf_core", "bring_up_wall", secs, "s",
-               {{"hosts", std::to_string(hosts)}});
+    report_bring_up(RunBringUp(sc.leaves, sc.hosts_per_leaf));
   }
+  if (!args.quick) {
+    // 3-tier fat-tree scale points: k=64 -> 65,536 hosts / 5,120 switches,
+    // k=80 -> 128,000 hosts / 8,000 switches (the 100K+ point).
+    std::printf("bring-up wall-clock (probing discovery + bootstraps, fat-tree):\n");
+    for (uint32_t k : {64u, 80u}) {
+      report_bring_up(RunBringUpFatTree(k));
+    }
+  }
+
+  // --- 4. sharded fabric throughput ----------------------------------------
+  const int pings = args.quick ? 400 : 2000;
+  ShardWorkloadResult single = RunShardWorkload(1, pings);
+  ShardWorkloadResult sharded = RunShardWorkload(4, pings);
+  std::printf("\nsharded fabric ping-pong (fat-tree k=8, cross-pod partners, "
+              "%u core(s)):\n",
+              std::thread::hardware_concurrency());
+  std::printf("  1 shard      %12.0f events/s (%lu events)\n", single.events_per_sec,
+              static_cast<unsigned long>(single.events));
+  std::printf("  %u shards     %12.0f events/s (%lu events, %lu windows, "
+              "%lu cross-shard, %u threads)\n",
+              sharded.shards, sharded.events_per_sec,
+              static_cast<unsigned long>(sharded.events),
+              static_cast<unsigned long>(sharded.windows),
+              static_cast<unsigned long>(sharded.cross_posts), sharded.threads);
+  std::printf("  speedup      %12.2fx\n",
+              sharded.events_per_sec / single.events_per_sec);
+  report.Add("perf_core", "shard_events_per_sec", single.events_per_sec, "events/s",
+             ShardParams(single.shards, single.threads,
+                         {{"topology", "fattree8"}}));
+  report.Add("perf_core", "shard_events_per_sec", sharded.events_per_sec, "events/s",
+             ShardParams(sharded.shards, sharded.threads, {{"topology", "fattree8"}}));
+  report.Add("perf_core", "shard_speedup",
+             sharded.events_per_sec / single.events_per_sec, "ratio",
+             ShardParams(sharded.shards, sharded.threads, {{"topology", "fattree8"}}));
 
   if (args.quick) {
     std::printf("\n(quick mode: reduced event count, repeats, and host sweep)\n");

@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> leaves = testbed.value().leaves;
   SimulatedFabric fabric(std::move(testbed.value().topo));
   fabric.BringUpAdopted(/*controller_host=*/25);
-  const TimeNs epoch = fabric.sim().Now();  // bring-up consumed some virtual time
-  auto rel_ms = [&] { return ToMs(fabric.sim().Now() - epoch); };
+  const TimeNs epoch = fabric.Now();  // bring-up consumed some virtual time
+  auto rel_ms = [&] { return ToMs(fabric.Now() - epoch); };
 
   // A 16 MiB transfer from a host on leaf 0 to a host on leaf 2.
   DumbNetChannel src_channel(&fabric.agent(0));
@@ -108,12 +108,12 @@ int main(int argc, char** argv) {
 
   // Cut a leaf0 uplink at t = 12 ms.
   fabric.sim().ScheduleAfter(Ms(12), [&] {
-    cut_at = fabric.sim().Now();
+    cut_at = fabric.Now();
     std::printf("[%8.3f ms] *** cutting leaf0 <-> spine0 link ***\n", rel_ms());
     fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(leaves[0], 1), false);
   });
 
-  fabric.sim().Run();
+  fabric.Run();
   std::printf("path table stats on host 0: %lu rebinds, %lu backup promotions\n",
               static_cast<unsigned long>(fabric.agent(0).path_table().stats().rebinds),
               static_cast<unsigned long>(

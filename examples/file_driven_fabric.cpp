@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(result.controller_mac),
                 static_cast<unsigned long>(result.probes_sent));
   });
-  fabric.sim().Run();
+  fabric.Run();
 
   // And traffic flows.
   int received = 0;
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   fabric.agent(dst).SetDataHandler(
       [&](const Packet&, const DataPayload&) { ++received; });
   (void)fabric.agent(newcomer).Send(fabric.agent(dst).mac(), 1, DataPayload{});
-  fabric.sim().Run();
+  fabric.Run();
   std::printf("newcomer -> host %u: %d packet(s) delivered\n", dst, received);
   return received == 1 ? 0 : 1;
 }

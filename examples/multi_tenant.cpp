@@ -101,8 +101,8 @@ int main() {
   cross.flow_id = 9;
   cross.inner_dst_mac = fab_b.agent(1).mac();
   (void)fab_a.agent(0).Send(fab_a.agent(5).mac(), 9, cross);
-  fab_a.sim().Run();
-  fab_b.sim().Run();
+  fab_a.Run();
+  fab_b.Run();
   std::printf("cross-subnet packet relayed by L3 router: %s (%lu forwarded)\n",
               relayed == 1 ? "yes" : "NO",
               static_cast<unsigned long>(router.stats().forwarded));

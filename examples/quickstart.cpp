@@ -61,7 +61,7 @@ int main() {
     payload.bytes = 1460;
     (void)src.Send(dst.mac(), payload.flow_id, payload);
   }
-  fabric.sim().Run();
+  fabric.Run();
 
   // 4. Inspect the cache: the tag sequences that rode in the packet headers.
   const PathTableEntry* entry = src.path_table().Find(dst.mac());

@@ -717,6 +717,40 @@ void CheckMacroContracts(const std::vector<Tok>& toks, const SourceText& src,
 }
 
 // ---------------------------------------------------------------------------------
+// Rule: fp-in-pool. Footprint collection (DN_FP_*) is thread-local and is only
+// harvested on the thread executing the current simulator event (a shard worker
+// in sharded runs). A DN_FP_* that executes on a ThreadPool worker records into
+// that worker's collector and silently vanishes — the race detector never sees
+// it, which reads as "verified race-free" when nothing was checked. This is a
+// lexical check: it flags DN_FP_* tokens inside the argument list of a
+// ThreadPool::ParallelFor call (the pool's only entry point). Footprints
+// reached through functions *called* from the body are out of a token linter's
+// sight — keep pool bodies free of footprint-collecting helpers.
+
+void CheckFootprintInPool(const std::vector<Tok>& toks, const std::string& path,
+                          std::vector<LintFinding>* findings) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident || toks[i].text != "ParallelFor" || toks[i + 1].text != "(") {
+      continue;
+    }
+    const size_t open = i + 1;
+    const size_t close = MatchParen(toks, open);
+    for (size_t j = open + 1; j < close; ++j) {
+      if (toks[j].ident && toks[j].text.rfind("DN_FP_", 0) == 0) {
+        findings->push_back(
+            {"fp-in-pool", path, toks[j].line + 1,
+             "'" + toks[j].text +
+                 "' inside a ThreadPool::ParallelFor body: footprint collection "
+                 "is thread-local to the event's executing thread, so "
+                 "declarations made on pool workers are silently dropped; move "
+                 "the DN_FP_* to the simulation-thread caller or annotate "
+                 "dn-lint: allow(fp-in-pool, <reason>)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------------
 // Rules: include-guard, using-namespace-header.
 
 bool IsGuardName(const std::string& name) {
@@ -816,9 +850,10 @@ std::string JsonEscape(const std::string& s) {
 
 const std::vector<std::string>& KnownLintRules() {
   static const std::vector<std::string> kRules = {
-      "raw-random",    "wall-clock",          "unordered-iter",
-      "pointer-key",   "audit-message",       "log-kv-key",
-      "include-guard", "using-namespace-header", "bad-suppression"};
+      "raw-random",    "wall-clock",             "unordered-iter",
+      "pointer-key",   "audit-message",          "log-kv-key",
+      "fp-in-pool",    "include-guard",          "using-namespace-header",
+      "bad-suppression"};
   return kRules;
 }
 
@@ -857,6 +892,7 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
   }
 
   CheckMacroContracts(toks, src, path, &raw_findings);
+  CheckFootprintInPool(toks, path, &raw_findings);
 
   if (EndsWith(norm, ".h")) {
     CheckHeaderHygiene(toks, src, path, &raw_findings);

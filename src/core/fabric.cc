@@ -1,13 +1,57 @@
 #include "src/core/fabric.h"
 
+#include <cstdlib>
+
 #include "src/analysis/invariants.h"
 
 namespace dumbnet {
 
+uint32_t SimulatedFabric::DefaultShards() {
+  // dn-lint: allow(wall-clock, reads configuration, not time)
+  const char* env = std::getenv("DUMBNET_SHARDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 1024) {
+    return 1;
+  }
+  return static_cast<uint32_t>(v);
+}
+
+uint32_t SimulatedFabric::DefaultShardThreads() {
+  // dn-lint: allow(wall-clock, reads configuration, not time)
+  const char* env = std::getenv("DUMBNET_SHARD_THREADS");
+  if (env == nullptr) {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 1024) {
+    return 0;
+  }
+  return static_cast<uint32_t>(v);
+}
+
 SimulatedFabric::SimulatedFabric(Topology topo, HostAgentConfig agent_config,
-                                 DumbSwitchConfig switch_config, NetworkConfig net_config)
+                                 DumbSwitchConfig switch_config, NetworkConfig net_config,
+                                 uint32_t shards)
     : topo_(std::move(topo)) {
-  net_ = std::make_unique<Network>(&sim_, &topo_, net_config);
+  if (shards == 0) {
+    shards = DefaultShards();
+  }
+  plan_ = ShardPlan::Build(topo_, shards);
+  ShardSetConfig shard_config;
+  shard_config.shards = plan_.shard_count;
+  shard_config.lookahead =
+      plan_.lookahead == ShardPlan::kNoCrossLinks ? Ms(1) : plan_.lookahead;
+  shard_config.threads = DefaultShardThreads();
+  shard_set_ = std::make_unique<ShardSet>(shard_config);
+  net_ = std::make_unique<Network>(&shard_set_->shard(0), &topo_, net_config);
+  if (plan_.shard_count > 1) {
+    net_->AttachShards(shard_set_.get(), &plan_);
+  }
   for (uint32_t s = 0; s < topo_.switch_count(); ++s) {
     switches_.push_back(std::make_unique<DumbSwitch>(net_.get(), s, switch_config));
   }
@@ -29,7 +73,7 @@ bool SimulatedFabric::BringUp(uint32_t controller_host, ControllerConfig config,
   AddController(controller_host, config, discovery);
   bool ready = false;
   controller_->Start([&ready] { ready = true; });
-  sim_.Run();
+  Run();
   return ready;
 }
 
@@ -43,7 +87,12 @@ InvariantAuditor& SimulatedFabric::EnableAuditing(uint64_t every_events) {
   if (controller_ != nullptr) {
     RegisterTopoDbInvariants(*auditor_, &controller_->db(), &topo_);
   }
-  auditor_->AttachTo(&sim_, every_events);
+  if (shard_count() == 1) {
+    auditor_->AttachTo(&sim(), every_events);
+  } else {
+    InvariantAuditor* auditor = auditor_.get();
+    shard_set_->SetBarrierHook([auditor] { auditor->RunAll(); }, every_events);
+  }
   return *auditor_;
 }
 
@@ -55,7 +104,7 @@ bool SimulatedFabric::EnableRaceDetection() {
 void SimulatedFabric::BringUpAdopted(uint32_t controller_host, ControllerConfig config) {
   AddController(controller_host, config);
   controller_->AdoptTopology(topo_);
-  sim_.Run();
+  Run();
 }
 
 }  // namespace dumbnet

@@ -109,6 +109,8 @@ void ControllerService::InvalidateRoutingCaches() {
   graph_cache_.reset();
   graph_version_ = kNoGraphVersion;
   sssp_cache_.Invalidate();
+  wire_cache_.clear();
+  wire_cache_version_ = kNoGraphVersion;
 }
 
 Result<TagList> ControllerService::TagsToHost(const HostLocation& dst, Rng* rng) {
@@ -223,21 +225,55 @@ void ControllerService::ServePathRequest(const PathRequestPayload& req) {
     ++stats_.queries_failed;
     return;
   }
-  // Tie-breaks draw from a per-query stream seeded by (requester, dst, attempt):
-  // the response is a pure function of the query and the db snapshot, so the
-  // order concurrent queries drain from the CPU queue cannot leak into route
-  // content (the shared rng_ would advance differently per service order).
+  // The served graph's tie-breaks draw from a stream seeded by (src switch,
+  // dst switch, attempt) — never the shared rng_, so CPU-queue service order
+  // cannot leak into route content. That makes the graph a pure function of
+  // (switch pair, attempt, db snapshot), and therefore memoizable: hosts behind
+  // the same edge switch asking for the same destination switch get one shared
+  // immutable graph. Retries still decorrelate through `attempt`, and response
+  // *tags* stay per-requester below.
+  const uint32_t si = src_idx.value();
+  const uint32_t di = dst_idx.value();
+  const bool cacheable =
+      si < (1u << 24) && di < (1u << 24) && req.attempt < (1u << 16);
+  uint64_t cache_key = 0;
+  std::shared_ptr<WirePathGraph> wire;
+  if (cacheable) {
+    if (wire_cache_version_ != db_.version()) {
+      wire_cache_.clear();
+      wire_cache_version_ = db_.version();
+    }
+    cache_key = (static_cast<uint64_t>(si) << 40) | (static_cast<uint64_t>(di) << 16) |
+                req.attempt;
+    auto it = wire_cache_.find(cache_key);
+    if (it != wire_cache_.end()) {
+      ++stats_.wire_cache_hits;
+      wire = it->second;
+    }
+  }
+  if (wire == nullptr) {
+    Rng graph_rng(config_.rng_seed ^
+                  footprint::FpKey(requester.value().switch_uid,
+                                   dst.value().switch_uid, req.attempt));
+    auto pg = BuildPathGraph(db_.mirror(), RoutingGraph(), si, di, config_.path_graph,
+                             &graph_rng, pg_scratch_);
+    if (!pg.ok()) {
+      ++stats_.queries_failed;
+      return;
+    }
+    wire = MakeWireGraph(pg.value(), requester.value().switch_uid,
+                         dst.value().switch_uid);
+    if (cacheable) {
+      ++stats_.wire_cache_misses;
+      if (wire_cache_.size() >= kWireCacheMaxEntries) {
+        wire_cache_.clear();  // epoch reset: bounded memory, still deterministic
+      }
+      wire_cache_.emplace(cache_key, wire);
+    }
+  }
+
   Rng query_rng(config_.rng_seed ^
                 footprint::FpKey(req.requester_mac, req.dst_mac, req.attempt));
-  auto pg = BuildPathGraph(db_.mirror(), RoutingGraph(), src_idx.value(), dst_idx.value(),
-                           config_.path_graph, &query_rng, pg_scratch_);
-  if (!pg.ok()) {
-    ++stats_.queries_failed;
-    return;
-  }
-  auto wire =
-      MakeWireGraph(pg.value(), requester.value().switch_uid, dst.value().switch_uid);
-
   auto tags = TagsToHost(requester.value(), &query_rng);
   if (!tags.ok()) {
     ++stats_.queries_failed;

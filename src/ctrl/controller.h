@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ctrl/discovery.h"
@@ -43,6 +44,9 @@ struct ControllerStats {
   uint64_t link_events = 0;
   uint64_t patches_sent = 0;
   uint64_t reprobes = 0;
+  // Served-wire-graph memoization (see ServePathRequest).
+  uint64_t wire_cache_hits = 0;
+  uint64_t wire_cache_misses = 0;
 };
 
 class ControllerService {
@@ -125,6 +129,13 @@ class ControllerService {
   SsspCache sssp_cache_;
   SsspScratch tags_scratch_;
   PathGraphScratch pg_scratch_;
+  // Served wire graphs memoized per (src switch, dst switch, attempt), valid for
+  // one db version. Hosts behind the same edge switch asking for the same
+  // destination switch share one immutable graph object. Bounded by an epoch
+  // reset (full clear) at kWireCacheMaxEntries — deterministic, no LRU clocks.
+  std::unordered_map<uint64_t, std::shared_ptr<WirePathGraph>> wire_cache_;
+  uint64_t wire_cache_version_ = kNoGraphVersion;
+  static constexpr size_t kWireCacheMaxEntries = 65536;
   std::unique_ptr<ThreadPool> pool_;  // lazily created by PrecomputePathGraphs
 
   static constexpr uint64_t kNoGraphVersion = UINT64_MAX;

@@ -50,7 +50,7 @@ uint64_t MixEventId(uint64_t uid, PortNum port, uint64_t seq, bool up) {
 
 HostAgent::HostAgent(Network* net, uint32_t host_index, HostAgentConfig config)
     : net_(net),
-      sim_(&net->sim()),
+      sim_(&net->SimFor(NodeId::Host(host_index))),
       host_index_(host_index),
       mac_(net->topo().host_at(host_index).mac),
       config_(config),
@@ -522,18 +522,48 @@ void HostAgent::ApplyBootstrap(const BootstrapPayload& bootstrap) {
 void HostAgent::ComputeGossipPeers(const std::vector<HostLocation>& directory) {
   gossip_peers_.clear();
   // All hosts on our own switch ("starts from the hosts on the same switch").
-  std::vector<uint64_t> macs;
   for (const HostLocation& loc : directory) {
-    if (loc.mac == mac_) {
-      continue;
-    }
-    if (loc.switch_uid == self_.switch_uid) {
+    if (loc.mac != mac_ && loc.switch_uid == self_.switch_uid) {
       gossip_peers_.push_back(loc);
     }
-    macs.push_back(loc.mac);
   }
   // Plus `gossip_fanout` ring successors by MAC order, skipping same-switch hosts
   // (already peers). The ring guarantees the flood reaches every switch.
+  //
+  // The controller hands out the directory MAC-sorted (BootstrapHosts), so the
+  // common path walks it as the ring directly — no per-host re-sort, no linear
+  // lookup per successor, which at 16K+ hosts dominated bootstrap CPU. Arbitrary
+  // (unsorted) directories take the original sort-and-scan fallback.
+  auto by_mac = [](const HostLocation& a, const HostLocation& b) { return a.mac < b.mac; };
+  if (std::is_sorted(directory.begin(), directory.end(), by_mac)) {
+    const size_t n = directory.size();
+    const size_t start = static_cast<size_t>(
+        std::lower_bound(directory.begin(), directory.end(), HostLocation{mac_, 0, 0},
+                         by_mac) -
+        directory.begin());
+    const bool self_at_start = start < n && directory[start].mac == mac_;
+    uint32_t added = 0;
+    for (size_t k = 0; k < n && added < config_.gossip_fanout; ++k) {
+      const HostLocation& loc =
+          directory[(start + k + (self_at_start ? 1 : 0)) % n];
+      if (loc.mac == mac_ || loc.switch_uid == self_.switch_uid) {
+        continue;
+      }
+      gossip_peers_.push_back(loc);
+      ++added;
+      // Warm the route to this ring peer so failure floods do not stall on a
+      // controller query.
+      RequestPath(loc.mac);
+    }
+    return;
+  }
+  std::vector<uint64_t> macs;
+  macs.reserve(directory.size() + 1);
+  for (const HostLocation& loc : directory) {
+    if (loc.mac != mac_) {
+      macs.push_back(loc.mac);
+    }
+  }
   macs.push_back(mac_);
   std::sort(macs.begin(), macs.end());
   auto self_it = std::find(macs.begin(), macs.end(), mac_);

@@ -51,6 +51,14 @@ void TopoCache::ApplyPatch(const std::vector<WireLink>& removed,
   }
 }
 
+const SwitchGraph& TopoCache::RoutingGraph() const {
+  if (graph_cache_ == nullptr || graph_version_ != db_.version()) {
+    graph_cache_ = std::make_shared<const SwitchGraph>(db_.mirror());
+    graph_version_ = db_.version();
+  }
+  return *graph_cache_;
+}
+
 Result<CachedRoute> TopoCache::CompileUidPath(const std::vector<uint64_t>& uid_path,
                                               PortNum final_port) const {
   auto tags = db_.CompileTagsForUidPath(uid_path, final_port);
@@ -78,8 +86,7 @@ Result<std::vector<CachedRoute>> TopoCache::ComputeRoutes(uint64_t src_uid,
   if (!dst_idx.ok()) {
     return dst_idx.error();
   }
-  SwitchGraph graph(db_.mirror());
-  auto paths = KShortestPaths(graph, src_idx.value(), dst_idx.value(), k);
+  auto paths = KShortestPaths(RoutingGraph(), src_idx.value(), dst_idx.value(), k);
   if (!paths.ok()) {
     return paths.error();
   }

@@ -6,6 +6,7 @@
 #define DUMBNET_SRC_HOST_TOPO_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/host/path_table.h"
@@ -14,6 +15,8 @@
 #include "src/util/result.h"
 
 namespace dumbnet {
+
+class SwitchGraph;
 
 class TopoCache {
  public:
@@ -60,8 +63,18 @@ class TopoCache {
  private:
   Result<CachedRoute> CompileUidPath(const std::vector<uint64_t>& uid_path,
                                      PortNum final_port) const;
+  // Adjacency snapshot for db_.mirror(), rebuilt only when the db version moved
+  // (the controller's RoutingGraph() pattern). ComputeRoutes is hot during
+  // bring-up — every response triggers route builds over an unchanged mirror —
+  // so the snapshot is cached across those const calls.
+  const SwitchGraph& RoutingGraph() const;
 
   TopoDb db_;
+  // shared_ptr: copyable with the cache (copies share the immutable snapshot
+  // until either side's db version moves on) and destructible on the forward
+  // declaration alone.
+  mutable std::shared_ptr<const SwitchGraph> graph_cache_;
+  mutable uint64_t graph_version_ = UINT64_MAX;
   // Last backup path received per destination mac (UID form).
   std::unordered_map<uint64_t, std::vector<uint64_t>> backups_;
 };

@@ -27,7 +27,15 @@ Network::Network(Simulator* sim, Topology* topo, NetworkConfig config)
   dirs_.resize(topo_->link_count());
   switch_nodes_.assign(topo_->switch_count(), nullptr);
   host_nodes_.assign(topo_->host_count(), nullptr);
+  stats_shards_.resize(1);
   topo_->AddLinkObserver([this](LinkIndex li, bool up) { OnLinkStateChange(li, up); });
+}
+
+void Network::AttachShards(ShardSet* shards, const ShardPlan* plan) {
+  shards_ = shards;
+  plan_ = plan;
+  stats_shards_.clear();
+  stats_shards_.resize(shards->shard_count());
 }
 
 void Network::RegisterSwitchNode(uint32_t sw, NetNode* node) { switch_nodes_[sw] = node; }
@@ -37,7 +45,7 @@ void Network::RegisterHostNode(uint32_t host, NetNode* node) { host_nodes_[host]
 void Network::SendFromSwitch(uint32_t sw, PortNum port, Packet pkt) {
   LinkIndex li = topo_->LinkAtPort(sw, port);
   if (li == kInvalidLink) {
-    ++stats_.dropped_unwired;
+    ++StatsFor(NodeId::Switch(sw)).dropped_unwired;
     return;
   }
   Transmit(li, NodeId::Switch(sw), std::move(pkt));
@@ -45,71 +53,119 @@ void Network::SendFromSwitch(uint32_t sw, PortNum port, Packet pkt) {
 
 void Network::SendFromHost(uint32_t host, Packet pkt) {
   if (host >= topo_->host_count()) {
-    ++stats_.dropped_unwired;
+    ++stats_shards_[0].stats.dropped_unwired;
     return;
   }
   LinkIndex li = topo_->host_at(host).link;
   if (li == kInvalidLink) {
-    ++stats_.dropped_unwired;
+    ++StatsFor(NodeId::Host(host)).dropped_unwired;
     return;
   }
   if (pkt.sent_time == 0) {
-    pkt.sent_time = sim_->Now();
+    pkt.sent_time = SimFor(NodeId::Host(host)).Now();
   }
   Transmit(li, NodeId::Host(host), std::move(pkt));
 }
 
 void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
+  Simulator& sim = SimFor(from);
   const Link& link = topo_->link_at(li);
   if (!link.up) {
-    ++stats_.dropped_link_down;
+    ++StatsFor(from).dropped_link_down;
     DN_COUNTER_INC("net.dropped_link_down");
-    DN_TRACE_EVENT(kNetwork, kDrop, sim_->Now(), li, 0);
+    DN_TRACE_EVENT(kNetwork, kDrop, sim.Now(), li, 0);
     return;
   }
   const bool from_a = (link.a.node == from);
   DN_FP_COMMUTES(kLinkQueue, DirCell(li, from_a), kFpLinkFifo);
   DirState& dir = dirs_[li][from_a ? 0 : 1];
 
+  const TimeNs now = sim.Now();
+  DrainDir(dir, now, sim);
+
   const int64_t size = pkt.WireSize();
   if (dir.queued_bytes + size > config_.queue_capacity_bytes) {
-    ++stats_.dropped_queue_full;
+    ++StatsFor(from).dropped_queue_full;
     DN_COUNTER_INC("net.dropped_queue_full");
-    DN_TRACE_EVENT(kNetwork, kDrop, sim_->Now(), li, static_cast<uint64_t>(size));
+    DN_TRACE_EVENT(kNetwork, kDrop, now, li, static_cast<uint64_t>(size));
     return;
   }
 
-  const TimeNs now = sim_->Now();
   const TimeNs start = std::max(now, dir.next_free);
   const TimeNs tx_done = start + TransmitTimeNs(size, link.bandwidth_gbps);
   const TimeNs arrival = tx_done + link.propagation_ns;
   dir.next_free = tx_done;
   dir.queued_bytes += size;
 
-  // Queue occupancy drains when serialization finishes.
-  sim_->ScheduleAt(tx_done, [this, li, from_a, size] {
-    DN_FP_SCOPE("net.queue_drain", li);
-    DN_FP_COMMUTES(kLinkQueue, DirCell(li, from_a), kFpLinkFifo);
-    dirs_[li][from_a ? 0 : 1].queued_bytes -= size;
-  });
+  // Queue occupancy drains when serialization finishes. The drain is lazy
+  // (see DirState in network.h); AllocSeq burns the seq the drain event used
+  // to take here, so all later events keep their exact tie-break order.
+  dir.pending.push_back({tx_done, sim.AllocSeq(), static_cast<int32_t>(size)});
 
   const Endpoint to = from_a ? link.b : link.a;
-  sim_->ScheduleAt(arrival, [this, to, pkt = std::move(pkt)] {
+  EventFn deliver = [this, to, pkt = std::move(pkt)]() mutable {
     DN_FP_SCOPE("net.deliver", to.node.index);
-    Deliver(to, pkt);
-  });
+    Deliver(to, std::move(pkt));
+  };
+  if (shards_ != nullptr) {
+    const uint32_t src_shard = plan_->ShardOf(from);
+    const uint32_t dst_shard = plan_->ShardOf(to.node);
+    // Cross-shard arrival >= now + propagation >= window start + lookahead: the
+    // link crosses the cut, so its propagation is >= the plan's minimum.
+    shards_->Post(src_shard, dst_shard, arrival, std::move(deliver));
+  } else {
+    sim.ScheduleAt(arrival, std::move(deliver));
+  }
 }
 
-void Network::Deliver(const Endpoint& to, const Packet& pkt) {
+void Network::Deliver(const Endpoint& to, Packet&& pkt) {
   NetNode* node = to.node.is_switch() ? switch_nodes_[to.node.index]
                                       : host_nodes_[to.node.index];
+  NetworkStats& stats = StatsFor(to.node);
   if (node == nullptr) {
-    ++stats_.dropped_unwired;
+    ++stats.dropped_unwired;
     return;
   }
-  ++stats_.delivered;
-  stats_.bytes_delivered += static_cast<uint64_t>(pkt.WireSize());
-  node->HandlePacket(pkt, to.port);
+  ++stats.delivered;
+  stats.bytes_delivered += static_cast<uint64_t>(pkt.WireSize());
+  node->HandlePacket(std::move(pkt), to.port);
+}
+
+void Network::DrainDir(DirState& dir, TimeNs now, const Simulator& sim) {
+  uint32_t h = dir.head;
+  const uint32_t n = static_cast<uint32_t>(dir.pending.size());
+  if (h == n) {
+    return;
+  }
+  const uint64_t cur = sim.CurrentSeq();
+  while (h < n && PendingDone(dir.pending[h], now, cur)) {
+    dir.queued_bytes -= dir.pending[h].size;
+    ++h;
+  }
+  if (h == n) {
+    dir.pending.clear();
+    dir.head = 0;
+  } else {
+    // Bound memory on long-lived busy directions: compact once the retired
+    // prefix dominates. Pending depth is the in-flight burst, so this is rare.
+    if (h >= 64 && h * 2 >= n) {
+      dir.pending.erase(dir.pending.begin(), dir.pending.begin() + h);
+      h = 0;
+    }
+    dir.head = h;
+  }
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const PaddedStats& s : stats_shards_) {
+    total.delivered += s.stats.delivered;
+    total.dropped_link_down += s.stats.dropped_link_down;
+    total.dropped_queue_full += s.stats.dropped_queue_full;
+    total.dropped_unwired += s.stats.dropped_unwired;
+    total.bytes_delivered += s.stats.bytes_delivered;
+  }
+  return total;
 }
 
 int64_t Network::QueueBacklog(LinkIndex li, const NodeId& from) const {
@@ -117,21 +173,56 @@ int64_t Network::QueueBacklog(LinkIndex li, const NodeId& from) const {
     return 0;
   }
   const Link& link = topo_->link_at(li);
-  return dirs_[li][link.a.node == from ? 0 : 1].queued_bytes;
+  const DirState& dir = dirs_[li][link.a.node == from ? 0 : 1];
+  if (dir.head == dir.pending.size()) {
+    return dir.queued_bytes;
+  }
+  // Read-only view: subtract the pending entries whose virtual drain event
+  // precedes the one executing now (the direction owner's shard clock — the
+  // same clock the scheduled drains used to run on).
+  const Simulator& sim = SimFor(from);
+  const TimeNs now = sim.Now();
+  const uint64_t cur = sim.CurrentSeq();
+  int64_t backlog = dir.queued_bytes;
+  for (size_t i = dir.head; i < dir.pending.size(); ++i) {
+    if (!PendingDone(dir.pending[i], now, cur)) {
+      break;
+    }
+    backlog -= dir.pending[i].size;
+  }
+  return backlog;
 }
 
 void Network::OnLinkStateChange(LinkIndex li, bool up) {
   const Link link = topo_->link_at(li);
-  sim_->ScheduleAfter(config_.link_detect_delay, [this, link, up] {
-    DN_FP_SCOPE("net.link_detect", link.a.node.index);
-    for (const Endpoint& e : {link.a, link.b}) {
+  // One detect event per endpoint, each on the endpoint's own shard: the two
+  // sides of a cross-shard link must not be notified from one shard's event.
+  for (const Endpoint& e : {link.a, link.b}) {
+    Simulator& sim = SimFor(e.node);
+    EventFn detect = [this, e, up] {
+      DN_FP_SCOPE("net.link_detect", e.node.index);
       NetNode* node = e.node.is_switch() ? switch_nodes_[e.node.index]
                                          : host_nodes_[e.node.index];
       if (node != nullptr) {
         node->HandlePortChange(e.port, up);
       }
+    };
+    if (shards_ != nullptr) {
+      const int cur = ShardSet::CurrentShard();
+      const uint32_t dst = plan_->ShardOf(e.node);
+      // A flap raised inside a window (e.g. a scripted failure event) uses the
+      // raising shard's clock; the detect delay (default 1 ms) dwarfs any
+      // lookahead, so the conservative bound holds. Flaps raised between runs
+      // (the common test pattern) file directly.
+      const TimeNs at =
+          (cur >= 0 ? shards_->shard(static_cast<uint32_t>(cur)).Now() : sim.Now()) +
+          config_.link_detect_delay;
+      shards_->Post(cur >= 0 ? static_cast<uint32_t>(cur) : dst, dst, at,
+                    std::move(detect));
+    } else {
+      sim.ScheduleAfter(config_.link_detect_delay, std::move(detect));
     }
-  });
+  }
 }
 
 }  // namespace dumbnet

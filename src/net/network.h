@@ -1,6 +1,14 @@
 // The simulated fabric: delivers packets across links with serialization,
 // propagation and bounded FIFO queueing, and tells attached nodes when their port
 // state changes (the "physical signal" DumbNet switches monitor).
+//
+// Sharded mode (AttachShards): every node belongs to one shard of a ShardSet and
+// all of its events run on that shard's simulator. The per-direction egress
+// queue state is owned by the sending side, so transmit bookkeeping is always
+// shard-local; only the delivery event can cross a shard boundary, and then it
+// travels through the ShardSet's SPSC channel with an arrival time at least one
+// propagation delay in the future — which is exactly the conservative-lookahead
+// bound the window barrier relies on (DESIGN.md §12).
 #ifndef DUMBNET_SRC_NET_NETWORK_H_
 #define DUMBNET_SRC_NET_NETWORK_H_
 
@@ -9,6 +17,8 @@
 #include <vector>
 
 #include "src/net/packet.h"
+#include "src/net/shard_plan.h"
+#include "src/sim/shard_set.h"
 #include "src/sim/simulator.h"
 #include "src/topo/topology.h"
 
@@ -21,6 +31,12 @@ class NetNode {
 
   // A packet arrived on `in_port` (hosts always see port 1).
   virtual void HandlePacket(const Packet& pkt, PortNum in_port) = 0;
+
+  // Rvalue delivery: the fabric hands over ownership of the packet. Nodes on
+  // the forwarding fast path (DumbSwitch) override this to move the packet
+  // through instead of copying it; everything else falls back to the const
+  // overload above.
+  virtual void HandlePacket(Packet&& pkt, PortNum in_port) { HandlePacket(pkt, in_port); }
 
   // Physical port state changed (link failure/recovery), after detection delay.
   virtual void HandlePortChange(PortNum port, bool up) {
@@ -51,6 +67,11 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // Switches this network to sharded mode. Must be called before any node is
+  // constructed (nodes cache their shard's simulator at construction) and
+  // before any traffic. `shards` and `plan` must outlive the network.
+  void AttachShards(ShardSet* shards, const ShardPlan* plan);
+
   void RegisterSwitchNode(uint32_t sw, NetNode* node);
   void RegisterHostNode(uint32_t host, NetNode* node);
 
@@ -61,9 +82,20 @@ class Network {
   // Emits a packet from a host's single NIC.
   void SendFromHost(uint32_t host, Packet pkt);
 
+  // The simulator `node`'s events run on: its shard's in sharded mode, the one
+  // and only simulator otherwise. Node constructors cache this.
+  Simulator& SimFor(const NodeId& node) {
+    return shards_ != nullptr ? shards_->shard(plan_->ShardOf(node)) : *sim_;
+  }
+  const Simulator& SimFor(const NodeId& node) const {
+    return shards_ != nullptr ? shards_->shard(plan_->ShardOf(node)) : *sim_;
+  }
+
   Simulator& sim() { return *sim_; }
   Topology& topo() { return *topo_; }
-  const NetworkStats& stats() const { return stats_; }
+  // Aggregated over shards (counters are kept per shard so workers never share
+  // a cache line, and summed here).
+  NetworkStats stats() const;
 
   // Bytes currently queued for transmission on the (link, direction-from-`from`)
   // egress — the physical signal ECN marking reads (no state added to switches).
@@ -71,22 +103,57 @@ class Network {
 
  private:
   void Transmit(LinkIndex li, const NodeId& from, Packet pkt);
-  void Deliver(const Endpoint& to, const Packet& pkt);
+  void Deliver(const Endpoint& to, Packet&& pkt);
   void OnLinkStateChange(LinkIndex li, bool up);
+  // Stats bucket for events executing on `node`'s shard.
+  NetworkStats& StatsFor(const NodeId& node) {
+    return shards_ != nullptr ? stats_shards_[plan_->ShardOf(node)].stats
+                              : stats_shards_[0].stats;
+  }
 
-  // Egress queue occupancy per link direction (0: a->b, 1: b->a).
+  // Egress queue occupancy per link direction (0: a->b, 1: b->a). Owned by the
+  // sending side's shard; the two directions of one link may belong to
+  // different shards but are distinct objects.
+  //
+  // Occupancy is drained *lazily*: instead of scheduling one event per packet
+  // to subtract its bytes at serialization end (which was ~27% of all events
+  // in a large bring-up), each transmit appends a PendingTx and burns the seq
+  // the drain event would have carried (Simulator::AllocSeq). The next touch
+  // of the direction — a transmit or a QueueBacklog read — retires every
+  // entry the scheduled event would already have run for: strictly earlier
+  // `done`, or same `done` with seq below the executing event's
+  // (Simulator::CurrentSeq). Observable occupancy is bit-identical to the
+  // scheduling implementation, including same-nanosecond ties.
+  struct PendingTx {
+    TimeNs done = 0;    // serialization finish = the virtual drain event's time
+    uint64_t seq = 0;   // the seq that drain event would have carried
+    int32_t size = 0;
+  };
   struct DirState {
     TimeNs next_free = 0;
     int64_t queued_bytes = 0;
+    std::vector<PendingTx> pending;  // FIFO: `done` and `seq` both ascend
+    uint32_t head = 0;               // first unretired entry
+  };
+  static bool PendingDone(const PendingTx& p, TimeNs now, uint64_t cur_seq) {
+    return p.done < now || (p.done == now && p.seq < cur_seq);
+  }
+  // Retires every pending entry whose virtual drain event precedes the one
+  // executing on `sim` right now.
+  static void DrainDir(DirState& dir, TimeNs now, const Simulator& sim);
+  struct alignas(64) PaddedStats {
+    NetworkStats stats;
   };
 
   Simulator* sim_;
   Topology* topo_;
   NetworkConfig config_;
+  ShardSet* shards_ = nullptr;
+  const ShardPlan* plan_ = nullptr;
   std::vector<std::array<DirState, 2>> dirs_;
   std::vector<NetNode*> switch_nodes_;
   std::vector<NetNode*> host_nodes_;
-  NetworkStats stats_;
+  std::vector<PaddedStats> stats_shards_;
 };
 
 }  // namespace dumbnet

@@ -1,0 +1,90 @@
+#include "src/net/shard_plan.h"
+
+#include <algorithm>
+
+namespace dumbnet {
+
+ShardPlan ShardPlan::Build(const Topology& topo, uint32_t shards) {
+  ShardPlan plan;
+  const uint32_t switch_count = static_cast<uint32_t>(topo.switch_count());
+  plan.switch_shard.assign(switch_count, 0);
+  plan.host_shard.assign(topo.host_count(), 0);
+  plan.shard_count = std::max<uint32_t>(1, std::min(shards, std::max(switch_count, 1u)));
+  if (plan.shard_count == 1) {
+    plan.lookahead = kNoCrossLinks;
+    return plan;
+  }
+
+  // Weight each switch by 1 + attached hosts: host event load dominates, and a
+  // leaf carries its whole rack.
+  std::vector<uint64_t> weight(switch_count, 1);
+  uint64_t total = switch_count;
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    const LinkIndex li = topo.host_at(h).link;
+    if (li == kInvalidLink) {
+      continue;
+    }
+    const Link& l = topo.link_at(li);
+    const NodeId sw = l.a.node.is_switch() ? l.a.node : l.b.node;
+    if (sw.is_switch()) {
+      ++weight[sw.index];
+      ++total;
+    }
+  }
+
+  // Contiguous blocks balanced by weight: cut when the running sum reaches the
+  // even split, but never leave fewer switches than shards still to fill.
+  uint32_t shard = 0;
+  uint64_t acc = 0;
+  const uint64_t target = (total + plan.shard_count - 1) / plan.shard_count;
+  for (uint32_t s = 0; s < switch_count; ++s) {
+    plan.switch_shard[s] = shard;
+    acc += weight[s];
+    const uint32_t remaining_switches = switch_count - s - 1;
+    const uint32_t remaining_shards = plan.shard_count - shard - 1;
+    if (shard + 1 < plan.shard_count &&
+        (acc >= target || remaining_switches == remaining_shards)) {
+      ++shard;
+      acc = 0;
+    }
+  }
+
+  // Hosts ride with their uplink switch; a detached host defaults to shard 0.
+  for (uint32_t h = 0; h < topo.host_count(); ++h) {
+    const LinkIndex li = topo.host_at(h).link;
+    if (li == kInvalidLink) {
+      continue;
+    }
+    const Link& l = topo.link_at(li);
+    const NodeId sw = l.a.node.is_switch() ? l.a.node : l.b.node;
+    if (sw.is_switch()) {
+      plan.host_shard[h] = plan.switch_shard[sw.index];
+    }
+  }
+
+  // Cross-shard link classification: the minimum propagation delay over the cut
+  // is the conservative lookahead (a cross-shard delivery can never land less
+  // than one propagation delay after its send). Detached tombstones are skipped;
+  // *down* links still count — they can come back up mid-run.
+  plan.lookahead = kNoCrossLinks;
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    const Link& l = topo.link_at(li);
+    if (l.detached) {
+      continue;
+    }
+    const uint32_t sa = l.a.node.is_switch() ? plan.switch_shard[l.a.node.index]
+                                             : plan.host_shard[l.a.node.index];
+    const uint32_t sb = l.b.node.is_switch() ? plan.switch_shard[l.b.node.index]
+                                             : plan.host_shard[l.b.node.index];
+    if (sa != sb) {
+      ++plan.cross_shard_links;
+      plan.lookahead = std::min(plan.lookahead, l.propagation_ns);
+    }
+  }
+  if (plan.lookahead < 1) {
+    plan.lookahead = 1;  // zero-delay cross links degenerate to per-tick windows
+  }
+  return plan;
+}
+
+}  // namespace dumbnet

@@ -1,0 +1,47 @@
+// Shard assignment: partitions a topology's switches and hosts into N shards
+// for the sharded simulator (src/sim/shard_set.h) and derives the conservative
+// lookahead from the links that cross the partition.
+//
+// The partition is host-weighted contiguous switch-index blocks. The topology
+// generators (src/topo/generators.h) lay out pods, leaf groups and cube rows
+// contiguously, so contiguous index ranges track the fabric's natural locality:
+// a leaf and its hosts land together and most traffic (host <-> own leaf,
+// intra-pod) stays shard-local, while spine/core links — few, and all with
+// propagation delay — carry the cross-shard traffic that bounds the lookahead.
+// Hosts inherit the shard of the switch they attach to, so a packet's
+// host-uplink hop never crosses a shard boundary.
+#ifndef DUMBNET_SRC_NET_SHARD_PLAN_H_
+#define DUMBNET_SRC_NET_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/topo/topology.h"
+
+namespace dumbnet {
+
+struct ShardPlan {
+  // Partitions `topo` into (at most) `shards` shards. A shard count above the
+  // switch count is clamped; the result's `shard_count` is authoritative.
+  static ShardPlan Build(const Topology& topo, uint32_t shards);
+
+  uint32_t ShardOf(const NodeId& node) const {
+    return node.is_switch() ? switch_shard[node.index] : host_shard[node.index];
+  }
+
+  uint32_t shard_count = 1;
+  std::vector<uint32_t> switch_shard;  // by switch index
+  std::vector<uint32_t> host_shard;    // by host index
+  // Minimum propagation delay over links whose endpoints live in different
+  // shards — the conservative window width. kNoCrossLinks when nothing crosses
+  // (then the shards are fully independent and any window width is safe).
+  TimeNs lookahead = kNoCrossLinks;
+  uint32_t cross_shard_links = 0;
+
+  static constexpr TimeNs kNoCrossLinks = INT64_MAX;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_NET_SHARD_PLAN_H_

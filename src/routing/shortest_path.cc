@@ -125,54 +125,84 @@ struct DijkstraItem {
   }
 };
 
-// Allocating Dijkstra core with optional banned vertices/edges (for Yen's spur
-// search). The scratch-based variants above serve the hot paths; this one keeps
-// the ban-set flexibility Yen needs.
-Result<SwitchPath> DijkstraInternal(const SwitchGraph& graph, uint32_t src, uint32_t dst,
-                                    Rng* rng, const std::vector<bool>* banned_vertex,
-                                    const std::set<std::pair<uint32_t, uint32_t>>* banned_edge) {
+// Reusable state for Yen's spur searches. One KShortestPaths call runs
+// O(k * path-length) spur Dijkstras over the same graph; allocating the cost /
+// parent / ban arrays once and undoing only the touched entries between
+// searches keeps each spur at O(edges relaxed) instead of O(V) setup. The
+// banned-edge set is at most k-1 entries per spur, so a linear-scanned vector
+// beats a node-based set on every fabric we simulate.
+struct SpurScratch {
+  std::vector<double> cost;
+  std::vector<uint32_t> parent;
+  std::vector<char> banned_vertex;
+  std::vector<std::pair<uint32_t, uint32_t>> banned_edges;
+  std::vector<uint32_t> touched;
+
+  void Init(size_t n) {
+    cost.assign(n, kInfCost);
+    parent.assign(n, kNoVertex);
+    banned_vertex.assign(n, 0);
+    banned_edges.clear();
+    touched.clear();
+  }
+
+  void ResetTouched() {
+    for (uint32_t v : touched) {
+      cost[v] = kInfCost;
+      parent[v] = kNoVertex;
+    }
+    touched.clear();
+  }
+};
+
+// Spur-path Dijkstra for Yen's algorithm: same relaxation order and lazy
+// deletion as the classic allocating variant (deterministic — no randomized
+// tie-break on spur paths), with bans and arrays living in SpurScratch.
+// Callers must ResetTouched() between searches.
+Result<SwitchPath> DijkstraSpur(const SwitchGraph& graph, uint32_t src, uint32_t dst,
+                                SpurScratch& s) {
   if (src >= graph.size() || dst >= graph.size()) {
     return Error(ErrorCode::kOutOfRange, "vertex out of range");
   }
-  std::vector<double> cost(graph.size(), kInfCost);
-  std::vector<uint32_t> parent(graph.size(), kNoVertex);
   std::priority_queue<DijkstraItem, std::vector<DijkstraItem>, std::greater<DijkstraItem>> pq;
-  cost[src] = 0.0;
+  s.cost[src] = 0.0;
+  s.touched.push_back(src);
   pq.push({0.0, 0, src});
   while (!pq.empty()) {
     double c = pq.top().cost;
     uint32_t u = pq.top().vertex;
     pq.pop();
-    if (c > cost[u]) {
+    if (c > s.cost[u]) {
       continue;
     }
     if (u == dst) {
       break;
     }
     for (const AdjEdge& e : graph.Neighbors(u)) {
-      if (banned_vertex != nullptr && (*banned_vertex)[e.to]) {
+      if (s.banned_vertex[e.to] != 0) {
         continue;
       }
-      if (banned_edge != nullptr &&
-          banned_edge->count({std::min(u, e.to), std::max(u, e.to)}) > 0) {
+      const std::pair<uint32_t, uint32_t> key{std::min(u, e.to), std::max(u, e.to)};
+      if (std::find(s.banned_edges.begin(), s.banned_edges.end(), key) !=
+          s.banned_edges.end()) {
         continue;
       }
       double nc = c + e.weight;
-      bool better = nc < cost[e.to];
-      // Randomized tie-break: replace an equal-cost parent with probability 1/2.
-      bool tie = !better && nc == cost[e.to] && rng != nullptr && rng->Bernoulli(0.5);
-      if (better || tie) {
-        cost[e.to] = nc;
-        parent[e.to] = u;
-        pq.push({nc, rng != nullptr ? rng->Next64() : 0, e.to});
+      if (nc < s.cost[e.to]) {
+        if (s.cost[e.to] == kInfCost) {
+          s.touched.push_back(e.to);
+        }
+        s.cost[e.to] = nc;
+        s.parent[e.to] = u;
+        pq.push({nc, 0, e.to});
       }
     }
   }
-  if (cost[dst] == kInfCost) {
+  if (s.cost[dst] == kInfCost) {
     return Error(ErrorCode::kUnavailable, "destination unreachable");
   }
   SwitchPath path;
-  for (uint32_t v = dst; v != kNoVertex; v = parent[v]) {
+  for (uint32_t v = dst; v != kNoVertex; v = s.parent[v]) {
     path.push_back(v);
     if (v == src) {
       break;
@@ -229,8 +259,11 @@ Result<SwitchPath> ShortestPath(const SwitchGraph& graph, uint32_t src, uint32_t
     return Error(ErrorCode::kOutOfRange, "vertex out of range");
   }
   // Shares DijkstraInto with ShortestPathScaled so both draw from `rng`
-  // identically: same seed, same graph => same path, scaled or not.
-  SsspScratch scratch;
+  // identically: same seed, same graph => same path, scaled or not. The scratch
+  // is thread-local so back-to-back queries (one per route install during
+  // bring-up) reuse the arrays; Prepare() epoch-invalidates stale contents, so
+  // results never depend on what a previous query left behind.
+  static thread_local SsspScratch scratch;
   DijkstraInto(graph, src, dst, rng, scratch, nullptr);
   return ExtractPath(scratch, src, dst);
 }
@@ -330,29 +363,35 @@ Result<std::vector<SwitchPath>> KShortestPaths(const SwitchGraph& graph, uint32_
   };
   std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> candidates;
   std::set<SwitchPath> seen(result.begin(), result.end());
+  SpurScratch scratch;
+  scratch.Init(graph.size());
+  SwitchPath root;
 
   while (result.size() < k) {
     const SwitchPath& prev = result.back();
-    // Spur from every vertex of the previous path except the last.
+    root.clear();
+    // Spur from every vertex of the previous path except the last. The root
+    // prefix prev[0..i] and the banned root vertices prev[0..i-1] both grow by
+    // one element per step, so they are maintained incrementally.
     for (size_t i = 0; i + 1 < prev.size(); ++i) {
       uint32_t spur = prev[i];
-      SwitchPath root(prev.begin(), prev.begin() + static_cast<long>(i) + 1);
+      root.push_back(spur);
+      if (i > 0) {
+        scratch.banned_vertex[prev[i - 1]] = 1;
+      }
 
-      // Ban edges that would recreate an already-found path with this root, and ban
-      // root vertices (except the spur) to keep paths simple.
-      std::set<std::pair<uint32_t, uint32_t>> banned_edges;
+      // Ban edges that would recreate an already-found path with this root
+      // (root vertices are banned above to keep paths simple).
+      scratch.banned_edges.clear();
       for (const SwitchPath& p : result) {
         if (p.size() > i + 1 && std::equal(root.begin(), root.end(), p.begin())) {
-          banned_edges.insert({std::min(p[i], p[i + 1]), std::max(p[i], p[i + 1])});
+          scratch.banned_edges.push_back(
+              {std::min(p[i], p[i + 1]), std::max(p[i], p[i + 1])});
         }
       }
-      std::vector<bool> banned_vertex(graph.size(), false);
-      for (size_t j = 0; j < i; ++j) {
-        banned_vertex[prev[j]] = true;
-      }
 
-      auto spur_path = DijkstraInternal(graph, spur, dst, nullptr, &banned_vertex,
-                                        &banned_edges);
+      auto spur_path = DijkstraSpur(graph, spur, dst, scratch);
+      scratch.ResetTouched();
       if (!spur_path.ok()) {
         continue;
       }
@@ -366,6 +405,9 @@ Result<std::vector<SwitchPath>> KShortestPaths(const SwitchGraph& graph, uint32_
       if (cost.ok()) {
         candidates.push({cost.value(), std::move(total)});
       }
+    }
+    for (size_t j = 0; j + 2 < prev.size(); ++j) {
+      scratch.banned_vertex[prev[j]] = 0;
     }
     if (candidates.empty()) {
       break;

@@ -47,8 +47,11 @@ Status TopoDb::AddLink(const WireLink& link, bool revive) {
                 ((sw == a && peer.node.index == b && peer.port == link.port_b) ||
                  (sw == b && peer.node.index == a && peer.port == link.port_a));
     if (same) {
-      if (revive) {
-        // Already known; make sure it is marked up again.
+      if (revive && !l.up) {
+        // Already known; make sure it is marked up again. No-op revives of an
+        // already-up link must not bump the version: during bring-up, gossip
+        // and patches re-add live links constantly, and every spurious bump
+        // invalidates the routing-graph caches keyed on it.
         mirror_.SetLinkUp(existing, true);
         ++version_;
       }
@@ -67,15 +70,17 @@ Status TopoDb::AddLink(const WireLink& link, bool revive) {
 
 void TopoDb::SetLinkState(uint64_t uid, PortNum port, bool up) {
   auto li = FindLinkAt(uid, port);
-  if (li.ok()) {
+  if (li.ok() && mirror_.link_at(li.value()).up != up) {
     mirror_.SetLinkUp(li.value(), up);
     ++version_;
   }
 }
 
 void TopoDb::UpsertHost(const HostLocation& loc) {
+  // Host moves do not touch the mirror, so they leave version() alone: every
+  // cache keyed on it derives from the switch graph only, and host locations
+  // are looked up fresh on each use.
   hosts_[loc.mac] = loc;
-  ++version_;
 }
 
 Status TopoDb::MergePathGraph(const WirePathGraph& graph) {

@@ -66,10 +66,12 @@ class TopoDb {
   // mirror correspond to UidOf()/IndexOf().
   const Topology& mirror() const { return mirror_; }
 
-  // Monotonic mutation counter: bumped by every state-changing operation
-  // (EnsureSwitch, AddLink, SetLinkState, UpsertHost, MergePathGraph). Caches
-  // derived from the mirror (adjacency snapshots, SSSP trees) key on it. Note it
-  // is per-instance: replacing a TopoDb wholesale resets the numbering, so caches
+  // Monotonic *mirror* mutation counter: bumped exactly when the switch graph
+  // changes (new switch, link added/detached, link state flipped). Host upserts
+  // and no-op link re-adds/re-revives leave it alone, so caches derived from
+  // the mirror (adjacency snapshots, SSSP trees, wire path graphs) stay valid
+  // through the host-directory churn of a large bring-up. Note it is
+  // per-instance: replacing a TopoDb wholesale resets the numbering, so caches
   // must also be dropped when the object itself changes.
   uint64_t version() const { return version_; }
 

@@ -34,6 +34,8 @@ const char* FpSpaceName(FpSpace space) {
       return "flow";
     case FpSpace::kScenario:
       return "scenario";
+    case FpSpace::kShardChannel:
+      return "shard-channel";
   }
   return "?";
 }
@@ -52,15 +54,15 @@ const char* FpAccessName(FpAccess access) {
 
 #ifdef DUMBNET_FOOTPRINTS_ENABLED
 namespace internal {
-bool g_enabled = false;
-bool g_collecting = false;
+std::atomic<bool> g_enabled{false};
+thread_local bool g_collecting = false;
 }  // namespace internal
 
-void SetEnabled(bool on) { internal::g_enabled = on; }
+void SetEnabled(bool on) { internal::g_enabled.store(on, std::memory_order_relaxed); }
 #endif
 
 Collector& Collector::Global() {
-  static Collector collector;
+  thread_local Collector collector;
   return collector;
 }
 

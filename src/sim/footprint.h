@@ -29,13 +29,19 @@
 //     runs pay them). The simulator only collects within same-timestamp batches
 //     of two or more events; singleton batches cannot race and cost nothing.
 //
-// Everything here is single-threaded by design: footprints are recorded by event
-// handlers on the simulator thread between Collector::BeginEvent/TakeEvent. Do
-// not place DN_FP_* macros in code reachable from ThreadPool workers (e.g. the
-// batched path-graph builders).
+// Threading: collection state is thread-local, so each shard worker of a sharded
+// run (src/sim/shard_set.h) records the footprints of its own shard's events
+// independently and hazard detection stays correct per shard — a cross-shard
+// send is not a same-batch hazard, it is a channel write ordered by the window
+// barrier. The runtime enable bit is an atomic read by every thread. DN_FP_*
+// macros must still not appear in code reachable from ThreadPool workers (e.g.
+// the batched path-graph builders): a pool worker has no simulator batch open,
+// so its records would silently vanish instead of being conflict-checked
+// (dumbnet-lint's fp-in-pool rule flags this).
 #ifndef DUMBNET_SRC_SIM_FOOTPRINT_H_
 #define DUMBNET_SRC_SIM_FOOTPRINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -60,6 +66,7 @@ enum class FpSpace : uint8_t {
   kDiscovery,     // prober state: inflight probes, port bindings
   kFlow,          // one transport flow's sender/receiver state
   kScenario,      // test/CLI-injected shared state (explorer regression fixtures)
+  kShardChannel,  // cross-shard SPSC channel append, per ordered shard pair
 };
 
 const char* FpSpaceName(FpSpace space);
@@ -129,13 +136,16 @@ struct BatchHazard {
 #ifdef DUMBNET_FOOTPRINTS_ENABLED
 inline constexpr bool kCompiledIn = true;
 namespace internal {
-// Plain bools: footprints are recorded on the simulator thread only.
-extern bool g_enabled;     // runtime opt-in (default off)
-extern bool g_collecting;  // a tracked event is currently executing
+// The opt-in bit is process-wide and read from every shard worker, so it is
+// atomic (relaxed: flipping it mid-run only blurs which events get tracked,
+// never corrupts state). Whether a tracked event is *currently* executing is a
+// property of one shard's run loop, hence thread-local.
+extern std::atomic<bool> g_enabled;      // runtime opt-in (default off)
+extern thread_local bool g_collecting;   // a tracked event is executing here
 }  // namespace internal
-inline bool Enabled() { return internal::g_enabled; }
+inline bool Enabled() { return internal::g_enabled.load(std::memory_order_relaxed); }
 void SetEnabled(bool on);
-inline bool Active() { return internal::g_enabled && internal::g_collecting; }
+inline bool Active() { return Enabled() && internal::g_collecting; }
 #else
 inline constexpr bool kCompiledIn = false;
 constexpr bool Enabled() { return false; }
@@ -146,7 +156,8 @@ constexpr bool Active() { return false; }
 // Accumulates the running event's footprint. The Simulator brackets each event
 // of a tracked batch with BeginEvent/TakeEvent; the DN_FP_* macros feed Record.
 // The API exists in every build (the explorer links against it); only the macro
-// call sites and the Active() fast path are compile-gated.
+// call sites and the Active() fast path are compile-gated. Global() is a
+// thread-local instance, so each shard worker collects its own shard's batches.
 class Collector {
  public:
   static Collector& Global();

@@ -1,0 +1,310 @@
+#include "src/sim/shard_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/sim/footprint.h"
+#include "src/util/logging.h"
+
+namespace dumbnet {
+
+namespace {
+// Which shard's window the calling thread is executing, and that window's
+// deadline (the last timestamp the window may run). Set around RunUntil both by
+// worker threads and by the sequential executor, so Post can route same-shard
+// schedules directly and assert the conservative bound on cross-shard ones.
+thread_local int tl_shard = -1;
+thread_local TimeNs tl_window_deadline = 0;
+
+constexpr const char kFpShardChannel[] =
+    "SPSC cross-shard channel append; drained in fixed order at the barrier";
+
+// DN_LOG time for sharded runs: a worker inside a window reads its own shard's
+// clock (thread-local routing, no cross-thread read); anything else reads shard
+// 0, which only the coordinator advances between windows.
+int64_t ShardSetLogClock(const void* ctx) {
+  const auto* set = static_cast<const ShardSet*>(ctx);
+  const int cur = ShardSet::CurrentShard();
+  return set->shard(cur >= 0 ? static_cast<uint32_t>(cur) : 0).Now();
+}
+}  // namespace
+
+ShardSet::ShardSet(ShardSetConfig config) : config_(config) {
+  if (config_.shards == 0) {
+    config_.shards = 1;
+  }
+  if (config_.shards > 1 && config_.lookahead < 1) {
+    // A zero-width window cannot make progress; clamp to the smallest legal
+    // lookahead (single-timestamp windows) rather than dying.
+    DN_WARN << "ShardSet: lookahead " << config_.lookahead
+            << " invalid for " << config_.shards << " shards; clamping to 1";
+    config_.lookahead = 1;
+  }
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  const uint32_t n = config_.shards;
+  if (n > 1) {
+    channels_.resize(static_cast<size_t>(n) * n);
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      for (uint32_t src = 0; src < n; ++src) {
+        if (src != dst) {
+          channels_[static_cast<size_t>(dst) * n + src] =
+              std::make_unique<SpscChannel<Posted>>(config_.channel_capacity);
+        }
+      }
+    }
+    uint32_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+      hw = 1;
+    }
+    threads_active_ = config_.threads != 0 ? config_.threads : std::min(n, hw);
+    threads_active_ = std::min(threads_active_, n);
+    if (threads_active_ > 1) {
+      // One persistent worker per shard; threads beyond the shard count would
+      // idle, threads below it would need work stealing for no determinism
+      // benefit, so the pool is exactly one thread per shard.
+      threads_active_ = n;
+      workers_.reserve(n);
+      for (uint32_t s = 0; s < n; ++s) {
+        workers_.emplace_back([this, s] { WorkerLoop(s); });
+      }
+    }
+    // Shard 0's constructor grabbed the first-wins log clock; replace it with
+    // the shard-aware one so worker-thread DN_LOG lines read their own clock.
+    SetLogClock(&ShardSetLogClock, this);
+  }
+}
+
+ShardSet::~ShardSet() {
+  StopWorkers();
+  if (LogClockCtx() == this) {
+    SetLogClock(nullptr, nullptr);
+  }
+}
+
+void ShardSet::StopWorkers() {
+  if (workers_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+}
+
+int ShardSet::CurrentShard() { return tl_shard; }
+
+void ShardSet::Post(uint32_t src, uint32_t dst, TimeNs at, EventFn fn) {
+  if (src == dst || tl_shard < 0) {
+    // Same shard, or no window executing on this thread (coordinator context):
+    // file directly. The caller owns the ordering argument in the second case —
+    // Posts from outside a window are only legal while no window runs.
+    assert(tl_shard >= 0 || !in_window_.load(std::memory_order_relaxed));
+    sims_[dst]->ScheduleAt(at, std::move(fn));
+    return;
+  }
+  assert(static_cast<uint32_t>(tl_shard) == src &&
+         "cross-shard Post must come from the producing shard's window");
+  assert(at > tl_window_deadline &&
+         "conservative lookahead violated: cross-shard delivery inside the window");
+  // The channel append commutes with every other append to the same channel:
+  // FIFO order within the channel is preserved and the barrier drain order is
+  // fixed, so the final schedule is independent of append timing.
+  DN_FP_COMMUTES(kShardChannel, footprint::FpKey(src, dst), kFpShardChannel);
+  channels_[static_cast<size_t>(dst) * config_.shards + src]->Push(
+      Posted{at, std::move(fn)});
+}
+
+bool ShardSet::PeekGlobalNext(TimeNs* next) {
+  bool any = false;
+  TimeNs best = std::numeric_limits<TimeNs>::max();
+  for (auto& sim : sims_) {
+    TimeNs t = 0;
+    if (sim->PeekNextTime(&t)) {
+      any = true;
+      best = std::min(best, t);
+    }
+  }
+  if (any) {
+    *next = best;
+  }
+  return any;
+}
+
+void ShardSet::WorkerLoop(uint32_t shard_index) {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    TimeNs deadline = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || work_gen_ != seen_gen; });
+      if (stop_) {
+        return;
+      }
+      seen_gen = work_gen_;
+      deadline = window_deadline_;
+    }
+    tl_shard = static_cast<int>(shard_index);
+    tl_window_deadline = deadline;
+    sims_[shard_index]->RunUntil(deadline);
+    tl_shard = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardSet::ExecuteWindow(TimeNs deadline) {
+  in_window_.store(true, std::memory_order_relaxed);
+  if (threads_active_ > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_deadline_ = deadline;
+      pending_ = shard_count();
+      ++work_gen_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  } else {
+    // Sequential mode: same window, same channels, shard order 0..N-1. Shards
+    // only interact through the barrier drain, so this produces bit-identical
+    // results to the threaded mode — it is the reference semantics.
+    for (uint32_t s = 0; s < shard_count(); ++s) {
+      tl_shard = static_cast<int>(s);
+      tl_window_deadline = deadline;
+      sims_[s]->RunUntil(deadline);
+      tl_shard = -1;
+    }
+  }
+  in_window_.store(false, std::memory_order_relaxed);
+  ++stats_.windows;
+  DrainChannels();
+  MaybeRunBarrierHook();
+}
+
+void ShardSet::DrainChannels() {
+  const uint32_t n = shard_count();
+  for (uint32_t dst = 0; dst < n; ++dst) {
+    for (uint32_t src = 0; src < n; ++src) {
+      if (src == dst) {
+        continue;
+      }
+      SpscChannel<Posted>& ch = *channels_[static_cast<size_t>(dst) * n + src];
+      drain_scratch_.clear();
+      ch.DrainTo(drain_scratch_);
+      stats_.cross_posts += drain_scratch_.size();
+      for (Posted& p : drain_scratch_) {
+        sims_[dst]->ScheduleAt(p.at, std::move(p.fn));
+      }
+    }
+  }
+  drain_scratch_.clear();
+}
+
+void ShardSet::MaybeRunBarrierHook() {
+  if (!barrier_hook_) {
+    return;
+  }
+  const uint64_t executed = executed_events();
+  if (executed - barrier_last_executed_ >= barrier_every_events_) {
+    barrier_last_executed_ = executed;
+    barrier_hook_();
+  }
+}
+
+uint64_t ShardSet::Run() {
+  if (shard_count() == 1) {
+    return sims_[0]->Run();
+  }
+  uint64_t ran_before = executed_events();
+  TimeNs next = 0;
+  while (PeekGlobalNext(&next)) {
+    // Window [next, next + L): RunUntil is inclusive, so the deadline is the
+    // last representable instant strictly inside the window.
+    const TimeNs max_t = std::numeric_limits<TimeNs>::max();
+    const TimeNs deadline =
+        config_.lookahead - 1 > max_t - next ? max_t : next + config_.lookahead - 1;
+    ExecuteWindow(deadline);
+  }
+  return executed_events() - ran_before;
+}
+
+uint64_t ShardSet::RunSteps(uint64_t steps) {
+  if (shard_count() == 1) {
+    return sims_[0]->RunSteps(steps);
+  }
+  const uint64_t ran_before = executed_events();
+  TimeNs next = 0;
+  while (executed_events() - ran_before < steps && PeekGlobalNext(&next)) {
+    const TimeNs max_t = std::numeric_limits<TimeNs>::max();
+    const TimeNs deadline =
+        config_.lookahead - 1 > max_t - next ? max_t : next + config_.lookahead - 1;
+    ExecuteWindow(deadline);
+  }
+  return executed_events() - ran_before;
+}
+
+uint64_t ShardSet::RunUntil(TimeNs deadline) {
+  if (shard_count() == 1) {
+    return sims_[0]->RunUntil(deadline);
+  }
+  uint64_t ran_before = executed_events();
+  TimeNs next = 0;
+  while (PeekGlobalNext(&next) && next <= deadline) {
+    const TimeNs max_t = std::numeric_limits<TimeNs>::max();
+    TimeNs wdeadline =
+        config_.lookahead - 1 > max_t - next ? max_t : next + config_.lookahead - 1;
+    wdeadline = std::min(wdeadline, deadline);
+    ExecuteWindow(wdeadline);
+  }
+  // Parity with Simulator::RunUntil: every clock ends at exactly `deadline`
+  // (there is nothing left to run at or before it, so this only moves clocks).
+  for (auto& sim : sims_) {
+    sim->RunUntil(deadline);
+  }
+  return executed_events() - ran_before;
+}
+
+bool ShardSet::Empty() const {
+  for (const auto& sim : sims_) {
+    if (!sim->Empty()) {
+      return false;
+    }
+  }
+  for (const auto& ch : channels_) {
+    if (ch != nullptr && !ch->EmptyUnsynchronized()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t ShardSet::executed_events() const {
+  uint64_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->executed_events();
+  }
+  return total;
+}
+
+void ShardSet::SetBarrierHook(std::function<void()> hook, uint64_t every_events) {
+  if (shard_count() == 1) {
+    sims_[0]->SetAuditHook(std::move(hook), every_events);
+    return;
+  }
+  barrier_hook_ = std::move(hook);
+  barrier_every_events_ = every_events == 0 ? 1 : every_events;
+  barrier_last_executed_ = executed_events();
+}
+
+}  // namespace dumbnet

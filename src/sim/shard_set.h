@@ -1,0 +1,165 @@
+// Sharded discrete-event simulation with conservative lookahead.
+//
+// A ShardSet owns N independent Simulators (each with its own timer wheel and
+// event pool) and advances them in lockstep *windows* of virtual time. Window k
+// covers [W, W + L) where W is the minimum next-event time across shards and L
+// is the lookahead: the minimum propagation delay of any cross-shard link
+// (src/net/shard_plan.h derives it). The conservative-window argument: any event
+// executing at t in [W, W+L) that sends across a shard boundary produces a
+// delivery no earlier than t + link propagation >= W + L, i.e. strictly after
+// the window. So shards never need each other's events *inside* a window and can
+// run it in parallel with no rollback.
+//
+// Cross-shard sends go through bounded SPSC channels (src/sim/spsc.h), one per
+// ordered shard pair, written during the window by the producing shard's worker
+// and drained at the barrier by the coordinator while all workers are parked.
+// Drain order is fixed — destination-major, then source shard ascending, then
+// channel FIFO — so scheduling sequence numbers, and therefore same-timestamp
+// tie-breaks, are assigned identically on every run: an N-shard run is
+// bit-identical across repeats for fixed N, threaded or not.
+//
+// Execution modes: with `threads > 1` each shard gets a persistent worker
+// thread and windows run concurrently; with `threads == 1` (the forced default
+// on single-core hosts) the coordinator runs the shards' windows sequentially
+// in shard order. Both modes share the window loop and the channel drain, and
+// produce identical results — the sequential mode *is* the determinism argument
+// for the threaded one, since shards only interact through barrier-drained
+// channels either way.
+#ifndef DUMBNET_SRC_SIM_SHARD_SET_H_
+#define DUMBNET_SRC_SIM_SHARD_SET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_fn.h"
+#include "src/sim/simulator.h"
+#include "src/sim/spsc.h"
+#include "src/sim/time.h"
+
+namespace dumbnet {
+
+struct ShardSetConfig {
+  uint32_t shards = 1;
+  // Conservative window width: minimum cross-shard link propagation delay.
+  // Required >= 1 when shards > 1 (a zero-width window cannot make progress).
+  TimeNs lookahead = 0;
+  // Worker threads; 0 picks min(shards, hardware_concurrency()). 1 runs the
+  // window loop sequentially on the calling thread (same results, no threads).
+  uint32_t threads = 0;
+  // Per-channel SPSC ring capacity; overflow spills (never blocks, never drops).
+  size_t channel_capacity = 4096;
+};
+
+struct ShardSetStats {
+  uint64_t windows = 0;      // conservative windows executed
+  uint64_t cross_posts = 0;  // events that crossed a shard boundary
+};
+
+class ShardSet {
+ public:
+  explicit ShardSet(ShardSetConfig config);
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(sims_.size()); }
+  uint32_t thread_count() const { return threads_active_; }
+  TimeNs lookahead() const { return config_.lookahead; }
+  Simulator& shard(uint32_t s) { return *sims_[s]; }
+  const Simulator& shard(uint32_t s) const { return *sims_[s]; }
+
+  // Schedules `fn` at absolute time `at` on shard `dst`. Callable from shard
+  // `src`'s worker while a window executes (lands in the src->dst channel and
+  // is filed at the barrier), or from any single thread while no window is
+  // executing (files directly). Inside a window `at` must be >= the window end —
+  // guaranteed by construction when `at` is now + a cross-shard link's
+  // propagation, and asserted here.
+  void Post(uint32_t src, uint32_t dst, TimeNs at, EventFn fn);
+
+  // The shard the calling thread is currently executing a window for, or -1
+  // when the caller is not inside a shard window (coordinator, tests, main).
+  static int CurrentShard();
+
+  // Runs windows until every shard's queue and every channel is empty.
+  // Returns the number of events executed (summed over shards).
+  uint64_t Run();
+
+  // Runs windows while the global next-event time is <= deadline; every shard's
+  // clock ends at exactly `deadline`.
+  uint64_t RunUntil(TimeNs deadline);
+
+  // Runs until at least `steps` events executed (or nothing is left). With one
+  // shard this is exactly `steps` events; with several, whole windows are the
+  // unit of progress, so the count may overshoot to the end of the window in
+  // which the target was reached (still deterministic for fixed N).
+  uint64_t RunSteps(uint64_t steps);
+
+  bool Empty() const;
+  // Virtual time floor: every shard's clock (they advance in lockstep windows).
+  TimeNs Now() const { return sims_[0]->Now(); }
+  uint64_t executed_events() const;
+
+  // `hook` runs on the coordinator thread at window barriers — all workers
+  // parked, channels drained — the only safe place to inspect cross-shard
+  // state (the InvariantAuditor attaches here in sharded runs). With a single
+  // shard there are no windows; the hook is instead attached to shard 0's
+  // per-event audit hook at `every_events` cadence, matching the unsharded
+  // simulator exactly. For N > 1 the hook fires at the first barrier where the
+  // executed-event count advanced by at least `every_events`.
+  void SetBarrierHook(std::function<void()> hook, uint64_t every_events);
+
+  const ShardSetStats& stats() const { return stats_; }
+
+ private:
+  struct Posted {
+    TimeNs at = 0;
+    EventFn fn;
+  };
+
+  // Runs one window: every shard executes events with at <= deadline.
+  void ExecuteWindow(TimeNs deadline);
+  // Files all channel contents into their destination shards, in fixed order.
+  void DrainChannels();
+  void MaybeRunBarrierHook();
+  // True if any shard has queued events; sets *next to the minimum next time.
+  bool PeekGlobalNext(TimeNs* next);
+  void WorkerLoop(uint32_t shard_index);
+  void StopWorkers();
+
+  ShardSetConfig config_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  // channels_[dst * N + src]: src -> dst. Indexed destination-major so the
+  // drain loop reads them in the documented fixed order.
+  std::vector<std::unique_ptr<SpscChannel<Posted>>> channels_;
+  std::vector<Posted> drain_scratch_;
+
+  // Worker coordination (unused when threads_active_ == 1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t work_gen_ = 0;       // bumped to release workers into a window
+  TimeNs window_deadline_ = 0;  // valid while a window executes
+  uint32_t pending_ = 0;        // workers still inside the current window
+  bool stop_ = false;
+  uint32_t threads_active_ = 1;
+
+  // Transitions only while workers are parked; atomic so assert-path reads from
+  // other threads are race-free.
+  std::atomic<bool> in_window_{false};
+  std::function<void()> barrier_hook_;
+  uint64_t barrier_every_events_ = 0;
+  uint64_t barrier_last_executed_ = 0;
+  ShardSetStats stats_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_SIM_SHARD_SET_H_

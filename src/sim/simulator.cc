@@ -390,6 +390,7 @@ bool Simulator::Step() {
   // Reclaim before invoking: a callback cancelling its own (now stale) handle is a
   // no-op, and nested scheduling may reuse the slot immediately.
   ReclaimSlot(idx);
+  current_seq_ = seq;
   if (batch_tracking_) {
     footprint::Collector::Global().BeginEvent();
     fn();
@@ -401,6 +402,7 @@ bool Simulator::Step() {
   } else {
     fn();
   }
+  current_seq_ = UINT64_MAX;
   ++executed_;
   DN_COUNTER_INC("sim.events");
   if (executed_ % kProgressEvery == 0) {
@@ -445,6 +447,14 @@ uint64_t Simulator::RunUntil(TimeNs deadline) {
     now_ = deadline;
   }
   return ran;
+}
+
+bool Simulator::PeekNextTime(TimeNs* at) {
+  if (!RefillDue()) {
+    return false;
+  }
+  *at = pool_[due_[due_pos_]].at;
+  return true;
 }
 
 uint64_t Simulator::RunSteps(uint64_t max_events) {

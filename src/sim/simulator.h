@@ -117,6 +117,28 @@ class Simulator {
   // Batches of size >= 2 formed so far; the next such batch gets this index.
   uint64_t batches_formed() const { return batch_index_; }
 
+  // Peeks the timestamp of the earliest queued event without executing it.
+  // Returns false when the queue is empty. The reported time may belong to a
+  // cancelled-but-unreaped event, so it is a lower bound on the next *executed*
+  // event — exactly what the conservative-window scheduler in shard_set.h needs.
+  // Advances the wheel's due batch as a side effect (an earlier insert afterwards
+  // takes the documented RewindAndRefile path).
+  bool PeekNextTime(TimeNs* at);
+
+  // Consumes and returns the next scheduling sequence number without filing an
+  // event. For components that replace a would-be event with lazily evaluated
+  // state (the network's egress-queue drain): burning the seq keeps every
+  // later event's number — and therefore every same-timestamp tie-break —
+  // identical to a build that schedules the event for real.
+  uint64_t AllocSeq() { return next_seq_++; }
+
+  // Sequence number of the event currently executing, or UINT64_MAX between
+  // events. Comparing a virtual event's burned seq (AllocSeq) against this
+  // decides whether it would already have run: strictly earlier time, or same
+  // time and smaller seq. Outside event execution everything at t <= Now()
+  // counts as run, matching the Run()/RunUntil() batch boundary.
+  uint64_t CurrentSeq() const { return current_seq_; }
+
   bool Empty() const { return queued_ == 0; }
   uint64_t executed_events() const { return executed_; }
   SimulatorMemStats mem_stats() const;
@@ -181,6 +203,7 @@ class Simulator {
   std::function<void(TimeNs, uint64_t)> trace_hook_;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t current_seq_ = UINT64_MAX;
   uint64_t executed_ = 0;
   uint64_t queued_ = 0;
 

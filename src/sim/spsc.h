@@ -1,0 +1,95 @@
+// Bounded single-producer/single-consumer channel for cross-shard events.
+//
+// One channel exists per ordered shard pair (src -> dst). The producer is the
+// src shard's worker thread posting events *during* a conservative window; the
+// consumer is the coordinator thread draining *at* the window barrier, while
+// every worker is parked. The common path is therefore a classic lock-free SPSC
+// ring: the producer publishes an item with a release store of the tail index,
+// the consumer observes it with an acquire load — the only memory-ordering
+// contract cross-shard event payloads rely on (DESIGN.md §12).
+//
+// The ring is bounded; overflow spills to a mutex-guarded vector instead of
+// blocking, because a blocked producer inside a window would deadlock the
+// barrier. FIFO is preserved across the spill: once a push spills, every later
+// push in the same window spills too (the `spilled_` flag is only cleared by
+// the consumer's drain), so drain order = ring items then spill items = exact
+// production order.
+#ifndef DUMBNET_SRC_SIM_SPSC_H_
+#define DUMBNET_SRC_SIM_SPSC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dumbnet {
+
+template <typename T>
+class SpscChannel {
+ public:
+  explicit SpscChannel(size_t capacity = 1024) {
+    // Power-of-two capacity keeps the index math branch-free.
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    ring_.resize(cap);
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  // Producer side (one thread). Never blocks; overflow spills.
+  void Push(T item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (spilled_.load(std::memory_order_relaxed) || tail - head >= ring_.size()) {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      spilled_.store(true, std::memory_order_relaxed);
+      spill_.push_back(std::move(item));
+      return;
+    }
+    ring_[tail & (ring_.size() - 1)] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  // Consumer side (one thread; at a barrier, with the producer quiescent, both
+  // sides of that ordering established by the barrier itself). Appends all
+  // pending items to `out` in production order.
+  void DrainTo(std::vector<T>& out) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    while (head != tail) {
+      out.push_back(std::move(ring_[head & (ring_.size() - 1)]));
+      ++head;
+    }
+    head_.store(head, std::memory_order_release);
+    if (spilled_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      for (T& item : spill_) {
+        out.push_back(std::move(item));
+      }
+      spill_.clear();
+      spilled_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  bool EmptyUnsynchronized() const {
+    return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_relaxed) &&
+           !spilled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> ring_;
+  alignas(64) std::atomic<size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<size_t> tail_{0};  // producer cursor
+  alignas(64) std::atomic<bool> spilled_{false};
+  std::mutex spill_mu_;
+  std::vector<T> spill_;
+};
+
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_SIM_SPSC_H_

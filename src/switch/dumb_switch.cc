@@ -17,7 +17,7 @@ constexpr uint64_t kSaltAlarm = 0xA1A2;
 
 DumbSwitch::DumbSwitch(Network* net, uint32_t index, DumbSwitchConfig config)
     : net_(net),
-      sim_(&net->sim()),
+      sim_(&net->SimFor(NodeId::Switch(index))),
       index_(index),
       uid_(net->topo().switch_at(index).uid),
       num_ports_(net->topo().switch_at(index).num_ports),
@@ -34,6 +34,10 @@ bool DumbSwitch::PortIsUp(PortNum port) const {
 }
 
 void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
+  HandlePacket(Packet(pkt), in_port);
+}
+
+void DumbSwitch::HandlePacket(Packet&& pkt, PortNum in_port) {
   if (pkt.eth.ether_type != kEtherTypeDumbNet) {
     // The dumb switch speaks only DumbNet; a mixed MPLS deployment would pass other
     // traffic through the legacy pipeline, which we do not model here.
@@ -42,12 +46,11 @@ void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
   }
   // Hop-limited broadcast notifications carry no tags.
   if (pkt.tags.empty()) {
-    if (const auto* ev = pkt.As<PortEventPayload>(); ev != nullptr && ev->hops_left > 0) {
-      Packet relay = pkt;
-      auto* relay_ev = std::get_if<PortEventPayload>(&relay.payload);
-      relay_ev->hops_left = static_cast<uint8_t>(ev->hops_left - 1);
+    if (auto* ev = std::get_if<PortEventPayload>(&pkt.payload);
+        ev != nullptr && ev->hops_left > 0) {
+      ev->hops_left = static_cast<uint8_t>(ev->hops_left - 1);
       ++stats_.notifications_relayed;
-      FloodNotification(relay, in_port);
+      FloodNotification(pkt, in_port);
     }
     return;
   }
@@ -61,7 +64,7 @@ void DumbSwitch::HandlePacket(const Packet& pkt, PortNum in_port) {
   if (const auto* probe = pkt.As<ProbePayload>()) {
     probe_id = probe->probe_id;
   }
-  ForwardTagged(pkt, probe_id, in_port);
+  ForwardTagged(std::move(pkt), probe_id, in_port);
 }
 
 void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id, PortNum in_port) {
@@ -131,9 +134,9 @@ void DumbSwitch::ForwardTagged(Packet pkt, uint64_t transit_probe_id, PortNum in
   if (telemetry::Enabled() && pkt.provenance.armed()) {
     pkt.provenance.hops.push_back(telemetry::PathHop{uid_, in_port, tag});
   }
-  sim_->ScheduleAfter(config_.forwarding_delay, [this, tag, pkt = std::move(pkt)] {
+  sim_->ScheduleAfter(config_.forwarding_delay, [this, tag, pkt = std::move(pkt)]() mutable {
     DN_FP_SCOPE("switch.tx", uid_);
-    net_->SendFromSwitch(index_, tag, pkt);
+    net_->SendFromSwitch(index_, tag, std::move(pkt));
   });
 }
 

@@ -51,6 +51,10 @@ class DumbSwitch : public NetNode {
   DumbSwitch(Network* net, uint32_t index, DumbSwitchConfig config = DumbSwitchConfig());
 
   void HandlePacket(const Packet& pkt, PortNum in_port) override;
+  // Forwarding fast path: takes ownership, so the tag pop / ECN mark /
+  // provenance append all happen in place and the packet moves (never copies)
+  // from ingress to the egress tx event.
+  void HandlePacket(Packet&& pkt, PortNum in_port) override;
   void HandlePortChange(PortNum port, bool up) override;
 
   uint64_t uid() const { return uid_; }

@@ -136,6 +136,13 @@ class Topology {
   // Fails/restores a link, notifying observers. Idempotent.
   void SetLinkUp(LinkIndex i, bool up);
 
+  // Overrides a link's propagation delay (cable length). Sharded experiments use
+  // longer inter-tier cables: the shard plan's conservative lookahead is the
+  // minimum cross-shard propagation, so this knob sets the window width.
+  void SetLinkPropagation(LinkIndex i, int64_t propagation_ns) {
+    links_[i].propagation_ns = propagation_ns;
+  }
+
   // Unplugs a link permanently: both ports become free for new connections and the
   // link entry is tombstoned (indices stay stable). Used by discovered-topology
   // mirrors when a port is re-wired. No observer notification (not a failure).

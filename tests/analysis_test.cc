@@ -272,7 +272,7 @@ TEST(AuditMacroTest, SwitchFlagsUnterminatedTagStack) {
   pkt.eth.ether_type = kEtherTypeDumbNet;
   pkt.tags = {1, 2};  // no ø: a truncated header
   fabric.dumb_switch(0).HandlePacket(pkt, 3);
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_GE(audit::Counters().failures, 1u);
   EXPECT_NE(audit::LastFailure().find("terminated"), std::string::npos);
   audit::ResetCounters();
@@ -287,7 +287,7 @@ TEST(AuditMacroTest, CleanTrafficTripsNothing) {
   auto& auditor = fabric.EnableAuditing(16);
   ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(6).mac(), 1, DataPayload{}).ok());
   ASSERT_TRUE(fabric.agent(3).Send(fabric.agent(12).mac(), 2, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_GT(auditor.runs(), 0u);
   EXPECT_TRUE(auditor.clean());
   EXPECT_EQ(audit::Counters().failures, 0u);
@@ -615,7 +615,7 @@ TEST(VerifyPathGraphTest, ControllerGeneratedGraphsVerifyClean) {
   ASSERT_TRUE(tb.ok());
   TestFabric fabric(std::move(tb.value().topo));
   fabric.BringUpAdopted(25);
-  fabric.sim().Run();
+  fabric.Run();
   std::vector<uint64_t> dst_macs;
   for (uint32_t h = 1; h < fabric.host_count(); ++h) {
     dst_macs.push_back(fabric.agent(h).mac());
@@ -630,7 +630,7 @@ TEST(VerifyPathGraphTest, ControllerGeneratedGraphsVerifyClean) {
   // reaches the controller it recomputes against the patched topology, so
   // fresh graphs must re-verify against the new truth.
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(tb.value().leaves[0], 1), false);
-  fabric.sim().Run();
+  fabric.Run();
   auto after = fabric.controller().PrecomputePathGraphs(fabric.agent(0).mac(), dst_macs);
   ASSERT_TRUE(after.ok());
   auto post = VerifyPathGraphSemantics(fabric.topo(), after.value());

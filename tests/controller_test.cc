@@ -33,7 +33,7 @@ class ControllerTest : public ::testing::Test {
         &fabric_->AddController(kControllerHost, ControllerConfig(), FastDiscovery(16));
     bool ready = false;
     controller_->Start([&] { ready = true; });
-    fabric_->sim().Run();
+    fabric_->Run();
     ASSERT_TRUE(ready);
   }
 
@@ -66,7 +66,7 @@ TEST_F(ControllerTest, ColdSendTriggersQueryThenDelivers) {
     ++received;
   });
   ASSERT_TRUE(src.Send(dst.mac(), 77, DataPayload{77, 1, 0, false, 1000}).ok());
-  fabric_->sim().Run();
+  fabric_->Run();
 
   EXPECT_EQ(received, 1);
   EXPECT_GE(src.stats().path_requests, 1u);
@@ -81,13 +81,13 @@ TEST_F(ControllerTest, WarmSendsSkipController) {
   dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
 
   ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
-  fabric_->sim().Run();
+  fabric_->Run();
   uint64_t queries_after_first = controller_->stats().queries_served;
 
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
   }
-  fabric_->sim().Run();
+  fabric_->Run();
   EXPECT_EQ(received, 11);
   EXPECT_EQ(controller_->stats().queries_served, queries_after_first);
 }
@@ -97,7 +97,7 @@ TEST_F(ControllerTest, PathGraphGivesMultiplePathsAcrossSpines) {
   HostAgent& src = fabric_->agent(0);
   HostAgent& dst = fabric_->agent(12);
   ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
-  fabric_->sim().Run();
+  fabric_->Run();
 
   const PathTableEntry* entry = src.path_table().Find(dst.mac());
   ASSERT_NE(entry, nullptr);
@@ -130,9 +130,9 @@ TEST_F(ControllerTest, StageOneNotificationReachesHostsBeforePatch) {
   // Cut spine0 <-> leaf0.
   LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
   ASSERT_NE(li, kInvalidLink);
-  TimeNs cut_at = fabric_->sim().Now();
+  TimeNs cut_at = fabric_->Now();
   fabric_->topo().SetLinkUp(li, false);
-  fabric_->sim().Run();
+  fabric_->Run();
 
   ASSERT_GT(fail_notify, 0) << "stage-1 notification never arrived";
   ASSERT_GT(patch_notify, 0) << "stage-2 patch never arrived";
@@ -149,20 +149,20 @@ TEST_F(ControllerTest, FailoverReroutesTrafficAroundDeadSpine) {
   dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
 
   ASSERT_TRUE(src.Send(dst.mac(), 5, DataPayload{}).ok());
-  fabric_->sim().Run();
+  fabric_->Run();
   ASSERT_EQ(received, 1);
 
   // Cut BOTH links that leaf0 has to spine 0; all surviving paths go via spine 1.
   LinkIndex l0 = fabric_->topo().LinkAtPort(leaves_[0], 1);  // leaf0 -> spine0
   ASSERT_NE(l0, kInvalidLink);
   fabric_->topo().SetLinkUp(l0, false);
-  fabric_->sim().Run();
+  fabric_->Run();
 
   // Every flow must still get through, whatever path the flow had been bound to.
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(src.Send(dst.mac(), 100u + static_cast<uint64_t>(i), DataPayload{}).ok());
   }
-  fabric_->sim().Run();
+  fabric_->Run();
   EXPECT_EQ(received, 9);
 
   // And no cached route may cross the dead edge.
@@ -180,7 +180,7 @@ TEST_F(ControllerTest, LinkRestorationFlowsBackViaPatch) {
   BringUp();
   LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
   fabric_->topo().SetLinkUp(li, false);
-  fabric_->sim().Run();
+  fabric_->Run();
 
   int restored_patches = 0;
   fabric_->agent(10).SetPatchHook([&](const TopologyPatchPayload& patch) {
@@ -189,7 +189,7 @@ TEST_F(ControllerTest, LinkRestorationFlowsBackViaPatch) {
     }
   });
   fabric_->topo().SetLinkUp(li, true);
-  fabric_->sim().Run();
+  fabric_->Run();
   EXPECT_GE(restored_patches, 1);
   EXPECT_GE(controller_->stats().reprobes, 1u);
 }
@@ -201,7 +201,7 @@ TEST_F(ControllerTest, ReplicatedLogMirrorsTopologyEvents) {
 
   LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
   fabric_->topo().SetLinkUp(li, false);
-  fabric_->sim().Run();
+  fabric_->Run();
 
   EXPECT_GE(log.committed_index(), 1u);
   // A standby applying replica 1's log sees the link down.
@@ -253,7 +253,7 @@ TEST_F(ControllerTest, SsspCacheHitsOnRepeatAndInvalidatesOnLinkEvent) {
   LinkIndex li = fabric_->topo().LinkAtPort(spines_[0], 1);
   ASSERT_NE(li, kInvalidLink);
   fabric_->topo().SetLinkUp(li, false);
-  fabric_->sim().Run();
+  fabric_->Run();
   auto graphs = controller_->PrecomputePathGraphs(src.mac(), dst_macs);
   ASSERT_TRUE(graphs.ok());
   EXPECT_EQ(controller_->sssp_cache_stats().misses, misses0 + 2);

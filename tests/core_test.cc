@@ -74,8 +74,8 @@ TEST(SimulatedFabricTest, DeterministicRuns) {
     for (uint32_t h = 0; h < 10; ++h) {
       (void)fabric.agent(h).Send(fabric.agent((h + 7) % 25).mac(), h, DataPayload{});
     }
-    fabric.sim().Run();
-    return std::pair(fabric.net().stats().delivered, fabric.sim().Now());
+    fabric.Run();
+    return std::pair(fabric.net().stats().delivered, fabric.Now());
   };
   auto first = run();
   auto second = run();

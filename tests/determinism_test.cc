@@ -59,13 +59,13 @@ RunResult RunLifecycle(uint64_t seed, bool with_failure) {
                       .Send(fabric.agent(h + 10).mac(), h, DataPayload{})
                       .ok());
     }
-    fabric.sim().Run();
+    fabric.Run();
     fabric.topo().SetLinkUp(li, true);
-    fabric.sim().Run();
+    fabric.Run();
   }
 
   result.db_topology = SerializeTopology(fabric.controller().db().mirror());
-  result.final_time = fabric.sim().Now();
+  result.final_time = fabric.Now();
   return result;
 }
 
@@ -127,7 +127,7 @@ RunResult RunQueuedSendsAndDoubleFailure(uint64_t seed) {
     EXPECT_TRUE(
         fabric.agent(h).Send(fabric.agent(h + 12).mac(), 100 + h, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
 
   // Two failures back to back: every cached route crossing either spine edge is
   // swept out, starving some destinations into synchronous re-queries.
@@ -141,13 +141,13 @@ RunResult RunQueuedSendsAndDoubleFailure(uint64_t seed) {
     EXPECT_TRUE(
         fabric.agent(h).Send(fabric.agent(h + 12).mac(), 200 + h, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   fabric.topo().SetLinkUp(l0, true);
   fabric.topo().SetLinkUp(l1, true);
-  fabric.sim().Run();
+  fabric.Run();
 
   result.db_topology = SerializeTopology(fabric.controller().db().mirror());
-  result.final_time = fabric.sim().Now();
+  result.final_time = fabric.Now();
   return result;
 }
 
@@ -186,7 +186,7 @@ RunResult RunGossipUnderConcurrentFlaps(uint64_t seed) {
     EXPECT_TRUE(
         fabric.agent(h).Send(fabric.agent(h + 12).mac(), 300 + h, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
 
   LinkIndex l0 = fabric.topo().LinkAtPort(spine0, 1);
   LinkIndex l1 = fabric.topo().LinkAtPort(spine1, 1);
@@ -200,16 +200,16 @@ RunResult RunGossipUnderConcurrentFlaps(uint64_t seed) {
     EXPECT_TRUE(
         fabric.agent(h).Send(fabric.agent(h + 12).mac(), 400 + h, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   fabric.topo().SetLinkUp(l0, true);
   fabric.topo().SetLinkUp(l1, true);
-  fabric.sim().Run();
+  fabric.Run();
   fabric.topo().SetLinkUp(l0, false);
   fabric.topo().SetLinkUp(l1, false);
-  fabric.sim().Run();
+  fabric.Run();
   fabric.topo().SetLinkUp(l0, true);
   fabric.topo().SetLinkUp(l1, true);
-  fabric.sim().Run();
+  fabric.Run();
 
   // Fold the converged host mirrors into the compared state, not only the
   // controller's: gossip races corrupt host caches first.
@@ -217,7 +217,7 @@ RunResult RunGossipUnderConcurrentFlaps(uint64_t seed) {
   for (uint32_t h = 0; h < static_cast<uint32_t>(fabric.host_count()); ++h) {
     result.db_topology += SerializeTopology(fabric.agent(h).topo_cache().db().mirror());
   }
-  result.final_time = fabric.sim().Now();
+  result.final_time = fabric.Now();
   return result;
 }
 

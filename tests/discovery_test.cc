@@ -75,7 +75,7 @@ TEST(DiscoveryTest, SingleSwitchTwoHosts) {
   DiscoveryService discovery(&fabric.agent(0), FastDiscovery(8));
   bool done = false;
   discovery.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   EXPECT_EQ(discovery.attach_port(), 3);
@@ -110,7 +110,7 @@ TEST(DiscoveryTest, PaperExampleTopology) {
   DiscoveryService discovery(&fabric.agent(0), FastDiscovery(8));
   bool done = false;
   discovery.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   ExpectDiscoveredExactly(discovery.db(), fabric.topo());
@@ -126,7 +126,7 @@ TEST(DiscoveryTest, PaperTestbedLeafSpine) {
   DiscoveryService discovery(&fabric.agent(25), FastDiscovery(16));
   bool done = false;
   discovery.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   EXPECT_EQ(discovery.db().switch_count(), 7u);
@@ -145,7 +145,7 @@ TEST(DiscoveryTest, CubeTopology) {
   DiscoveryService discovery(&fabric.agent(13), FastDiscovery(8));  // center-ish
   bool done = false;
   discovery.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   ExpectDiscoveredExactly(discovery.db(), fabric.topo());
@@ -160,7 +160,7 @@ TEST(DiscoveryTest, FatTreeK4) {
   DiscoveryService discovery(&fabric.agent(0), FastDiscovery(4));
   bool done = false;
   discovery.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   EXPECT_EQ(discovery.db().switch_count(), 20u);
@@ -178,7 +178,7 @@ TEST(DiscoveryTest, ProbeComplexityIsNPSquared) {
     TestFabric fabric(std::move(cube.value().topo));
     DiscoveryService discovery(&fabric.agent(0), FastDiscovery(ports));
     discovery.Start(nullptr);
-    fabric.sim().Run();
+    fabric.Run();
     return discovery.stats().probes_sent;
   };
   uint64_t p8 = run(8);
@@ -196,21 +196,21 @@ TEST(DiscoveryTest, ReprobeFindsRestoredLink) {
   TestFabric fabric(std::move(testbed.value().topo));
   DiscoveryService discovery(&fabric.agent(25), FastDiscovery(16));
   discovery.Start(nullptr);
-  fabric.sim().Run();
+  fabric.Run();
   ASSERT_TRUE(discovery.complete());
 
   // Kill a leaf0-spine0 link, then restore it and ask discovery to re-probe.
   LinkIndex li = fabric.topo().LinkAtPort(spine0, 1);
   ASSERT_NE(li, kInvalidLink);
   fabric.topo().SetLinkUp(li, false);
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+  fabric.RunUntil(fabric.Now() + Sec(2));
   fabric.topo().SetLinkUp(li, true);
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+  fabric.RunUntil(fabric.Now() + Sec(2));
 
   uint64_t spine_uid = fabric.topo().switch_at(spine0).uid;
   bool reprobed = false;
   discovery.ReprobePort(spine_uid, 1, [&] { reprobed = true; });
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_TRUE(reprobed);
   auto link = discovery.db().LinkAt(spine_uid, 1);
   ASSERT_TRUE(link.ok());

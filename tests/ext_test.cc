@@ -25,13 +25,13 @@ TEST(FlowletTest, GapStartsNewFlowlet) {
   // Back-to-back packets: one flowlet.
   ASSERT_TRUE(te.Send(dst, 7, DataPayload{}).ok());
   ASSERT_TRUE(te.Send(dst, 7, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(te.FlowletIdOf(7), 0u);
 
   // Wait past the gap: next packet is a new flowlet.
-  fabric.sim().RunUntil(fabric.sim().Now() + Ms(5));
+  fabric.RunUntil(fabric.Now() + Ms(5));
   ASSERT_TRUE(te.Send(dst, 7, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(te.FlowletIdOf(7), 1u);
   EXPECT_EQ(te.stats().flowlets_started, 2u);
 }
@@ -49,14 +49,14 @@ TEST(FlowletTest, FlowletsSpreadOverEqualCostPaths) {
 
   // Warm the cache.
   ASSERT_TRUE(te.Send(dst_mac, 5, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
 
   // Many flowlets of the same flow: record which first-hop tag each uses.
   std::set<uint8_t> first_tags;
   for (int i = 0; i < 32; ++i) {
-    fabric.sim().RunUntil(fabric.sim().Now() + Ms(1));  // exceed the gap
+    fabric.RunUntil(fabric.Now() + Ms(1));  // exceed the gap
     ASSERT_TRUE(te.Send(dst_mac, 5, DataPayload{}).ok());
-    fabric.sim().Run();
+    fabric.Run();
     const PathTableEntry* entry = fabric.agent(0).path_table().Find(dst_mac);
     ASSERT_NE(entry, nullptr);
     auto binding = entry->flow_binding.find(5);
@@ -104,8 +104,8 @@ TEST(L3RouterTest, ForwardsAcrossSubnets) {
   payload.inner_dst_mac = fab_b.agent(2).mac();
   ASSERT_TRUE(fab_a.agent(1).Send(fab_a.agent(5).mac(), 77, payload).ok());
   // Two decoupled simulators: run A (delivers to router), then B (relays).
-  fab_a.sim().Run();
-  fab_b.sim().Run();
+  fab_a.Run();
+  fab_b.Run();
 
   EXPECT_EQ(received, 1);
   EXPECT_EQ(router.stats().forwarded, 1u);
@@ -122,7 +122,7 @@ TEST(L3RouterTest, NoRouteCounted) {
   DataPayload payload;
   payload.inner_dst_mac = 0xDEAD;
   ASSERT_TRUE(fab_a.agent(1).Send(fab_a.agent(2).mac(), 1, payload).ok());
-  fab_a.sim().Run();
+  fab_a.Run();
   EXPECT_EQ(router.stats().no_route, 1u);
 }
 

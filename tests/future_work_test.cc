@@ -25,7 +25,7 @@ TEST(SwitchStatsTest, SoftStateCountersTrackTraffic) {
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(12).mac(), 1000u + static_cast<uint64_t>(i), DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   uint64_t up1 = fabric.dumb_switch(leaf0).port_tx_packets(1) - before_p1;
   uint64_t up2 = fabric.dumb_switch(leaf0).port_tx_packets(2) - before_p2;
   // 50 flows spread across the two uplinks; counters see all of them.
@@ -62,7 +62,7 @@ TEST(EcnTest, DeepQueueMarksPackets) {
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(1).mac(), 1, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(total, 200);
   EXPECT_GT(marked, 50);   // most of the burst sits behind a deep queue
   EXPECT_LT(marked, 200);  // the head of the burst is unmarked
@@ -87,7 +87,7 @@ TEST(EcnTest, DisabledMeansNoMarks) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(1).mac(), 1, DataPayload{}).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(marked, 0);
 }
 
@@ -127,7 +127,7 @@ TEST(EcnRerouteTest, CongestedFlowMovesToQuietSpine) {
   flow.total_bytes = 0;
   ReliableFlowSender watched_tx(&watched_src, 1, fabric.agent(4).mac(), flow);
   watched_tx.Start();
-  fabric.sim().RunUntil(fabric.sim().Now() + Ms(20));
+  fabric.RunUntil(fabric.Now() + Ms(20));
   PortNum initial_uplink = BoundUplink(fabric.agent(1), fabric.agent(4).mac(), 1);
   ASSERT_NE(initial_uplink, 0);
 
@@ -146,14 +146,14 @@ TEST(EcnRerouteTest, CongestedFlowMovesToQuietSpine) {
   ReliableFlowReceiver bg_rx(&bg_dst, 2);
   ReliableFlowSender bg_tx(&bg_src, 2, fabric.agent(5).mac(), flow);
   bg_tx.Start();
-  fabric.sim().RunUntil(fabric.sim().Now() + Ms(100));
+  fabric.RunUntil(fabric.Now() + Ms(100));
 
   EcnRerouteConfig ecn_config;
   ecn_config.sample_interval = Ms(5);
   ecn_config.mark_fraction_threshold = 0.2;
   EcnRerouter rerouter(&fabric.agent(1), &watched_tx, fabric.agent(4).mac(), ecn_config);
   rerouter.Start();
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+  fabric.RunUntil(fabric.Now() + Sec(2));
 
   EXPECT_GT(watched_tx.progress().ecn_acks, 0u) << "collision never materialized";
   EXPECT_GT(rerouter.stats().reroutes, 0u);
@@ -164,7 +164,7 @@ TEST(EcnRerouteTest, CongestedFlowMovesToQuietSpine) {
   watched_tx.Stop();
   bg_tx.Stop();
   rerouter.Stop();
-  fabric.sim().RunUntil(fabric.sim().Now() + Sec(1));
+  fabric.RunUntil(fabric.Now() + Sec(1));
 }
 
 TEST(JoinProberTest, FindsAttachPointAndController) {
@@ -181,7 +181,7 @@ TEST(JoinProberTest, FindsAttachPointAndController) {
     result = r;
     done = true;
   });
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(done);
   auto truth = fabric.topo().HostUplink(3);
@@ -204,7 +204,7 @@ TEST(JoinProberTest, NoControllerKnownYieldsZero) {
     result = r;
     done = true;
   });
-  fabric.sim().Run();
+  fabric.Run();
   ASSERT_TRUE(done);
   EXPECT_NE(result.self.switch_uid, 0u);
   EXPECT_EQ(result.controller_mac, 0u);
@@ -224,7 +224,7 @@ TEST(FailoverTest, StandbyTakesOverFromReplicatedLog) {
   // Some topology history accumulates.
   LinkIndex li = fabric.topo().LinkAtPort(spines[0], 1);
   fabric.topo().SetLinkUp(li, false);
-  fabric.sim().Run();
+  fabric.Run();
 
   // Primary dies. A fresh host's query goes unanswered.
   fabric.controller().Stop();
@@ -233,7 +233,7 @@ TEST(FailoverTest, StandbyTakesOverFromReplicatedLog) {
   int received = 0;
   dst.SetDataHandler([&](const Packet&, const DataPayload&) { ++received; });
   ASSERT_TRUE(src.Send(dst.mac(), 9, DataPayload{}).ok());
-  fabric.sim().RunUntil(fabric.sim().Now() + Ms(100));
+  fabric.RunUntil(fabric.Now() + Ms(100));
   EXPECT_EQ(received, 0);
 
   // Standby on host 26 rebuilds the database from snapshot + replica log and
@@ -242,7 +242,7 @@ TEST(FailoverTest, StandbyTakesOverFromReplicatedLog) {
   TopoDb rebuilt = base_snapshot;
   ReplicatedLog::ApplyTo(log.ReplicaLog(1), rebuilt);
   standby.AdoptDatabase(std::move(rebuilt));
-  fabric.sim().Run();
+  fabric.Run();
 
   // The blocked flow drains through the new controller (host retry finds it).
   EXPECT_EQ(received, 1);

@@ -252,7 +252,7 @@ TEST(HostAgentTest, TransitProbeGetsReply) {
   PortNum my_port = fabric.topo().HostUplink(25).value().port;
   prober.SendTags({h0_port, my_port}, kBroadcastMac,
                   ProbePayload{1, prober.mac(), {h0_port, my_port, kPathEndTag}});
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_EQ(events.size(), 1u);
   const auto* reply = events[0].As<ProbeReplyPayload>();
@@ -267,7 +267,7 @@ TEST(HostAgentTest, UnbootstrappedSendQueues) {
   ASSERT_TRUE(tb.ok());
   TestFabric fabric(std::move(tb.value().topo));
   EXPECT_TRUE(fabric.agent(0).Send(fabric.agent(1).mac(), 1, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(fabric.agent(0).stats().data_blocked, 1u);
   EXPECT_EQ(fabric.agent(1).stats().data_received, 0u);
 }
@@ -287,7 +287,7 @@ TEST(HostAgentTest, SendOnPathVerifies) {
 
   // Pull the topology into src's cache first (one normal send).
   ASSERT_TRUE(src.Send(dst.mac(), 1, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   ASSERT_EQ(received, 1);
 
   uint64_t leaf0 = fabric.topo().switch_at(leaves[0]).uid;
@@ -297,7 +297,7 @@ TEST(HostAgentTest, SendOnPathVerifies) {
   EXPECT_TRUE(src.SendOnPath(dst.mac(), {leaf0, spine1, leaf2}, DataPayload{}).ok());
   // A bogus explicit route (no leaf0-leaf2 link) is rejected by the verifier.
   EXPECT_FALSE(src.SendOnPath(dst.mac(), {leaf0, leaf2}, DataPayload{}).ok());
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(received, 2);
   EXPECT_EQ(src.stats().verify_failures, 1u);
 }

@@ -42,7 +42,7 @@ TEST(IntegrationTest, FatTreeFullBringUpAndAllPairs) {
       }
     }
   }
-  fabric.sim().Run();
+  fabric.Run();
   for (uint32_t h = 0; h < fabric.host_count(); ++h) {
     EXPECT_EQ(received[h], static_cast<int>(fabric.host_count() - 1)) << "host " << h;
   }
@@ -89,7 +89,7 @@ TEST(IntegrationTest, RandomLinkFailureStorm) {
       }
       fabric.topo().SetLinkUp(li, true);  // would disconnect; pick another
     }
-    fabric.sim().RunUntil(fabric.sim().Now() + Ms(50));  // let failover settle
+    fabric.RunUntil(fabric.Now() + Ms(50));  // let failover settle
 
     for (int i = 0; i < 20; ++i) {
       uint32_t src = static_cast<uint32_t>(rng.PickIndex(fabric.host_count()));
@@ -104,7 +104,7 @@ TEST(IntegrationTest, RandomLinkFailureStorm) {
                       .ok());
       ++sent;
     }
-    fabric.sim().Run();
+    fabric.Run();
   }
   EXPECT_EQ(dead.size(), 6u);
   EXPECT_EQ(delivered, sent);
@@ -129,7 +129,7 @@ TEST(IntegrationTest, FailureAndRecoveryCycle) {
                                DataPayload{})
               .ok());
     }
-    fabric.sim().Run();
+    fabric.Run();
   };
 
   blast(0);
@@ -139,10 +139,10 @@ TEST(IntegrationTest, FailureAndRecoveryCycle) {
   LinkIndex li = fabric.topo().LinkAtPort(leaves[0], 1);
   for (int cycle = 0; cycle < 3; ++cycle) {
     fabric.topo().SetLinkUp(li, false);
-    fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+    fabric.RunUntil(fabric.Now() + Sec(2));
     blast(1000u + static_cast<uint64_t>(cycle) * 100);
     fabric.topo().SetLinkUp(li, true);
-    fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+    fabric.RunUntil(fabric.Now() + Sec(2));
     blast(2000u + static_cast<uint64_t>(cycle) * 100);
   }
   EXPECT_EQ(delivered, 70);
@@ -178,7 +178,7 @@ TEST(IntegrationTest, JellyfishIrregularTopologyWorks) {
     ASSERT_TRUE(fabric.agent(src).Send(fabric.agent(dst).mac(), src, DataPayload{}).ok());
     ++sent;
   }
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(delivered, sent);
 }
 
@@ -199,12 +199,12 @@ TEST(IntegrationTest, FlowletTeSurvivesFailure) {
   uint64_t dst = fabric.agent(12).mac();
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(te.Send(dst, 1, DataPayload{}).ok());
-    fabric.sim().RunUntil(fabric.sim().Now() + Ms(1));
+    fabric.RunUntil(fabric.Now() + Ms(1));
     if (i == 10) {
       fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(leaves[0], 1), false);
     }
   }
-  fabric.sim().Run();
+  fabric.Run();
   // The packet in flight when the link died may be lost; everything after the
   // notification must arrive.
   EXPECT_GE(delivered, 19);

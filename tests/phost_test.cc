@@ -49,7 +49,7 @@ TEST(PHostTest, SingleFlowCompletes) {
                      FixtureConfig());
   bool done = false;
   sender.Start([&] { done = true; });
-  f.fabric->sim().Run();
+  f.fabric->Run();
   EXPECT_TRUE(done);
   EXPECT_GE(receiver.bytes_received(), 1u << 20);
 }
@@ -64,7 +64,7 @@ TEST(PHostTest, ShortFlowFinishesOnFreeTokens) {
                      FixtureConfig());
   bool done = false;
   sender.Start([&] { done = true; });
-  f.fabric->sim().RunUntil(Ms(5) + f.fabric->sim().Now());
+  f.fabric->RunUntil(Ms(5) + f.fabric->Now());
   EXPECT_TRUE(done);
 }
 
@@ -78,12 +78,12 @@ TEST(PHostTest, SurvivesSegmentLoss) {
   bool done = false;
   sender.Start([&] { done = true; });
   // Blackhole the fabric briefly mid-flow: segments and tokens get lost.
-  f.fabric->sim().RunUntil(f.fabric->sim().Now() + Ms(3));
+  f.fabric->RunUntil(f.fabric->Now() + Ms(3));
   LinkIndex li = f.fabric->topo().host_at(5).link;
   f.fabric->topo().SetLinkUp(li, false);
-  f.fabric->sim().RunUntil(f.fabric->sim().Now() + Ms(10));
+  f.fabric->RunUntil(f.fabric->Now() + Ms(10));
   f.fabric->topo().SetLinkUp(li, true);
-  f.fabric->sim().Run();
+  f.fabric->Run();
   EXPECT_TRUE(done);
 }
 
@@ -110,14 +110,14 @@ TEST(PHostTest, IncastAvoidsQueueDrops) {
           channels.back().get(), kPHostFlowBase + 10 + static_cast<uint64_t>(i),
           f.fabric->agent(sink).mac(), kBytes, FixtureConfig()));
     }
-    TimeNs start = f.fabric->sim().Now();
+    TimeNs start = f.fabric->Now();
     for (auto& sender : senders) {
       sender->Start([&] { ++done; });
     }
-    f.fabric->sim().Run();
+    f.fabric->Run();
     EXPECT_EQ(done, kSenders);
     phost_drops = f.fabric->net().stats().dropped_queue_full;
-    phost_finish = f.fabric->sim().Now() - start;
+    phost_finish = f.fabric->Now() - start;
   }
 
   // --- window-based go-back-N senders (what naive incast does) ---
@@ -144,7 +144,7 @@ TEST(PHostTest, IncastAvoidsQueueDrops) {
     for (auto& sender : senders) {
       sender->Start([&] { ++done; });
     }
-    f.fabric->sim().Run();
+    f.fabric->Run();
     EXPECT_EQ(done, kSenders);
     window_drops = f.fabric->net().stats().dropped_queue_full;
   }
@@ -171,12 +171,12 @@ TEST(PHostTest, SrptPrefersShortFlows) {
   PHostSender short_flow(&short_src, kPHostFlowBase + 2, f.fabric->agent(sink).mac(),
                          256 << 10, FixtureConfig());
   TimeNs long_done = 0, short_done = 0;
-  TimeNs start = f.fabric->sim().Now();
-  long_flow.Start([&] { long_done = f.fabric->sim().Now() - start; });
+  TimeNs start = f.fabric->Now();
+  long_flow.Start([&] { long_done = f.fabric->Now() - start; });
   // The short flow arrives while the long one is in progress.
-  f.fabric->sim().RunUntil(f.fabric->sim().Now() + Ms(5));
-  short_flow.Start([&] { short_done = f.fabric->sim().Now() - start; });
-  f.fabric->sim().Run();
+  f.fabric->RunUntil(f.fabric->Now() + Ms(5));
+  short_flow.Start([&] { short_done = f.fabric->Now() - start; });
+  f.fabric->Run();
 
   ASSERT_GT(long_done, 0);
   ASSERT_GT(short_done, 0);

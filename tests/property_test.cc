@@ -191,7 +191,7 @@ TEST_P(DiscoveryPropertyTest, ExactOnRandomJellyfish) {
   discovery_config.probe_timeout = Ms(20);
   DiscoveryService discovery(&fabric.agent(0), discovery_config);
   discovery.Start(nullptr);
-  fabric.sim().Run();
+  fabric.Run();
 
   ASSERT_TRUE(discovery.complete());
   EXPECT_EQ(discovery.db().switch_count(), fabric.topo().switch_count());

@@ -33,9 +33,9 @@ TEST(DiscoveryRobustnessTest, LinkFailureMidDiscoveryDoesNotHang) {
   discovery.Start([&] { done = true; });
 
   // Kill a link while probes are in flight.
-  fabric.sim().RunSteps(2000);
+  fabric.RunSteps(2000);
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(spines[0], 3), false);
-  fabric.sim().Run();  // must terminate (timeouts clean up lost probes)
+  fabric.Run();  // must terminate (timeouts clean up lost probes)
 
   ASSERT_TRUE(done);
   // All switches and hosts are still found: only one redundant link was lost, and
@@ -55,7 +55,7 @@ TEST(DiscoveryRobustnessTest, ProbeCountMatchesComplexityFormula) {
   TestFabric fabric(std::move(cube.value().topo));
   DiscoveryService discovery(&fabric.agent(0), FastDiscovery(8));
   discovery.Start(nullptr);
-  fabric.sim().Run();
+  fabric.Run();
 
   const uint64_t p = 8, n = 8;
   uint64_t base = p + n * (p + p * p);
@@ -206,7 +206,7 @@ TEST(TransportEdgeTest, NonMultipleOfSegmentSizeCompletes) {
   ReliableFlowSender sender(&src, 1, fabric.agent(6).mac(), config);
   bool done = false;
   sender.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_TRUE(done);
   EXPECT_EQ(sender.progress().bytes_acked, config.total_bytes);
 }
@@ -229,17 +229,17 @@ TEST(TransportEdgeTest, DuplicateAcksAreHarmless) {
 
   // Multiple short blackholes (both uplinks) at staggered times.
   for (int i = 1; i <= 3; ++i) {
-    fabric.sim().RunUntil(fabric.sim().Now() + Ms(2));
+    fabric.RunUntil(fabric.Now() + Ms(2));
     LinkIndex l0 = fabric.topo().LinkAtPort(leaves[0], 1);
     LinkIndex l1 = fabric.topo().LinkAtPort(leaves[0], 2);
     fabric.topo().SetLinkUp(l0, false);
     fabric.topo().SetLinkUp(l1, false);
-    fabric.sim().RunUntil(fabric.sim().Now() + Ms(5));
+    fabric.RunUntil(fabric.Now() + Ms(5));
     fabric.topo().SetLinkUp(l0, true);
     fabric.topo().SetLinkUp(l1, true);
-    fabric.sim().RunUntil(fabric.sim().Now() + Sec(2));
+    fabric.RunUntil(fabric.Now() + Sec(2));
   }
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_TRUE(done);
   EXPECT_GE(receiver.segments_received(), config.total_bytes / 1460);
 }

@@ -337,7 +337,7 @@ TEST(PathProvenance, FabricRunIsDivergenceFree) {
     d.bytes = 200;
     ASSERT_TRUE(fabric.agent(0).Send(fabric.agent(1).mac(), /*flow_id=*/9, d).ok());
   }
-  fabric.sim().Run();
+  fabric.Run();
   EXPECT_EQ(received, 5u);
   EXPECT_EQ(fabric.agent(1).stats().path_divergence, 0u);
 }
@@ -356,7 +356,7 @@ TEST(PathProvenance, InjectedMisrouteRaisesDivergence) {
   DataPayload warm;
   warm.bytes = 100;
   ASSERT_TRUE(fabric.agent(0).Send(dst, /*flow_id=*/1, warm).ok());
-  fabric.sim().Run();
+  fabric.Run();
   ASSERT_EQ(fabric.agent(12).stats().path_divergence, 0u);
 
   auto route = fabric.agent(0).path_table().RouteFor(dst, /*flow_id=*/1);
@@ -375,7 +375,7 @@ TEST(PathProvenance, InjectedMisrouteRaisesDivergence) {
   pkt.provenance.promised = route.value().uid_path;
   pkt.provenance.promised[0] ^= 0x1;  // not the switch the packet will traverse
   fabric.net().SendFromHost(0, pkt);
-  fabric.sim().Run();
+  fabric.Run();
 
   EXPECT_EQ(fabric.agent(12).stats().path_divergence, 1u);
   auto delta = Diff(before, MetricsRegistry::Global().Snapshot());

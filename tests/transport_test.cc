@@ -25,7 +25,7 @@ TEST(ReliableFlowTest, CompletesOverDumbNet) {
 
   bool done = false;
   sender.Start([&] { done = true; });
-  fabric.sim().Run();
+  fabric.Run();
 
   EXPECT_TRUE(done);
   EXPECT_TRUE(sender.progress().finished);
@@ -52,9 +52,9 @@ TEST(ReliableFlowTest, SurvivesLinkFailureViaFailover) {
 
   // Cut one of leaf0's uplinks mid-transfer (whichever the flow bound to, the
   // failover machinery must keep the flow alive).
-  fabric.sim().RunUntil(Ms(2));
+  fabric.RunUntil(Ms(2));
   fabric.topo().SetLinkUp(fabric.topo().LinkAtPort(leaves[0], 1), false);
-  fabric.sim().Run();
+  fabric.Run();
 
   EXPECT_TRUE(done);
   EXPECT_EQ(sender.progress().bytes_acked, config.total_bytes);
@@ -77,16 +77,16 @@ TEST(ReliableFlowTest, RetransmitsAfterBlackholePeriod) {
   bool done = false;
   sender.Start([&] { done = true; });
 
-  fabric.sim().RunUntil(Ms(2));
+  fabric.RunUntil(Ms(2));
   // Cut BOTH uplinks briefly: total blackhole, nothing can reroute.
   LinkIndex l0 = fabric.topo().LinkAtPort(leaves[0], 1);
   LinkIndex l1 = fabric.topo().LinkAtPort(leaves[0], 2);
   fabric.topo().SetLinkUp(l0, false);
   fabric.topo().SetLinkUp(l1, false);
-  fabric.sim().RunUntil(Ms(200));
+  fabric.RunUntil(Ms(200));
   EXPECT_FALSE(done);
   fabric.topo().SetLinkUp(l1, true);
-  fabric.sim().Run();
+  fabric.Run();
 
   EXPECT_TRUE(done);
   EXPECT_GT(sender.progress().timeouts, 0u);
@@ -132,10 +132,10 @@ TEST(ReliableFlowTest, StopHaltsTraffic) {
   ReliableFlowReceiver receiver(&dst_channel, 3);
   ReliableFlowSender sender(&src_channel, 3, fabric.agent(1).mac(), FlowConfig{});
   sender.Start();
-  fabric.sim().RunUntil(Ms(5));
+  fabric.RunUntil(Ms(5));
   sender.Stop();
   uint64_t sent = sender.progress().segments_sent;
-  fabric.sim().RunUntil(Ms(50));
+  fabric.RunUntil(Ms(50));
   EXPECT_EQ(sender.progress().segments_sent, sent);
 }
 

@@ -103,7 +103,7 @@ RunOutcome RunScenario(const Options& opts, const Schedule& schedule) {
       out.violations.push_back("bring-up never completed");
     }
     fabric.EnableAuditing();
-    fabric.sim().Run();
+    fabric.Run();
   } else {
     // failover / gossip both start from an adopted topology with warm routes.
     fabric.BringUpAdopted(25, config);
