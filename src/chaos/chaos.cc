@@ -1,0 +1,405 @@
+#include "src/chaos/chaos.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/routing/topo_db.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+namespace chaos {
+
+namespace {
+
+const char* KindWord(ChaosAction::Kind kind) {
+  switch (kind) {
+    case ChaosAction::Kind::kLinkDown:
+      return "down";
+    case ChaosAction::Kind::kLinkUp:
+      return "up";
+    case ChaosAction::Kind::kGraySet:
+      return "gray";
+    case ChaosAction::Kind::kGrayClear:
+      return "grayclear";
+  }
+  return "?";
+}
+
+std::vector<LinkIndex> DedupSorted(std::vector<LinkIndex> links) {
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+// Cached state of the link plugged into (uid_a, port_a) in `db`: 1 up, 0 down,
+// -1 when the viewer never cached that edge (nothing to be stale about).
+int MirrorState(const TopoDb& db, uint64_t uid_a, PortNum port_a) {
+  auto idx = db.IndexOf(uid_a);
+  if (!idx.ok()) {
+    return -1;
+  }
+  const Topology& mirror = db.mirror();
+  const LinkIndex mli = mirror.LinkAtPort(idx.value(), port_a);
+  if (mli == kInvalidLink) {
+    return -1;
+  }
+  const Link& l = mirror.link_at(mli);
+  if (l.detached) {
+    return -1;
+  }
+  return l.up ? 1 : 0;
+}
+
+// Walks every viewer (controller db + each host cache) over `links` and calls
+// `fn(viewer, li, cached_up, truth_up)` for each cached-and-disagreeing pair.
+template <typename Fn>
+void ForEachStalePair(SimulatedFabric& fabric, const std::vector<LinkIndex>& links,
+                      const Fn& fn) {
+  const Topology& truth = fabric.topo();
+  for (LinkIndex li : links) {
+    const Link& l = truth.link_at(li);
+    if (l.detached || !l.a.node.is_switch()) {
+      continue;
+    }
+    const uint64_t uid_a = truth.switch_at(l.a.node.index).uid;
+    const PortNum port_a = l.a.port;
+    const bool truth_up = l.up;
+    if (fabric.has_controller()) {
+      const int s = MirrorState(fabric.controller().db(), uid_a, port_a);
+      if (s >= 0 && (s == 1) != truth_up) {
+        fn("controller", li, s == 1, truth_up);
+      }
+    }
+    for (uint32_t h = 0; h < static_cast<uint32_t>(fabric.host_count()); ++h) {
+      const int s = MirrorState(fabric.agent(h).topo_cache().db(), uid_a, port_a);
+      if (s >= 0 && (s == 1) != truth_up) {
+        fn("host", li, s == 1, truth_up);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LinkIndex> ChaosSchedule::TouchedLinks() const {
+  std::vector<LinkIndex> out;
+  for (const ChaosAction& a : actions) {
+    if (a.kind == ChaosAction::Kind::kLinkDown || a.kind == ChaosAction::Kind::kLinkUp) {
+      out.push_back(a.link);
+    }
+  }
+  return DedupSorted(std::move(out));
+}
+
+std::vector<LinkIndex> ChaosSchedule::GrayLinks() const {
+  std::vector<LinkIndex> out;
+  for (const ChaosAction& a : actions) {
+    if (a.kind == ChaosAction::Kind::kGraySet ||
+        a.kind == ChaosAction::Kind::kGrayClear) {
+      out.push_back(a.link);
+    }
+  }
+  return DedupSorted(std::move(out));
+}
+
+ChaosSchedule GenerateSchedule(const Topology& topo, const ChaosConfig& config) {
+  ChaosSchedule out;
+  Rng rng(config.seed);
+
+  std::vector<LinkIndex> candidates;
+  for (LinkIndex li = 0; li < static_cast<LinkIndex>(topo.link_count()); ++li) {
+    const Link& l = topo.link_at(li);
+    if (!l.detached && l.up && l.a.node.is_switch() && l.b.node.is_switch()) {
+      candidates.push_back(li);
+    }
+  }
+  if (candidates.empty()) {
+    return out;
+  }
+  rng.Shuffle(candidates);
+
+  size_t pos = 0;
+  std::vector<LinkIndex> flap_links;
+  for (uint32_t i = 0; i < config.flap.links && pos < candidates.size(); ++i) {
+    flap_links.push_back(candidates[pos++]);
+  }
+  std::vector<LinkIndex> gray_links;
+  for (uint32_t i = 0; i < config.gray.links && pos < candidates.size(); ++i) {
+    gray_links.push_back(candidates[pos++]);
+  }
+  const std::set<LinkIndex> claimed(
+      candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(pos));
+
+  // The forced final downs / gray clears happen here; the simultaneous restore
+  // at `horizon`. Clamp so degenerate configs still produce a valid pulse.
+  const TimeNs horizon = std::max(config.horizon, config.start + 2 * config.settle);
+  const TimeNs down_all = horizon - config.settle;
+
+  // Flapping links: alternating dwell sequences on per-link forked streams.
+  for (size_t i = 0; i < flap_links.size(); ++i) {
+    Rng f = rng.Fork(0xF1A90000ULL + i);
+    bool up = true;
+    TimeNs t = config.start +
+               static_cast<TimeNs>(f.Exponential(static_cast<double>(config.flap.mean_up_dwell)));
+    while (t < down_all) {
+      out.actions.push_back({t, up ? ChaosAction::Kind::kLinkDown : ChaosAction::Kind::kLinkUp,
+                             flap_links[i], 0});
+      up = !up;
+      const TimeNs mean = up ? config.flap.mean_up_dwell : config.flap.mean_down_dwell;
+      t += std::max(config.flap.min_dwell,
+                    static_cast<TimeNs>(f.Exponential(static_cast<double>(mean))));
+    }
+  }
+
+  // Gray failures: one set per link somewhere in the first half of the run, all
+  // cleared at down_all — strictly before the final restore floods.
+  for (size_t i = 0; i < gray_links.size(); ++i) {
+    Rng g = rng.Fork(0x6A410000ULL + i);
+    const TimeNs span = std::max<TimeNs>(1, (down_all - config.start) / 2);
+    const TimeNs t0 = config.start + static_cast<TimeNs>(g.UniformInt(static_cast<uint64_t>(span)));
+    const uint32_t ppm =
+        config.gray.min_loss_ppm +
+        static_cast<uint32_t>(g.UniformInt(config.gray.max_loss_ppm - config.gray.min_loss_ppm + 1));
+    out.actions.push_back({t0, ChaosAction::Kind::kGraySet, gray_links[i], ppm});
+    out.actions.push_back({down_all, ChaosAction::Kind::kGrayClear, gray_links[i], 0});
+  }
+
+  // Correlated outage: every inter-switch link of one victim switch dies at one
+  // instant. The victim is the first switch (from a seeded starting point)
+  // whose links are unclaimed by the flap/gray sets and number at least two.
+  std::vector<LinkIndex> outage_links;
+  if (config.outage.enabled && topo.switch_count() > 0) {
+    const uint32_t n = static_cast<uint32_t>(topo.switch_count());
+    const uint32_t first = static_cast<uint32_t>(rng.UniformInt(n));
+    for (uint32_t k = 0; k < n && outage_links.empty(); ++k) {
+      const uint32_t sw = (first + k) % n;
+      std::vector<LinkIndex> mine;
+      bool clash = false;
+      for (LinkIndex li : candidates) {
+        const Link& l = topo.link_at(li);
+        if (l.a.node.index != sw && l.b.node.index != sw) {
+          continue;
+        }
+        if (claimed.count(li) > 0) {
+          clash = true;
+          break;
+        }
+        mine.push_back(li);
+      }
+      if (!clash && mine.size() >= 2) {
+        outage_links = std::move(mine);
+      }
+    }
+  }
+  if (!outage_links.empty()) {
+    const TimeNs latest = down_all - config.outage.duration;
+    const TimeNs t_o =
+        latest > config.start
+            ? config.start + static_cast<TimeNs>(
+                                 rng.UniformInt(static_cast<uint64_t>(latest - config.start)))
+            : config.start;
+    for (LinkIndex li : outage_links) {
+      out.actions.push_back({t_o, ChaosAction::Kind::kLinkDown, li, 0});
+      out.actions.push_back({t_o + config.outage.duration, ChaosAction::Kind::kLinkUp, li, 0});
+    }
+  }
+
+  // Well-formed tail: force every touched link down at down_all (idempotent for
+  // links already down), then revive all of them in one simultaneous restore.
+  std::vector<LinkIndex> touched = flap_links;
+  touched.insert(touched.end(), outage_links.begin(), outage_links.end());
+  touched = DedupSorted(std::move(touched));
+  for (LinkIndex li : touched) {
+    out.actions.push_back({down_all, ChaosAction::Kind::kLinkDown, li, 0});
+  }
+  for (LinkIndex li : touched) {
+    out.actions.push_back({horizon, ChaosAction::Kind::kLinkUp, li, 0});
+  }
+
+  std::stable_sort(out.actions.begin(), out.actions.end(),
+                   [](const ChaosAction& a, const ChaosAction& b) { return a.at < b.at; });
+  return out;
+}
+
+std::string SerializeSchedule(const ChaosSchedule& schedule, const std::string& note) {
+  std::ostringstream out;
+  out << "# dumbnet-explore schedule v1\n";
+  out << "# dumbnet-chaos schedule v1\n";
+  if (!note.empty()) {
+    out << "# chaos-note " << note << "\n";
+  }
+  for (const ChaosAction& a : schedule.actions) {
+    out << "# chaos " << a.at << " " << KindWord(a.kind) << " " << a.link;
+    if (a.kind == ChaosAction::Kind::kGraySet) {
+      out << " " << a.loss_ppm;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<ChaosSchedule> ParseSchedule(const std::string& text) {
+  ChaosSchedule out;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("# chaos ", 0) != 0) {
+      continue;  // explore batch lines, notes, and plain comments pass through
+    }
+    std::istringstream fields(line.substr(8));
+    int64_t at = 0;
+    std::string word;
+    uint64_t link = 0;
+    if (!(fields >> at >> word >> link) || at < 0) {
+      return Error(ErrorCode::kMalformed, "chaos schedule line " + std::to_string(line_no) +
+                                              ": expected '# chaos <at> <kind> <link>'");
+    }
+    ChaosAction a;
+    a.at = at;
+    a.link = static_cast<LinkIndex>(link);
+    if (word == "down") {
+      a.kind = ChaosAction::Kind::kLinkDown;
+    } else if (word == "up") {
+      a.kind = ChaosAction::Kind::kLinkUp;
+    } else if (word == "gray") {
+      a.kind = ChaosAction::Kind::kGraySet;
+      uint64_t ppm = 0;
+      if (!(fields >> ppm) || ppm > 1000000) {
+        return Error(ErrorCode::kMalformed, "chaos schedule line " + std::to_string(line_no) +
+                                                ": gray needs a ppm in [0, 1000000]");
+      }
+      a.loss_ppm = static_cast<uint32_t>(ppm);
+    } else if (word == "grayclear") {
+      a.kind = ChaosAction::Kind::kGrayClear;
+    } else {
+      return Error(ErrorCode::kMalformed, "chaos schedule line " + std::to_string(line_no) +
+                                              ": unknown action '" + word + "'");
+    }
+    if (!out.actions.empty() && a.at < out.actions.back().at) {
+      return Error(ErrorCode::kMalformed, "chaos schedule line " + std::to_string(line_no) +
+                                              ": actions must be time-sorted");
+    }
+    out.actions.push_back(a);
+  }
+  return out;
+}
+
+void ApplyActions(SimulatedFabric& fabric, const ChaosSchedule& schedule, size_t begin,
+                  size_t end) {
+  Topology& topo = fabric.topo();
+  for (size_t i = begin; i < end && i < schedule.actions.size(); ++i) {
+    const ChaosAction& a = schedule.actions[i];
+    if (a.link >= topo.link_count()) {
+      continue;  // schedule built for another topology; ignore rather than crash
+    }
+    switch (a.kind) {
+      case ChaosAction::Kind::kLinkDown:
+        topo.SetLinkUp(a.link, false);
+        break;
+      case ChaosAction::Kind::kLinkUp:
+        topo.SetLinkUp(a.link, true);
+        break;
+      case ChaosAction::Kind::kGraySet:
+        topo.SetLinkLoss(a.link, a.loss_ppm);
+        break;
+      case ChaosAction::Kind::kGrayClear:
+        topo.SetLinkLoss(a.link, 0);
+        break;
+    }
+  }
+}
+
+void RunSchedule(SimulatedFabric& fabric, const ChaosSchedule& schedule,
+                 const RunHooks& hooks) {
+  const size_t n = schedule.actions.size();
+  const TimeNs t0 = fabric.Now();  // action times are offsets from here
+  TimeNs next_sample = hooks.sample_period > 0 ? t0 + hooks.sample_period : 0;
+  size_t i = 0;
+  while (i < n) {
+    const TimeNs at = t0 + schedule.actions[i].at;
+    while (hooks.sample_period > 0 && next_sample < at) {
+      if (next_sample > fabric.Now()) {
+        fabric.RunUntil(next_sample);
+      }
+      if (hooks.on_sample) {
+        hooks.on_sample(next_sample);
+      }
+      next_sample += hooks.sample_period;
+    }
+    if (at > fabric.Now()) {
+      fabric.RunUntil(at);
+    }
+    if (hooks.on_boundary) {
+      hooks.on_boundary(at);
+    }
+    size_t j = i;
+    while (j < n && t0 + schedule.actions[j].at == at) {
+      ++j;
+    }
+    ApplyActions(fabric, schedule, i, j);
+    i = j;
+  }
+  fabric.Run();
+}
+
+uint32_t CountStaleEntries(SimulatedFabric& fabric, const std::vector<LinkIndex>& links) {
+  uint32_t stale = 0;
+  ForEachStalePair(fabric, links,
+                   [&stale](const char*, LinkIndex, bool, bool) { ++stale; });
+  return stale;
+}
+
+std::vector<std::string> CheckConvergence(SimulatedFabric& fabric,
+                                          const std::vector<LinkIndex>& links) {
+  std::vector<std::string> out;
+  ForEachStalePair(fabric, links,
+                   [&out](const char* viewer, LinkIndex li, bool cached, bool truth) {
+                     std::ostringstream msg;
+                     msg << viewer << " cache believes link " << li << " is "
+                         << (cached ? "up" : "down") << "; ground truth says "
+                         << (truth ? "up" : "down");
+                     out.push_back(msg.str());
+                   });
+  return out;
+}
+
+ChaosSchedule MinimizeSchedule(const ChaosSchedule& failing,
+                               const std::function<bool(const ChaosSchedule&)>& still_fails,
+                               uint64_t max_probes) {
+  ChaosSchedule cur = failing;
+  uint64_t probes = 0;
+  size_t chunk = (cur.actions.size() + 1) / 2;
+  while (chunk >= 1 && !cur.actions.empty() && probes < max_probes) {
+    bool removed = false;
+    for (size_t start = 0; start < cur.actions.size() && probes < max_probes;) {
+      ChaosSchedule cand;
+      const size_t stop = std::min(start + chunk, cur.actions.size());
+      cand.actions.reserve(cur.actions.size() - (stop - start));
+      cand.actions.insert(cand.actions.end(), cur.actions.begin(),
+                          cur.actions.begin() + static_cast<long>(start));
+      cand.actions.insert(cand.actions.end(), cur.actions.begin() + static_cast<long>(stop),
+                          cur.actions.end());
+      ++probes;
+      if (still_fails(cand)) {
+        cur = std::move(cand);  // keep `start`: a new chunk now occupies it
+        removed = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      break;
+    }
+    chunk = removed ? std::min(chunk, (cur.actions.size() + 1) / 2) : chunk / 2;
+    if (chunk == 0) {
+      break;
+    }
+  }
+  return cur;
+}
+
+}  // namespace chaos
+}  // namespace dumbnet

@@ -386,6 +386,36 @@ bool HostAgent::RecordLinkObservation(uint64_t cell, bool up, TimeNs origin_time
 void HostAgent::ProcessLinkState(uint64_t switch_uid, PortNum port, bool up,
                                  TimeNs origin_time, uint64_t event_id, bool from_fabric,
                                  uint64_t from_mac) {
+  if (notification_interceptor_) {
+    const LinkEventPayload ev{event_id, switch_uid, port, up, origin_time};
+    const TimeNs verdict = notification_interceptor_(ev, from_fabric);
+    if (verdict < 0) {
+      ++stats_.notifications_dropped;
+      DN_COUNTER_INC("host.notifications_dropped");
+      return;
+    }
+    if (verdict > 0) {
+      // Defer the copy: it re-enters the normal pipeline later, racing fresher
+      // observations — exactly the stale-notification ordering the LWW merge
+      // must absorb. One deferral per copy: the deferred event bypasses the
+      // interceptor, so a constant-delay interceptor cannot loop forever.
+      ++stats_.notifications_delayed;
+      DN_COUNTER_INC("host.notifications_delayed");
+      sim_->ScheduleAfter(verdict, [this, switch_uid, port, up, origin_time, event_id,
+                                    from_fabric, from_mac] {
+        ProcessLinkStateNow(switch_uid, port, up, origin_time, event_id, from_fabric,
+                            from_mac);
+      });
+      return;
+    }
+  }
+  ProcessLinkStateNow(switch_uid, port, up, origin_time, event_id, from_fabric,
+                      from_mac);
+}
+
+void HostAgent::ProcessLinkStateNow(uint64_t switch_uid, PortNum port, bool up,
+                                    TimeNs origin_time, uint64_t event_id,
+                                    bool from_fabric, uint64_t from_mac) {
   DN_FP_SCOPE("host.link_state", mac_);
   DN_FP_COMMUTES(kHost, footprint::FpKey(mac_, event_id, kSaltSeenEvent), kFpDedup);
   if (!seen_events_.insert(event_id).second) {

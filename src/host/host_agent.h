@@ -59,6 +59,8 @@ struct HostAgentStats {
   uint64_t link_repairs = 0;       // RepairAfterLinkChange invocations
   uint64_t reroutes = 0;           // flows moved to a new route by a repair
   uint64_t path_divergence = 0;    // provenance mismatches on received data
+  uint64_t notifications_delayed = 0;  // chaos interceptor deferred a copy
+  uint64_t notifications_dropped = 0;  // chaos interceptor ate a copy
 };
 
 class HostAgent : public NetNode {
@@ -122,6 +124,21 @@ class HostAgent : public NetNode {
   using PatchHook = std::function<void(const TopologyPatchPayload&)>;
   void SetPatchHook(PatchHook hook) { patch_hook_ = std::move(hook); }
 
+  // --- Chaos injection (adversarial notification delivery) --------------------------
+  // Inspects every link-state notification copy (fabric port event or gossip
+  // flood) before the agent processes it. Return 0 to process immediately, a
+  // positive delay in ns to defer processing (delayed copies re-enter the normal
+  // dedup/LWW pipeline, so reordering against other events is fair game), or
+  // kDropNotification to drop this copy outright. The interceptor MUST be a pure
+  // (seeded) function of its arguments — it runs on the host's shard and any
+  // hidden shared state would break bit-for-bit reproducibility.
+  static constexpr TimeNs kDropNotification = -1;
+  using NotificationInterceptor =
+      std::function<TimeNs(const LinkEventPayload&, bool from_fabric)>;
+  void SetNotificationInterceptor(NotificationInterceptor f) {
+    notification_interceptor_ = std::move(f);
+  }
+
   // --- NetNode ------------------------------------------------------------------------
   void HandlePacket(const Packet& pkt, PortNum in_port) override;
 
@@ -146,8 +163,13 @@ class HostAgent : public NetNode {
   void DeliverLocal(const Packet& pkt);
   void HandleOwnPacket(const Packet& pkt);
   void HandleTransitProbe(const Packet& pkt, const ProbePayload& probe);
+  // Interceptor gate: consults notification_interceptor_ (drop / delay / pass)
+  // and forwards surviving copies to ProcessLinkStateNow.
   void ProcessLinkState(uint64_t switch_uid, PortNum port, bool up, TimeNs origin_time,
                         uint64_t event_id, bool from_fabric, uint64_t from_mac);
+  // The actual pipeline: dedup, LWW merge, repair, flood, controller hand-off.
+  void ProcessLinkStateNow(uint64_t switch_uid, PortNum port, bool up, TimeNs origin_time,
+                           uint64_t event_id, bool from_fabric, uint64_t from_mac);
   void RepairAfterLinkChange(uint64_t uid_a, uint64_t uid_b);
   // Last-writer-wins link-observation merge. `cell` names one physical link (the
   // normalized endpoint-uid pair when the edge is cached, the (switch, port)
@@ -184,6 +206,7 @@ class HostAgent : public NetNode {
   ProbeEventHandler probe_event_handler_;
   LinkEventHook link_event_hook_;
   PatchHook patch_hook_;
+  NotificationInterceptor notification_interceptor_;
 
   std::vector<HostLocation> gossip_peers_;
   std::unordered_map<uint64_t, std::deque<Packet>> pending_;  // dst -> queued packets

@@ -6,6 +6,7 @@
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
+#include "src/util/rng.h"
 
 namespace dumbnet {
 
@@ -19,6 +20,16 @@ constexpr const char kFpLinkFifo[] =
     "fifo link queue; occupancy and next_free are order-independent sums";
 uint64_t DirCell(LinkIndex li, bool from_a) {
   return footprint::FpKey(li, from_a ? 1 : 0);
+}
+
+// Gray-failure drop draw: a pure SplitMix64 hash of (seed, link, direction,
+// stream position). Deliberately not a shared Rng — global transmit order varies
+// with shard count and window boundaries, but a per-direction stream position
+// does not, so the drop pattern is reproducible from the seed alone.
+uint64_t GrayDraw(uint64_t seed, LinkIndex li, bool from_a, uint64_t n) {
+  SplitMix64 mix(seed ^ (static_cast<uint64_t>(li) * 0x9E3779B97F4A7C15ULL) ^
+                 (from_a ? 0x5851F42D4C957F2DULL : 0) ^ n);
+  return mix.Next();
 }
 }  // namespace
 
@@ -79,6 +90,20 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   const bool from_a = (link.a.node == from);
   DN_FP_COMMUTES(kLinkQueue, DirCell(li, from_a), kFpLinkFifo);
   DirState& dir = dirs_[li][from_a ? 0 : 1];
+
+  if (link.loss_ppm > 0) {
+    // Gray failure: the link is up but eats packets. The draw consumes one
+    // stream position per offered packet; which packet a position belongs to
+    // can shift under same-instant reordering (covered by the FIFO commute
+    // annotation above — control-plane convergence must tolerate lost copies).
+    const uint64_t draw = GrayDraw(config_.gray_seed, li, from_a, dir.gray_offered++);
+    if (draw % 1000000u < link.loss_ppm) {
+      ++StatsFor(from).dropped_gray;
+      DN_COUNTER_INC("net.dropped_gray");
+      DN_TRACE_EVENT(kNetwork, kDrop, sim.Now(), li, 1);
+      return;
+    }
+  }
 
   const TimeNs now = sim.Now();
   DrainDir(dir, now, sim);
@@ -162,6 +187,7 @@ NetworkStats Network::stats() const {
     total.delivered += s.stats.delivered;
     total.dropped_link_down += s.stats.dropped_link_down;
     total.dropped_queue_full += s.stats.dropped_queue_full;
+    total.dropped_gray += s.stats.dropped_gray;
     total.dropped_unwired += s.stats.dropped_unwired;
     total.bytes_delivered += s.stats.bytes_delivered;
   }

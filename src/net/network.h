@@ -50,12 +50,18 @@ struct NetworkConfig {
   int64_t queue_capacity_bytes = 512 * 1024;
   // Time from a physical link dying to the endpoints noticing (loss-of-signal).
   TimeNs link_detect_delay = Ms(1);
+  // Seed for the gray-failure drop stream (Link::loss_ppm). The drop decision is
+  // a pure hash of (seed, link, direction, per-direction offer count), never a
+  // shared Rng: per-direction streams are owned by the sending shard, so a run
+  // at a fixed shard count is bit-identical regardless of worker interleaving.
+  uint64_t gray_seed = 0xD0BBE701;
 };
 
 struct NetworkStats {
   uint64_t delivered = 0;
   uint64_t dropped_link_down = 0;
   uint64_t dropped_queue_full = 0;
+  uint64_t dropped_gray = 0;  // eaten by an up-but-lossy link (Link::loss_ppm)
   uint64_t dropped_unwired = 0;
   uint64_t bytes_delivered = 0;
 };
@@ -134,6 +140,10 @@ class Network {
     int64_t queued_bytes = 0;
     std::vector<PendingTx> pending;  // FIFO: `done` and `seq` both ascend
     uint32_t head = 0;               // first unretired entry
+    // Packets offered while the link was gray (Link::loss_ppm > 0): the position
+    // in the per-direction drop stream. Owned by the sending shard like the rest
+    // of DirState, so the stream is deterministic at a fixed shard count.
+    uint64_t gray_offered = 0;
   };
   static bool PendingDone(const PendingTx& p, TimeNs now, uint64_t cur_seq) {
     return p.done < now || (p.done == now && p.seq < cur_seq);

@@ -61,6 +61,10 @@ struct Link {
   bool detached = false;  // tombstone left behind by DetachLink()
   double bandwidth_gbps = 10.0;
   int64_t propagation_ns = 500;  // ~100 m of fiber
+  // Gray failure (up-but-lossy): parts-per-million of packets the link eats
+  // while it reports "up". 0 = healthy. The endpoints see no port alarm — the
+  // whole point of a gray failure is that nothing notices at the physical layer.
+  uint32_t loss_ppm = 0;
 
   // Returns the endpoint opposite to `from`.
   const Endpoint& Peer(const NodeId& from) const { return from == a.node ? b : a; }
@@ -142,6 +146,11 @@ class Topology {
   void SetLinkPropagation(LinkIndex i, int64_t propagation_ns) {
     links_[i].propagation_ns = propagation_ns;
   }
+
+  // Sets a link's gray-failure loss rate (parts per million). No observer
+  // notification: gray failures are silent — switches keep forwarding into the
+  // lossy link and hosts only notice through end-to-end symptoms.
+  void SetLinkLoss(LinkIndex i, uint32_t loss_ppm) { links_[i].loss_ppm = loss_ppm; }
 
   // Unplugs a link permanently: both ports become free for new connections and the
   // link entry is tombstoned (indices stay stable). Used by discovered-topology

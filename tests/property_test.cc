@@ -12,46 +12,13 @@
 #include "src/routing/shortest_path.h"
 #include "src/topo/generators.h"
 #include "src/util/rng.h"
+#include "tests/random_topo.h"
 #include "tests/test_fabric.h"
 
 namespace dumbnet {
 namespace {
 
-// Random connected topology: n switches, random extra edges beyond a spanning tree.
-Topology RandomTopology(uint64_t seed, uint32_t n, uint32_t extra_edges) {
-  Rng rng(seed);
-  Topology topo;
-  std::vector<uint8_t> used_ports(n, 0);
-  std::set<std::pair<uint32_t, uint32_t>> adjacent;  // no parallel edges: the
-  // brute-force path enumerator below works on vertex sequences, like Yen
-  for (uint32_t i = 0; i < n; ++i) {
-    topo.AddSwitch(kMaxPorts);
-  }
-  auto connect = [&](uint32_t a, uint32_t b) {
-    if (a == b || adjacent.count({std::min(a, b), std::max(a, b)}) > 0) {
-      return false;
-    }
-    auto r = topo.ConnectSwitches(a, static_cast<PortNum>(used_ports[a] + 1), b,
-                                  static_cast<PortNum>(used_ports[b] + 1));
-    if (r.ok()) {
-      ++used_ports[a];
-      ++used_ports[b];
-      adjacent.insert({std::min(a, b), std::max(a, b)});
-      return true;
-    }
-    return false;
-  };
-  // Spanning tree first.
-  for (uint32_t i = 1; i < n; ++i) {
-    connect(i, static_cast<uint32_t>(rng.UniformInt(i)));
-  }
-  // Random extra edges (parallel edges prevented implicitly by port bumping; loops
-  // rejected by connect()).
-  for (uint32_t e = 0; e < extra_edges; ++e) {
-    connect(static_cast<uint32_t>(rng.UniformInt(n)), static_cast<uint32_t>(rng.UniformInt(n)));
-  }
-  return topo;
-}
+using testing_topo::RandomTopology;
 
 // All simple paths between two vertices (for brute-force k-SP comparison).
 void AllPathsDfs(const SwitchGraph& g, uint32_t u, uint32_t dst, std::vector<bool>& visited,

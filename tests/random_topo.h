@@ -1,0 +1,81 @@
+// Shared random-topology generators for randomized tests (property, robustness,
+// chaos). Kept out of src/ on purpose: these build adversarially-shaped graphs
+// for checking, not realistic fabrics — production experiments use
+// src/topo/generators.h.
+#ifndef DUMBNET_TESTS_RANDOM_TOPO_H_
+#define DUMBNET_TESTS_RANDOM_TOPO_H_
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+
+namespace dumbnet {
+namespace testing_topo {
+
+// Random connected switch-only topology: n switches, random extra edges beyond
+// a spanning tree. No parallel edges (brute-force path enumerators work on
+// vertex sequences, like Yen), no self-loops.
+inline Topology RandomTopology(uint64_t seed, uint32_t n, uint32_t extra_edges) {
+  Rng rng(seed);
+  Topology topo;
+  std::vector<uint8_t> used_ports(n, 0);
+  std::set<std::pair<uint32_t, uint32_t>> adjacent;
+  for (uint32_t i = 0; i < n; ++i) {
+    topo.AddSwitch(kMaxPorts);
+  }
+  auto connect = [&](uint32_t a, uint32_t b) {
+    if (a == b || adjacent.count({std::min(a, b), std::max(a, b)}) > 0) {
+      return false;
+    }
+    auto r = topo.ConnectSwitches(a, static_cast<PortNum>(used_ports[a] + 1), b,
+                                  static_cast<PortNum>(used_ports[b] + 1));
+    if (r.ok()) {
+      ++used_ports[a];
+      ++used_ports[b];
+      adjacent.insert({std::min(a, b), std::max(a, b)});
+      return true;
+    }
+    return false;
+  };
+  // Spanning tree first.
+  for (uint32_t i = 1; i < n; ++i) {
+    connect(i, static_cast<uint32_t>(rng.UniformInt(i)));
+  }
+  // Random extra edges (parallel edges prevented implicitly by port bumping;
+  // loops rejected by connect()).
+  for (uint32_t e = 0; e < extra_edges; ++e) {
+    connect(static_cast<uint32_t>(rng.UniformInt(n)),
+            static_cast<uint32_t>(rng.UniformInt(n)));
+  }
+  return topo;
+}
+
+// RandomTopology plus `hosts_per_switch` hosts on every switch, for tests that
+// need a full fabric (agents, controller) rather than just a switch graph.
+// Hosts take the lowest free ports, keeping the port space compact so
+// discovery sweeps with a small max_ports still see every attachment.
+inline Topology RandomHostedTopology(uint64_t seed, uint32_t n, uint32_t extra_edges,
+                                     uint32_t hosts_per_switch = 1) {
+  Topology topo = RandomTopology(seed, n, extra_edges);
+  for (uint32_t s = 0; s < n; ++s) {
+    PortNum port = 1;
+    for (uint32_t h = 0; h < hosts_per_switch; ++h) {
+      while (topo.LinkAtPort(s, port) != kInvalidLink) {
+        ++port;
+      }
+      const uint32_t host = topo.AddHost();
+      auto r = topo.AttachHost(host, s, port);
+      (void)r;
+    }
+  }
+  return topo;
+}
+
+}  // namespace testing_topo
+}  // namespace dumbnet
+
+#endif  // DUMBNET_TESTS_RANDOM_TOPO_H_

@@ -9,6 +9,7 @@
 #include "src/topo/generators.h"
 #include "src/transport/reliable_flow.h"
 #include "src/workload/hibench.h"
+#include "tests/random_topo.h"
 #include "tests/test_fabric.h"
 
 namespace dumbnet {
@@ -42,6 +43,24 @@ TEST(DiscoveryRobustnessTest, LinkFailureMidDiscoveryDoesNotHang) {
   // every switch remains reachable.
   EXPECT_EQ(discovery.db().switch_count(), 7u);
   EXPECT_EQ(discovery.db().host_count(), 27u);
+}
+
+TEST(DiscoveryRobustnessTest, ExactOnRandomIrregularFabric) {
+  // Discovery must be exact on adversarially-shaped graphs, not just the
+  // regular generators — the shared random generator can produce hub switches
+  // and long chains that the fat-tree/leaf-spine cases never exercise.
+  for (uint64_t seed : {7u, 19u, 42u}) {
+    Topology topo = testing_topo::RandomHostedTopology(seed, 10, 6, 1);
+    const size_t switches = topo.switch_count();
+    const size_t hosts = topo.host_count();
+    TestFabric fabric(std::move(topo));
+    DiscoveryService discovery(&fabric.agent(0), FastDiscovery(20));
+    discovery.Start(nullptr);
+    fabric.Run();
+    ASSERT_TRUE(discovery.complete()) << "seed " << seed;
+    EXPECT_EQ(discovery.db().switch_count(), switches) << "seed " << seed;
+    EXPECT_EQ(discovery.db().host_count(), hosts) << "seed " << seed;
+  }
 }
 
 TEST(DiscoveryRobustnessTest, ProbeCountMatchesComplexityFormula) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/chaos.h"
 #include "src/core/fabric.h"
 #include "src/net/shard_plan.h"
 #include "src/sim/shard_set.h"
@@ -33,7 +34,7 @@ TEST(SpscChannelTest, FifoWithinRing) {
   ch.DrainTo(out);
   ASSERT_EQ(out.size(), 5u);
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(out[i], i);
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
   }
   EXPECT_TRUE(ch.EmptyUnsynchronized());
 }
@@ -48,7 +49,7 @@ TEST(SpscChannelTest, OverflowSpillsAndPreservesFifo) {
   ch.DrainTo(out);
   ASSERT_EQ(out.size(), static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], i) << "spill broke FIFO at " << i;
+    EXPECT_EQ(out[static_cast<size_t>(i)], i) << "spill broke FIFO at " << i;
   }
   EXPECT_TRUE(ch.EmptyUnsynchronized());
   // The sticky spill flag resets at drain: the ring is usable again.
@@ -106,6 +107,82 @@ TEST(ShardPlanTest, ClampsShardCountAndHandlesSingleShard) {
   EXPECT_EQ(plan.shard_count, 1u) << "one switch cannot split 8 ways";
   EXPECT_EQ(plan.cross_shard_links, 0u);
   EXPECT_EQ(plan.lookahead, ShardPlan::kNoCrossLinks);
+}
+
+// Characterization of ShardPlan on fat-trees: the contiguous-block partitioner
+// has no pod concept. MakeFatTree(k=4) lays out switches core-first (4 cores,
+// then 4 pods of 2 aggregation + 2 edge switches), so at 2 shards the block
+// boundary happens to coincide with a pod boundary (only core->aggregation
+// links are cut), but at 4 shards one pod is torn across shards. This test
+// documents the current cut counts; a genuinely pod-aware planner would keep
+// cut_intra_pod at zero for every shard count that divides the pod count and
+// should update these expectations alongside its implementation.
+TEST(ShardPlanTest, FatTreeSplitIsNotPodAwareCharacterization) {
+  FatTreeConfig config;
+  config.k = 4;
+  auto ft = MakeFatTree(config);
+  ASSERT_TRUE(ft.ok());
+  const Topology& topo = ft.value().topo;
+  ASSERT_EQ(topo.switch_count(), 20u);  // 4 core + 4 pods x (2 agg + 2 edge)
+
+  // Pod of a switch: cores are pod-less; pod switches follow the generator's
+  // layout (aggregation then edge, interleaved per pod).
+  auto pod_of = [&](uint32_t sw) -> int {
+    for (size_t p = 0; p < 4; ++p) {
+      for (uint32_t agg : {ft.value().aggregation[2 * p], ft.value().aggregation[2 * p + 1]}) {
+        if (sw == agg) {
+          return static_cast<int>(p);
+        }
+      }
+      for (uint32_t edge : {ft.value().edge[2 * p], ft.value().edge[2 * p + 1]}) {
+        if (sw == edge) {
+          return static_cast<int>(p);
+        }
+      }
+    }
+    return -1;  // core
+  };
+
+  for (uint32_t shards : {2u, 4u}) {
+    ShardPlan plan = ShardPlan::Build(topo, shards);
+    ASSERT_EQ(plan.shard_count, shards);
+    uint32_t cut_intra_pod = 0;    // both endpoints in the same pod, split anyway
+    uint32_t cut_core_down = 0;    // core <-> aggregation cuts
+    uint32_t cut_inter_pod = 0;    // distinct-pod cuts (none exist in a fat-tree)
+    for (uint32_t li = 0; li < topo.link_count(); ++li) {
+      const Link& l = topo.link_at(li);
+      if (l.detached || !l.a.node.is_switch() || !l.b.node.is_switch()) {
+        continue;
+      }
+      const uint32_t a = l.a.node.index, b = l.b.node.index;
+      if (plan.switch_shard[a] == plan.switch_shard[b]) {
+        continue;
+      }
+      const int pa = pod_of(a), pb = pod_of(b);
+      if (pa == -1 || pb == -1) {
+        ++cut_core_down;
+      } else if (pa == pb) {
+        ++cut_intra_pod;
+      } else {
+        ++cut_inter_pod;
+      }
+    }
+    EXPECT_EQ(cut_core_down + cut_intra_pod + cut_inter_pod, plan.cross_shard_links);
+    EXPECT_EQ(cut_inter_pod, 0u) << "fat-trees have no pod-to-pod wires";
+    if (shards == 2) {
+      // Split lands on a pod boundary: cores + pods 0-1 low, pods 2-3 high.
+      // Only the high pods' 8 aggregation->core links cross.
+      EXPECT_EQ(plan.cross_shard_links, 8u);
+      EXPECT_EQ(cut_core_down, 8u);
+      EXPECT_EQ(cut_intra_pod, 0u);
+    } else {
+      // One block boundary lands mid-pod: that pod's 4 internal agg<->edge
+      // links are cut on top of 12 core downlinks.
+      EXPECT_EQ(plan.cross_shard_links, 16u);
+      EXPECT_EQ(cut_core_down, 12u);
+      EXPECT_EQ(cut_intra_pod, 4u);
+    }
+  }
 }
 
 // --- ShardSet ----------------------------------------------------------------
@@ -283,6 +360,50 @@ TEST_F(ShardInvarianceTest, FourShardsConvergeToSingleShardState) {
 TEST_F(ShardInvarianceTest, FixedShardCountIsBitIdentical) {
   ScenarioResult a = RunScenario(4);
   ScenarioResult b = RunScenario(4);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+// Churn golden trace: a flap-only chaos schedule (loss-free — gray drops are
+// per-shard streams and thus legitimately shard-dependent) must converge to
+// the same control-plane digest on 1 and 4 shards, and a fixed shard count
+// must replay bit-identically.
+ScenarioResult RunChurnScenario(uint32_t shards) {
+  auto testbed = MakePaperTestbed();
+  EXPECT_TRUE(testbed.ok());
+  SimulatedFabric fabric(std::move(testbed.value().topo), HostAgentConfig(),
+                         DumbSwitchConfig(), NetworkConfig(), shards);
+  fabric.BringUpAdopted(25);
+
+  chaos::ChaosConfig config;
+  config.seed = 11;
+  config.horizon = Ms(40);
+  config.flap.links = 3;
+  config.gray.links = 0;
+  config.outage.enabled = true;
+  chaos::ChaosSchedule sched = chaos::GenerateSchedule(fabric.topo(), config);
+  EXPECT_FALSE(sched.empty());
+  chaos::RunSchedule(fabric, sched);
+  EXPECT_TRUE(chaos::CheckConvergence(fabric, sched.TouchedLinks()).empty())
+      << "churn did not converge on " << shards << " shard(s)";
+
+  ScenarioResult r;
+  r.digest = StateDigest(fabric);
+  r.events = fabric.executed_events();
+  r.end_time = fabric.Now();
+  return r;
+}
+
+TEST_F(ShardInvarianceTest, ChurnScheduleDigestIsShardCountInvariant) {
+  ScenarioResult one = RunChurnScenario(1);
+  ScenarioResult four = RunChurnScenario(4);
+  EXPECT_EQ(one.digest, four.digest);
+}
+
+TEST_F(ShardInvarianceTest, ChurnScheduleReplayIsBitIdentical) {
+  ScenarioResult a = RunChurnScenario(4);
+  ScenarioResult b = RunChurnScenario(4);
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.end_time, b.end_time);
