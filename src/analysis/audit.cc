@@ -1,6 +1,7 @@
 #include "src/analysis/audit.h"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
@@ -11,6 +12,7 @@ namespace audit {
 namespace {
 
 AuditCounters g_counters;
+std::mutex g_failure_mu;  // guards g_last_failure (failure path only)
 std::string g_last_failure;
 bool g_abort_on_failure = false;
 
@@ -19,21 +21,27 @@ bool g_abort_on_failure = false;
 const AuditCounters& Counters() { return g_counters; }
 
 void ResetCounters() {
-  g_counters = AuditCounters{};
+  g_counters.checks.store(0, std::memory_order_relaxed);
+  g_counters.failures.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_failure_mu);
   g_last_failure.clear();
 }
 
+// Test diagnostics; read after worker threads are joined, so no lock on read.
 const std::string& LastFailure() { return g_last_failure; }
 
 void SetAbortOnFailure(bool abort_on_failure) { g_abort_on_failure = abort_on_failure; }
 
 namespace internal {
 
-void RecordCheck() { ++g_counters.checks; }
+void RecordCheck() { g_counters.checks.fetch_add(1, std::memory_order_relaxed); }
 
 void RecordFailure(bool hard, const char* file, int line, const std::string& message) {
-  ++g_counters.failures;
-  g_last_failure = message;
+  g_counters.failures.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_failure_mu);
+    g_last_failure = message;
+  }
   DN_ERROR << (hard ? "invariant violated" : "audit failed") << " at " << file << ":"
            << line << " — " << message;
   DN_COUNTER_INC("audit.failures");

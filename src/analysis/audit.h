@@ -17,6 +17,7 @@
 #ifndef DUMBNET_SRC_ANALYSIS_AUDIT_H_
 #define DUMBNET_SRC_ANALYSIS_AUDIT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -30,12 +31,13 @@ namespace audit {
 constexpr size_t kMaxTagStackDepth = 16;
 
 struct AuditCounters {
-  uint64_t checks = 0;    // audit-point evaluations (enabled builds only)
-  uint64_t failures = 0;  // violations recorded
+  // Relaxed atomics: audit points fire from every wire-node thread; the values
+  // are statistics, not synchronization.
+  std::atomic<uint64_t> checks{0};    // audit-point evaluations (enabled builds only)
+  std::atomic<uint64_t> failures{0};  // violations recorded
 };
 
-// Global audit state (the simulator is single-threaded by design; see
-// src/util/logging.h for the same convention).
+// Global audit state, shared across all threads running protocol objects.
 const AuditCounters& Counters();
 void ResetCounters();
 

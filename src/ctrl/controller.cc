@@ -48,6 +48,9 @@ void ControllerService::Start(std::function<void()> on_ready) {
     controller_switch_uid_ = discovery_.attach_switch_uid();
     controller_port_ = discovery_.attach_port();
     BootstrapHosts();
+    DN_INFO << "controller ready: " << stats_.bootstraps_sent
+            << " bootstraps sent, attach uid=" << controller_switch_uid_
+            << " port=" << int{controller_port_};
     ready_ = true;
     if (on_ready) {
       on_ready();

@@ -257,7 +257,18 @@ void DiscoveryService::ReprobePort(uint64_t uid, PortNum port, std::function<voi
   }
   complete_ = false;
   if (done) {
-    on_complete_ = std::move(done);
+    // Chain, never replace: a reprobe triggered while initial discovery is
+    // still in flight (a link coming up mid-bring-up) must not discard the
+    // Start() completion callback — losing it strands every host
+    // unbootstrapped with no retry.
+    if (on_complete_) {
+      on_complete_ = [prev = std::move(on_complete_), done = std::move(done)] {
+        prev();
+        done();
+      };
+    } else {
+      on_complete_ = std::move(done);
+    }
   }
   // Unbind both sides of whatever used to be plugged in here so the rewired link
   // can be recorded.

@@ -23,12 +23,13 @@ uint64_t DirCell(LinkIndex li, bool from_a) {
 }
 
 // Gray-failure drop draw: a pure SplitMix64 hash of (seed, link, direction,
-// stream position). Deliberately not a shared Rng — global transmit order varies
-// with shard count and window boundaries, but a per-direction stream position
-// does not, so the drop pattern is reproducible from the seed alone.
-uint64_t GrayDraw(uint64_t seed, LinkIndex li, bool from_a, uint64_t n) {
+// packet id). Deliberately not a shared Rng and not a stream position — global
+// transmit order varies with shard count and window boundaries, but a packet's
+// identity does not, so each packet's fate on a lossy link direction is fixed
+// by the seed alone and gray-loss schedules are shard-invariant.
+uint64_t GrayDraw(uint64_t seed, LinkIndex li, bool from_a, uint64_t pkt_id) {
   SplitMix64 mix(seed ^ (static_cast<uint64_t>(li) * 0x9E3779B97F4A7C15ULL) ^
-                 (from_a ? 0x5851F42D4C957F2DULL : 0) ^ n);
+                 (from_a ? 0x5851F42D4C957F2DULL : 0) ^ pkt_id);
   return mix.Next();
 }
 }  // namespace
@@ -38,6 +39,8 @@ Network::Network(Simulator* sim, Topology* topo, NetworkConfig config)
   dirs_.resize(topo_->link_count());
   switch_nodes_.assign(topo_->switch_count(), nullptr);
   host_nodes_.assign(topo_->host_count(), nullptr);
+  switch_origin_seq_.assign(topo_->switch_count(), 0);
+  host_origin_seq_.assign(topo_->host_count(), 0);
   stats_shards_.resize(1);
   topo_->AddLinkObserver([this](LinkIndex li, bool up) { OnLinkStateChange(li, up); });
 }
@@ -78,8 +81,22 @@ void Network::SendFromHost(uint32_t host, Packet pkt) {
   Transmit(li, NodeId::Host(host), std::move(pkt));
 }
 
+void Network::StampPacketId(const NodeId& from, Packet& pkt) {
+  if (pkt.pkt_id != 0) {
+    return;  // already in flight; keep the origin's stamp across hops
+  }
+  uint64_t& seq =
+      from.is_switch() ? switch_origin_seq_[from.index] : host_origin_seq_[from.index];
+  const uint64_t origin =
+      (from.is_switch() ? 0xA11CE000000000ULL : 0xB0B000000000ULL) ^ from.index;
+  SplitMix64 mix(origin * 0x9E3779B97F4A7C15ULL ^ ++seq);
+  const uint64_t id = mix.Next();
+  pkt.pkt_id = id != 0 ? id : 1;
+}
+
 void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   Simulator& sim = SimFor(from);
+  StampPacketId(from, pkt);
   const Link& link = topo_->link_at(li);
   if (!link.up) {
     ++StatsFor(from).dropped_link_down;
@@ -92,11 +109,11 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   DirState& dir = dirs_[li][from_a ? 0 : 1];
 
   if (link.loss_ppm > 0) {
-    // Gray failure: the link is up but eats packets. The draw consumes one
-    // stream position per offered packet; which packet a position belongs to
-    // can shift under same-instant reordering (covered by the FIFO commute
-    // annotation above — control-plane convergence must tolerate lost copies).
-    const uint64_t draw = GrayDraw(config_.gray_seed, li, from_a, dir.gray_offered++);
+    // Gray failure: the link is up but eats packets. The draw is keyed on the
+    // packet's stamped identity, so same-instant reordering of distinct
+    // transmits never reshuffles which packets die (control-plane convergence
+    // must still tolerate the lost copies themselves).
+    const uint64_t draw = GrayDraw(config_.gray_seed, li, from_a, pkt.pkt_id);
     if (draw % 1000000u < link.loss_ppm) {
       ++StatsFor(from).dropped_gray;
       DN_COUNTER_INC("net.dropped_gray");

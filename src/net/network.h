@@ -51,9 +51,12 @@ struct NetworkConfig {
   // Time from a physical link dying to the endpoints noticing (loss-of-signal).
   TimeNs link_detect_delay = Ms(1);
   // Seed for the gray-failure drop stream (Link::loss_ppm). The drop decision is
-  // a pure hash of (seed, link, direction, per-direction offer count), never a
-  // shared Rng: per-direction streams are owned by the sending shard, so a run
-  // at a fixed shard count is bit-identical regardless of worker interleaving.
+  // a pure hash of (seed, link, direction, packet id), never a shared Rng or a
+  // shard-local stream position: packet ids are stamped from per-origin
+  // counters on first transmit, so the drop pattern is a function of which
+  // packets each node sent — identical across shard counts and worker
+  // interleavings, which is what makes gray-loss chaos schedules
+  // shard-invariant.
   uint64_t gray_seed = 0xD0BBE701;
 };
 
@@ -66,9 +69,15 @@ struct NetworkStats {
   uint64_t bytes_delivered = 0;
 };
 
+// The simulated transport. The send surface (SendFromSwitch / SendFromHost /
+// QueueBacklog) is virtual so the same protocol objects can run over a
+// different packet carrier: src/wire's WireNetAdapter overrides it to emit
+// frames on real sockets while reusing the registration, topology, and
+// port-change plumbing below.
 class Network {
  public:
   Network(Simulator* sim, Topology* topo, NetworkConfig config = NetworkConfig());
+  virtual ~Network() = default;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -83,10 +92,10 @@ class Network {
 
   // Emits a packet from switch `sw` out `port`. Silently drops (with stats) if the
   // port is unwired or the link is down — exactly what real hardware does.
-  void SendFromSwitch(uint32_t sw, PortNum port, Packet pkt);
+  virtual void SendFromSwitch(uint32_t sw, PortNum port, Packet pkt);
 
   // Emits a packet from a host's single NIC.
-  void SendFromHost(uint32_t host, Packet pkt);
+  virtual void SendFromHost(uint32_t host, Packet pkt);
 
   // The simulator `node`'s events run on: its shard's in sharded mode, the one
   // and only simulator otherwise. Node constructors cache this.
@@ -99,13 +108,27 @@ class Network {
 
   Simulator& sim() { return *sim_; }
   Topology& topo() { return *topo_; }
+  const Topology& topo() const { return *topo_; }
   // Aggregated over shards (counters are kept per shard so workers never share
   // a cache line, and summed here).
   NetworkStats stats() const;
 
   // Bytes currently queued for transmission on the (link, direction-from-`from`)
   // egress — the physical signal ECN marking reads (no state added to switches).
-  int64_t QueueBacklog(LinkIndex li, const NodeId& from) const;
+  virtual int64_t QueueBacklog(LinkIndex li, const NodeId& from) const;
+
+ protected:
+  // Registered node for `id`, or nullptr. Wire adapters deliver decoded frames
+  // through this — the same registration the simulated delivery path uses.
+  NetNode* NodeFor(const NodeId& id) const {
+    return id.is_switch() ? switch_nodes_[id.index] : host_nodes_[id.index];
+  }
+
+  // Stamps a fabric-unique packet id from `from`'s origin counter on first
+  // transmit (no-op for packets already in flight). Counter cells are owned by
+  // the origin's shard, and a node's emission order is shard-invariant, so ids
+  // — and everything keyed on them, like the gray-loss drop stream — are too.
+  void StampPacketId(const NodeId& from, Packet& pkt);
 
  private:
   void Transmit(LinkIndex li, const NodeId& from, Packet pkt);
@@ -140,10 +163,6 @@ class Network {
     int64_t queued_bytes = 0;
     std::vector<PendingTx> pending;  // FIFO: `done` and `seq` both ascend
     uint32_t head = 0;               // first unretired entry
-    // Packets offered while the link was gray (Link::loss_ppm > 0): the position
-    // in the per-direction drop stream. Owned by the sending shard like the rest
-    // of DirState, so the stream is deterministic at a fixed shard count.
-    uint64_t gray_offered = 0;
   };
   static bool PendingDone(const PendingTx& p, TimeNs now, uint64_t cur_seq) {
     return p.done < now || (p.done == now && p.seq < cur_seq);
@@ -164,6 +183,10 @@ class Network {
   std::vector<NetNode*> switch_nodes_;
   std::vector<NetNode*> host_nodes_;
   std::vector<PaddedStats> stats_shards_;
+  // Per-origin packet-id counters (see StampPacketId). Each cell is only ever
+  // touched from its node's shard.
+  std::vector<uint64_t> switch_origin_seq_;
+  std::vector<uint64_t> host_origin_seq_;
 };
 
 }  // namespace dumbnet

@@ -162,6 +162,14 @@ struct Packet {
   TagList tags;
   Payload payload = DataPayload{};
   TimeNs sent_time = 0;  // stamped by the first transmitter, for latency stats
+  // Fabric-local packet identity, stamped by the network on the packet's first
+  // transmit from a per-origin counter (hosts and switches each own a stream).
+  // Gray-failure drops are a pure hash of (gray_seed, link, direction, pkt_id),
+  // so a packet's fate on a lossy link is a function of the packet itself —
+  // never of how concurrent transmits interleaved. 0 = not yet stamped. Not
+  // charged to WireSize() (a real NIC would fold this into an existing header
+  // field such as IP id).
+  uint64_t pkt_id = 0;
   // In-band path provenance (telemetry): the sender stamps the promised switch
   // UIDs, each switch appends the hop it actually took, the receiver compares.
   // Empty (two null vectors) unless telemetry armed it; deliberately NOT charged

@@ -44,8 +44,9 @@ Simulator::Simulator() {
     level.head.fill(kNil);
     level.tail.fill(kNil);
   }
-  // First simulator wins: nested/sequential simulators leave an already
-  // registered clock alone.
+  // First simulator on this thread wins: nested/sequential simulators leave an
+  // already registered clock alone (the registration is thread-local, so each
+  // wire-node thread timestamps its log lines with its own simulator).
   int64_t unused = 0;
   if (!CurrentLogTime(&unused)) {
     SetLogClock(&SimulatorLogClock, this);

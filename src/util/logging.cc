@@ -6,8 +6,11 @@ namespace dumbnet {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
-LogClock g_clock = nullptr;
-const void* g_clock_ctx = nullptr;
+// Thread-local: the wire runtime runs one simulator per node *thread*, and each
+// thread's log lines should carry (and only ever read) its own clock. In the
+// classic single-threaded world this is indistinguishable from a global.
+thread_local LogClock g_clock = nullptr;
+thread_local const void* g_clock_ctx = nullptr;
 LogKvSink g_kv_sink = nullptr;
 
 const char* LevelName(LogLevel level) {

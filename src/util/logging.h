@@ -1,10 +1,12 @@
 // Minimal leveled logger. Defaults to kWarn so simulations stay quiet; tests and
-// examples raise verbosity explicitly. Not thread-safe by design: the simulator is
-// single-threaded and benchmarks set the level once up front.
+// examples raise verbosity explicitly. The level and sink are set once up front
+// (before any worker threads); the log clock is thread-local (see below).
 //
 // Two observability hooks feed richer subsystems without reversing the layering:
 //  - SetLogClock: an active Simulator registers its virtual clock so every line
-//    carries simulated time ("[t=12.345ms]") instead of no time at all.
+//    carries simulated time ("[t=12.345ms]") instead of no time at all. The
+//    registration is thread-local: each wire-node thread owns a private
+//    simulator, and its log lines must read that clock and no other's.
 //  - SetLogKvSink: DN_LOG_KV structured events are offered to a sink (the
 //    telemetry flight recorder installs one) regardless of the stderr level, so
 //    the recorder sees events even while the console stays quiet.

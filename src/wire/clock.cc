@@ -1,0 +1,25 @@
+#include "src/wire/clock.h"
+
+#include <ctime>
+
+namespace dumbnet {
+namespace wire {
+
+int64_t MonotonicNowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+void SleepNs(int64_t ns) {
+  if (ns <= 0) {
+    return;
+  }
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(ns / 1000000000LL);
+  req.tv_nsec = static_cast<long>(ns % 1000000000LL);  // NOLINT(google-runtime-int)
+  nanosleep(&req, nullptr);
+}
+
+}  // namespace wire
+}  // namespace dumbnet

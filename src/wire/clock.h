@@ -1,0 +1,29 @@
+// The wire runtime's only wall-clock source. Everything in src/wire that needs
+// real time calls MonotonicNowNs() so the rest of the codebase stays on virtual
+// time (Simulator::Now) and dn-lint can enforce it: this file and clock.cc are
+// the sole determinism-exempt entries for src/wire (see LintOptions).
+//
+// Wire nodes convert the monotonic reading to a fabric-relative timeline by
+// subtracting one shared epoch captured at fabric start; because every node
+// thread lives in one process and CLOCK_MONOTONIC is process-wide, timestamps
+// stamped by one node (Packet::sent_time) are directly comparable at another —
+// that is what makes one-way latency measurable in bench/wire_latency.
+#ifndef DUMBNET_SRC_WIRE_CLOCK_H_
+#define DUMBNET_SRC_WIRE_CLOCK_H_
+
+#include <cstdint>
+
+namespace dumbnet {
+namespace wire {
+
+// CLOCK_MONOTONIC in nanoseconds. Monotone, unaffected by wall-clock steps.
+int64_t MonotonicNowNs();
+
+// Blocks the calling thread for ~ns (clamped to >= 0). Main-thread polling only;
+// node threads sleep in their reactor instead.
+void SleepNs(int64_t ns);
+
+}  // namespace wire
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WIRE_CLOCK_H_

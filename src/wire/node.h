@@ -1,0 +1,208 @@
+// WireNode: one fabric element (switch or host) running as a real thread.
+//
+// Each node owns, privately and thread-locally:
+//   * a Simulator — the protocol stack's virtual clock, continuously advanced
+//     to the wall clock (RunUntil(elapsed)), so every existing protocol timer
+//     (probe timeouts, patch aggregation, alarm suppression) runs in real time
+//     without modification;
+//   * a full Topology copy — its local ground-truth view. Links adjacent to the
+//     node mirror socket liveness (down until the link's connection completes
+//     its hello handshake); everything else keeps the blueprint state and is
+//     learned about through the protocol, exactly like a real deployment;
+//   * a WireNetAdapter and exactly one protocol object (DumbSwitch or
+//     HostAgent, optionally hosting the ControllerService), constructed against
+//     the adapter the same way the simulated fabric constructs them.
+//
+// Sockets realize links one-to-one. Switches listen (UDS path or localhost TCP
+// port derived from their index); hosts dial their uplink switch; between two
+// switches the higher index dials the lower. A dialer opens with
+// kHello{link, who-I-am}; the acceptor validates the claim against its topology
+// copy, adopts the socket as that link's carrier and answers kHelloAck. Both
+// sides then raise the link in their local topology (feeding the stock
+// detect-delay -> HandlePortChange plumbing), heartbeat each other, and treat
+// EOF / errors / idle expiry as loss of physical signal: link down locally,
+// capped-exponential-backoff redial on the dialer side. KillLink() is an
+// administrative down — the socket is torn down and reconnects are suppressed
+// until ReviveLink().
+//
+// Thread discipline: everything behind the reactor runs on the node thread.
+// Other threads interact only through Post()/Call() (closure hand-off) and the
+// ping waiters (mutex + condvar), so the runtime is clean under TSan.
+#ifndef DUMBNET_SRC_WIRE_NODE_H_
+#define DUMBNET_SRC_WIRE_NODE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/ctrl/controller.h"
+#include "src/host/host_agent.h"
+#include "src/switch/dumb_switch.h"
+#include "src/topo/topology.h"
+#include "src/wire/reactor.h"
+#include "src/wire/transport.h"
+#include "src/wire/wire_net.h"
+
+namespace dumbnet {
+namespace wire {
+
+struct WireNodeOptions {
+  TransportKind transport = TransportKind::kUds;
+  // Switch i listens at <uds_dir>/sw<i>.sock, or 127.0.0.1:<tcp_base_port>+i.
+  std::string uds_dir;
+  uint16_t tcp_base_port = 18300;
+  // Shared MonotonicNowNs() origin: all nodes measure elapsed time from here,
+  // which is what makes timestamps stamped by one node comparable at another.
+  int64_t epoch_ns = 0;
+
+  TimeNs heartbeat_period = Ms(50);
+  TimeNs idle_timeout = Ms(500);
+  TimeNs reconnect_min = Ms(5);
+  TimeNs reconnect_max = Ms(320);
+
+  NetworkConfig net_config;
+  DumbSwitchConfig switch_config;
+  HostAgentConfig host_config;
+  bool run_controller = false;
+  ControllerConfig ctrl_config;
+  DiscoveryConfig disc_config;
+};
+
+// Listen address of switch `index` under `opts`.
+WireAddr SwitchListenAddr(const WireNodeOptions& opts, uint32_t index);
+
+// Completion state for one in-flight ping (shared between the issuing thread
+// and the node thread).
+struct PingWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool send_failed = false;
+  std::string error;
+  int64_t sent_ns = 0;
+  int64_t rtt_ns = 0;
+};
+
+class WireNode {
+ public:
+  // `topo` is the shared blueprint; the node copies it. Does not start.
+  WireNode(NodeId id, const Topology& topo, WireNodeOptions opts);
+  ~WireNode();
+
+  WireNode(const WireNode&) = delete;
+  WireNode& operator=(const WireNode&) = delete;
+
+  // Spawns the node thread; returns once the node is listening/dialing.
+  void Start();
+  // Posts a stop, joins, tears everything down on the node thread. Idempotent.
+  void Stop();
+
+  const NodeId& id() const { return id_; }
+
+  // Runs `fn` on the node thread and returns its result. Only valid between
+  // Start() and Stop(); the closure may touch any node-owned state.
+  template <typename F>
+  auto Call(F&& fn) -> std::invoke_result_t<std::decay_t<F>&> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> fut = task.get_future();
+    reactor_.Post([&task] { task(); });
+    return fut.get();
+  }
+
+  // Fire-and-forget variant of Call.
+  void Post(std::function<void()> fn) { reactor_.Post(std::move(fn)); }
+
+  // Node-owned protocol objects; dereference only from the node thread (Call).
+  HostAgent* agent() { return agent_.get(); }
+  DumbSwitch* dumb_switch() { return switch_.get(); }
+  ControllerService* controller() { return controller_.get(); }
+  WireNetAdapter* net() { return net_.get(); }
+
+  // True once every adjacent link's connection finished its hello handshake.
+  bool FullyWired();
+
+  // Administrative link control (posted; returns immediately). The runtime
+  // invokes these on both endpoints of a link.
+  void KillLink(LinkIndex li);
+  void ReviveLink(LinkIndex li);
+
+  // Hosts only: issues one echo-request to `dst_mac` and returns the waiter the
+  // caller blocks on. With a non-empty `uid_path` the request is pinned to that
+  // explicit switch route (HostAgent::SendOnPath); otherwise the cached route /
+  // controller query path is exercised (HostAgent::Send).
+  std::shared_ptr<PingWaiter> SendPing(uint64_t dst_mac, uint64_t flow_id,
+                                       int64_t payload_bytes,
+                                       std::vector<uint64_t> uid_path = {});
+
+ private:
+  struct PortState {
+    LinkIndex li = kInvalidLink;
+    PortNum port = 0;
+    bool dialer = false;
+    WireAddr peer;  // dial target, dialers only
+    std::unique_ptr<Connection> conn;
+    bool established = false;
+    bool admin_down = false;
+    TimeNs backoff = 0;
+    EventHandle retry_timer;
+    EventHandle hb_timer;
+  };
+
+  void ThreadMain();
+  void BuildStack();
+  void SetupWiring();
+  void TearDown();
+  int64_t Elapsed() const;
+
+  void AcceptReady();
+  void AdoptAccepted(Connection* raw, const HelloBody& hello);
+  void Dial(PortState& ps);
+  void ScheduleRedial(PortState& ps);
+  void Established(PortState& ps);
+  void ConnLost(PortState& ps, const std::string& reason, bool redial);
+  void HeartbeatTick(PortNum port);
+  void EmitPacket(PortNum out_port, const Packet& pkt);
+  void OnPacketFrame(PortNum in_port, std::string_view body);
+  void InstallPingService();
+  PortState* PortForLink(LinkIndex li);
+
+  const NodeId id_;
+  WireNodeOptions opts_;
+  Topology topo_;  // private copy; adjacent links mirror socket liveness
+  Reactor reactor_;
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<WireNetAdapter> net_;
+  std::unique_ptr<DumbSwitch> switch_;
+  std::unique_ptr<HostAgent> agent_;
+  std::unique_ptr<ControllerService> controller_;
+
+  std::thread thread_;
+  std::promise<void> started_;
+  bool stop_requested_ = false;  // node-thread only
+
+  int listen_fd_ = -1;
+  std::vector<PortState> ports_;  // indexed by local port number; 0 unused
+  // Accepted sockets whose hello has not arrived yet.
+  std::map<Connection*, std::unique_ptr<Connection>> pending_accepts_;
+
+  // Ping service (hosts).
+  uint64_t ping_seq_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<PingWaiter>> pending_pings_;
+};
+
+}  // namespace wire
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WIRE_NODE_H_

@@ -1,0 +1,69 @@
+// Single-threaded epoll reactor: the event loop each wire node runs.
+//
+// One Reactor belongs to one node thread. File-descriptor handlers and posted
+// closures all execute on that thread, so connection and protocol state needs
+// no locking; the only cross-thread surface is Post()/Wake(), which hand a
+// closure to the loop through a mutex-guarded queue plus an eventfd kick.
+//
+// The loop itself lives in the owner (WireNode::ThreadMain): it alternates
+// between advancing the node's virtual-time Simulator to the wall clock and
+// calling PollOnce() with a timeout derived from the simulator's next event, so
+// protocol timers and socket readiness share one thread without busy-waiting.
+#ifndef DUMBNET_SRC_WIRE_REACTOR_H_
+#define DUMBNET_SRC_WIRE_REACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dumbnet {
+namespace wire {
+
+class Reactor {
+ public:
+  // Called with the epoll event bitmask (EPOLLIN / EPOLLOUT / EPOLLERR / ...).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` (must be nonblocking) for `events`. Replaces any previous
+  // registration of the same fd.
+  bool Add(int fd, uint32_t events, FdHandler handler);
+  // Changes the interest set of a registered fd.
+  bool Mod(int fd, uint32_t events);
+  // Unregisters; safe to call from inside a handler (pending events for the fd
+  // in the current batch are skipped). Does not close the fd.
+  void Del(int fd);
+
+  // One epoll_wait + dispatch + posted-closure drain. Returns the number of fd
+  // events dispatched, or -1 on epoll failure. timeout_ms < 0 blocks.
+  int PollOnce(int timeout_ms);
+
+  // Thread-safe: enqueues `fn` to run on the loop thread and wakes the loop.
+  void Post(std::function<void()> fn);
+  // Thread-safe: interrupts a blocking PollOnce.
+  void Wake();
+
+  // Runs every queued posted closure on the calling thread. The owner calls
+  // this once after its loop exits so blocking Call()s never strand.
+  void DrainPosted();
+
+ private:
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, FdHandler> handlers_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace wire
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WIRE_REACTOR_H_

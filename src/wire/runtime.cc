@@ -1,0 +1,190 @@
+#include "src/wire/runtime.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/wire/clock.h"
+
+namespace dumbnet {
+namespace wire {
+
+namespace {
+constexpr TimeNs kPollInterval = Ms(5);
+}  // namespace
+
+WireFabric::WireFabric(Topology topo, WireFabricOptions opts)
+    : topo_(std::move(topo)), opts_(std::move(opts)) {}
+
+WireFabric::~WireFabric() { Shutdown(); }
+
+Status WireFabric::Start() {
+  if (started_) {
+    return Status();
+  }
+  if (opts_.node.transport == TransportKind::kUds && opts_.node.uds_dir.empty()) {
+    char tmpl[] = "/tmp/dnwire.XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    if (dir == nullptr) {
+      return Error(ErrorCode::kUnavailable, "mkdtemp failed for UDS directory");
+    }
+    owned_uds_dir_ = dir;
+    opts_.node.uds_dir = owned_uds_dir_;
+  }
+  opts_.node.epoch_ns = MonotonicNowNs();
+  started_ = true;
+
+  // Switches come up first so every dialer finds its listener on the first
+  // attempt (retries with backoff would still converge, just slower).
+  for (uint32_t i = 0; i < topo_.switch_count(); ++i) {
+    switches_.push_back(
+        std::make_unique<WireNode>(NodeId::Switch(i), topo_, opts_.node));
+    switches_.back()->Start();
+  }
+  for (uint32_t i = 0; i < topo_.host_count(); ++i) {
+    WireNodeOptions host_opts = opts_.node;
+    host_opts.run_controller = i == opts_.controller_host;
+    hosts_.push_back(
+        std::make_unique<WireNode>(NodeId::Host(i), topo_, host_opts));
+    hosts_.back()->Start();
+  }
+
+  const int64_t deadline = MonotonicNowNs() + opts_.wiring_timeout;
+  for (;;) {
+    bool wired = true;
+    for (auto& node : switches_) {
+      wired = wired && node->FullyWired();
+    }
+    for (auto& node : hosts_) {
+      wired = wired && node->FullyWired();
+    }
+    if (wired) {
+      DN_INFO << "wire: fabric fully wired (" << switches_.size() << " switches, "
+              << hosts_.size() << " hosts)";
+      return Status();
+    }
+    if (MonotonicNowNs() > deadline) {
+      return Error(ErrorCode::kUnavailable,
+                   "wiring timeout: not all links completed their handshake");
+    }
+    SleepNs(kPollInterval);
+  }
+}
+
+Status WireFabric::RunDiscovery() {
+  if (!started_) {
+    return Error(ErrorCode::kInternal, "fabric not started");
+  }
+  WireNode* ctrl_node = hosts_[opts_.controller_host].get();
+  auto ready = std::make_shared<std::atomic<bool>>(false);
+  ctrl_node->Post([ctrl_node, ready] {
+    ctrl_node->controller()->Start([ready] { ready->store(true); });
+  });
+
+  const int64_t deadline = MonotonicNowNs() + opts_.discovery_timeout;
+  for (;;) {
+    if (ready->load()) {
+      bool all_bootstrapped = true;
+      for (auto& node : hosts_) {
+        WireNode* raw = node.get();
+        all_bootstrapped = all_bootstrapped &&
+                           raw->Call([raw] { return raw->agent()->bootstrapped(); });
+      }
+      if (all_bootstrapped) {
+        DN_INFO << "wire: discovery complete, all hosts bootstrapped";
+        return Status();
+      }
+    }
+    if (MonotonicNowNs() > deadline) {
+      for (auto& node : hosts_) {
+        WireNode* raw = node.get();
+        const bool boot = raw->Call([raw] { return raw->agent()->bootstrapped(); });
+        DN_WARN << "wire: host " << raw->id().index
+                << (boot ? " bootstrapped" : " NOT bootstrapped");
+      }
+      return Error(ErrorCode::kUnavailable,
+                   "discovery timeout: fabric never reached full adoption");
+    }
+    SleepNs(kPollInterval);
+  }
+}
+
+PingOutcome WireFabric::Ping(uint32_t src, uint32_t dst, uint64_t flow_id,
+                             TimeNs timeout, std::vector<uint64_t> uid_path) {
+  PingOutcome outcome;
+  const uint64_t dst_mac = topo_.host_at(dst).mac;
+  auto waiter =
+      hosts_[src]->SendPing(dst_mac, flow_id, kDefaultMtu, std::move(uid_path));
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                      [&] { return waiter->done; });
+  if (!waiter->done) {
+    outcome.timed_out = true;
+    return outcome;
+  }
+  if (waiter->send_failed) {
+    outcome.error = waiter->error;
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.rtt_ns = waiter->rtt_ns;
+  return outcome;
+}
+
+void WireFabric::KillLink(LinkIndex li) {
+  const Link& link = topo_.link_at(li);
+  for (const Endpoint& e : {link.a, link.b}) {
+    if (WireNode* node = NodeFor(e.node)) {
+      node->KillLink(li);
+    }
+  }
+}
+
+void WireFabric::ReviveLink(LinkIndex li) {
+  const Link& link = topo_.link_at(li);
+  for (const Endpoint& e : {link.a, link.b}) {
+    if (WireNode* node = NodeFor(e.node)) {
+      node->ReviveLink(li);
+    }
+  }
+}
+
+HostAgentStats WireFabric::HostStats(uint32_t host) {
+  WireNode* node = hosts_[host].get();
+  return node->Call([node] { return node->agent()->stats(); });
+}
+
+WireNode* WireFabric::NodeFor(const NodeId& id) {
+  if (id.is_switch()) {
+    return id.index < switches_.size() ? switches_[id.index].get() : nullptr;
+  }
+  return id.index < hosts_.size() ? hosts_[id.index].get() : nullptr;
+}
+
+void WireFabric::Shutdown() {
+  // Hosts first: they are the traffic sources, and a switch that dies under a
+  // host merely looks like links going down.
+  for (auto& node : hosts_) {
+    node->Stop();
+  }
+  for (auto& node : switches_) {
+    node->Stop();
+  }
+  hosts_.clear();
+  switches_.clear();
+  if (!owned_uds_dir_.empty()) {
+    for (uint32_t i = 0; i < topo_.switch_count(); ++i) {
+      ::unlink((owned_uds_dir_ + "/sw" + std::to_string(i) + ".sock").c_str());
+    }
+    ::rmdir(owned_uds_dir_.c_str());
+    owned_uds_dir_.clear();
+  }
+  started_ = false;
+}
+
+}  // namespace wire
+}  // namespace dumbnet

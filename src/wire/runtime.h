@@ -1,0 +1,99 @@
+// WireFabric: boots a whole DumbNet deployment as real threads and sockets.
+//
+// Give it a Topology blueprint and it spawns one WireNode per switch and per
+// host, wires every link with a socket (UDS by default, localhost TCP on
+// request), runs the controller's real discovery protocol to adoption, and
+// then serves as the control surface the tools drive: ping along promised tag
+// paths, kill links live, read per-host protocol stats.
+//
+// The blueprint is exactly that — a wiring plan. No node shares state with
+// another at runtime; everything an agent knows, it learned through frames on
+// its sockets, which is the point of the exercise.
+#ifndef DUMBNET_SRC_WIRE_RUNTIME_H_
+#define DUMBNET_SRC_WIRE_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/result.h"
+#include "src/wire/node.h"
+
+namespace dumbnet {
+namespace wire {
+
+struct WireFabricOptions {
+  // Per-node template: transport, timeouts, protocol configs. The fabric fills
+  // epoch_ns, and uds_dir when left empty (a fresh private directory).
+  WireNodeOptions node;
+  // Which host runs the ControllerService.
+  uint32_t controller_host = 0;
+  // Wall-clock budget for all sockets to finish their hello handshakes.
+  TimeNs wiring_timeout = Sec(10);
+  // Wall-clock budget for discovery + bootstrap of every host.
+  TimeNs discovery_timeout = Sec(120);
+};
+
+struct PingOutcome {
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;  // send-side failure, when any
+  int64_t rtt_ns = 0;
+};
+
+class WireFabric {
+ public:
+  WireFabric(Topology topo, WireFabricOptions opts);
+  ~WireFabric();
+
+  WireFabric(const WireFabric&) = delete;
+  WireFabric& operator=(const WireFabric&) = delete;
+
+  // Spawns every node and blocks until the fabric is fully wired (every link's
+  // handshake done) or the wiring timeout expires.
+  Status Start();
+
+  // Kicks off the controller's probing discovery and blocks until every host
+  // is bootstrapped (tag path to controller + directory installed).
+  Status RunDiscovery();
+
+  // One echo round-trip from host `src` to host `dst`. With `uid_path` the
+  // request is pinned to that explicit switch route; otherwise the cached
+  // route/controller query path is used. Blocks up to `timeout` wall ns.
+  PingOutcome Ping(uint32_t src, uint32_t dst, uint64_t flow_id, TimeNs timeout,
+                   std::vector<uint64_t> uid_path = {});
+
+  // Administrative link failure/recovery, applied live at both endpoints (the
+  // sockets are torn down / redialed; the protocol does the rest).
+  void KillLink(LinkIndex li);
+  void ReviveLink(LinkIndex li);
+
+  // Per-host protocol stats, fetched from the node thread.
+  HostAgentStats HostStats(uint32_t host);
+
+  WireNode& switch_node(uint32_t i) { return *switches_[i]; }
+  WireNode& host_node(uint32_t i) { return *hosts_[i]; }
+  const Topology& topo() const { return topo_; }
+  size_t host_count() const { return hosts_.size(); }
+  size_t switch_count() const { return switches_.size(); }
+
+  // Stops every node thread. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  WireNode* NodeFor(const NodeId& id);
+
+  Topology topo_;
+  WireFabricOptions opts_;
+  std::vector<std::unique_ptr<WireNode>> switches_;
+  std::vector<std::unique_ptr<WireNode>> hosts_;
+  std::string owned_uds_dir_;  // created by Start, removed by Shutdown
+  bool started_ = false;
+};
+
+}  // namespace wire
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WIRE_RUNTIME_H_

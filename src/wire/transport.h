@@ -1,0 +1,120 @@
+// Socket transport for the wire runtime: addresses, nonblocking listen/connect
+// helpers, and Connection — a buffered, frame-oriented socket bound to a
+// Reactor.
+//
+// A Connection owns one nonblocking socket. Reads are drained to EAGAIN and fed
+// through a FrameDecoder; complete frames reach the owner's on_frame callback.
+// Writes go through an in-memory output queue: SendFrame appends and flushes
+// opportunistically, and EPOLLOUT interest is armed only while the queue is
+// nonempty (the queue depth doubles as the link's egress backlog, which is what
+// WireNetAdapter reports to ECN marking). Failures of any kind — EOF, ECONNRESET,
+// codec poison — funnel into one on_close(reason) call, after which the owner
+// destroys the Connection; reconnect policy lives a layer up in WireNode.
+//
+// Everything here runs on the owning node's reactor thread; no locks.
+#ifndef DUMBNET_SRC_WIRE_TRANSPORT_H_
+#define DUMBNET_SRC_WIRE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/util/result.h"
+#include "src/wire/frame.h"
+#include "src/wire/reactor.h"
+
+namespace dumbnet {
+namespace wire {
+
+enum class TransportKind : uint8_t { kUds, kTcp };
+
+// Where a node listens. UDS paths must fit sockaddr_un (~100 chars); TCP binds
+// 127.0.0.1 only — the wire runtime is a localhost deployment harness, not an
+// exposed service.
+struct WireAddr {
+  TransportKind kind = TransportKind::kUds;
+  std::string uds_path;
+  uint16_t tcp_port = 0;
+
+  std::string ToString() const;
+};
+
+// Nonblocking, cloexec listen socket (backlog 64). UDS unlinks a stale path.
+Result<int> ListenOn(const WireAddr& addr);
+
+// Starts a nonblocking connect; the returned fd may still be connecting
+// (EINPROGRESS) — completion is observed via EPOLLOUT. Refusal at connect()
+// time is an error (the caller's retry/backoff handles it).
+Result<int> ConnectTo(const WireAddr& addr);
+
+Status SetNonBlocking(int fd);
+
+class Connection {
+ public:
+  using FrameHandler = std::function<void(FrameType, std::string_view body)>;
+  using CloseHandler = std::function<void(const std::string& reason)>;
+  using ConnectedHandler = std::function<void()>;
+
+  // Takes ownership of `fd` (closed on destruction).
+  Connection(Reactor* reactor, int fd);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_on_frame(FrameHandler h) { on_frame_ = std::move(h); }
+  void set_on_close(CloseHandler h) { on_close_ = std::move(h); }
+  void set_on_connected(ConnectedHandler h) { on_connected_ = std::move(h); }
+
+  // Registers an accepted (already-connected) socket for reads.
+  bool RegisterAccepted();
+  // Registers a dialing socket; on_connected fires once the connect completes.
+  bool RegisterConnecting();
+
+  // Queues one encoded frame (output of EncodeFrame/EncodePacketFrame/...) and
+  // flushes as much as the socket accepts.
+  void SendFrame(std::string frame);
+
+  int fd() const { return fd_; }
+  bool connected() const { return connected_; }
+  // Bytes queued but not yet accepted by the kernel: the egress backlog.
+  int64_t queued_bytes() const { return queued_bytes_; }
+  // MonotonicNowNs() of the last byte received (heartbeat liveness input).
+  int64_t last_rx_ns() const { return last_rx_ns_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void ReadReady();
+  bool FlushWrites();  // false when the connection died mid-flush
+  void UpdateWriteInterest();
+  // Tears down reactor registration and reports `reason` once. May destroy
+  // `this` reentrantly (the close handler typically resets the owning pointer),
+  // so callers return immediately afterwards.
+  void Fail(const std::string& reason);
+
+  Reactor* reactor_;
+  int fd_;
+  bool connected_ = false;
+  bool want_write_ = false;
+  bool closed_ = false;
+  // Destruction guard: handlers invoked from the reactor check this after any
+  // callback that may have destroyed the connection.
+  std::shared_ptr<bool> alive_;
+
+  FrameDecoder decoder_;
+  std::deque<std::string> outq_;
+  size_t out_pos_ = 0;  // consumed prefix of outq_.front()
+  int64_t queued_bytes_ = 0;
+  int64_t last_rx_ns_ = 0;
+
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  ConnectedHandler on_connected_;
+};
+
+}  // namespace wire
+}  // namespace dumbnet
+
+#endif  // DUMBNET_SRC_WIRE_TRANSPORT_H_

@@ -174,7 +174,7 @@ TEST(ChaosInterceptorTest, DelayAndDropAreCountedPerHost) {
 }
 
 // Two runs with the same gray seed drop the identical number of packets; the
-// drop stream is a pure function of (gray_seed, link, direction, offered index).
+// drop stream is a pure function of (gray_seed, link, direction, packet id).
 TEST(ChaosGrayTest, GrayLossIsSeedDeterministic) {
   auto run = [](uint64_t gray_seed) -> uint64_t {
     LeafSpineConfig cfg;

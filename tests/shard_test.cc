@@ -365,11 +365,12 @@ TEST_F(ShardInvarianceTest, FixedShardCountIsBitIdentical) {
   EXPECT_EQ(a.end_time, b.end_time);
 }
 
-// Churn golden trace: a flap-only chaos schedule (loss-free — gray drops are
-// per-shard streams and thus legitimately shard-dependent) must converge to
-// the same control-plane digest on 1 and 4 shards, and a fixed shard count
-// must replay bit-identically.
-ScenarioResult RunChurnScenario(uint32_t shards) {
+// Churn golden trace: a chaos schedule must converge to the same control-plane
+// digest on 1 and 4 shards, and a fixed shard count must replay bit-identically.
+// This holds for gray-loss schedules too: the drop stream is keyed purely on
+// (link, direction, packet id) — packet ids come from per-origin counters, so
+// the set of eaten packets never depends on how the run was partitioned.
+ScenarioResult RunChurnScenario(uint32_t shards, uint32_t gray_links) {
   auto testbed = MakePaperTestbed();
   EXPECT_TRUE(testbed.ok());
   SimulatedFabric fabric(std::move(testbed.value().topo), HostAgentConfig(),
@@ -380,7 +381,7 @@ ScenarioResult RunChurnScenario(uint32_t shards) {
   config.seed = 11;
   config.horizon = Ms(40);
   config.flap.links = 3;
-  config.gray.links = 0;
+  config.gray.links = gray_links;
   config.outage.enabled = true;
   chaos::ChaosSchedule sched = chaos::GenerateSchedule(fabric.topo(), config);
   EXPECT_FALSE(sched.empty());
@@ -396,14 +397,31 @@ ScenarioResult RunChurnScenario(uint32_t shards) {
 }
 
 TEST_F(ShardInvarianceTest, ChurnScheduleDigestIsShardCountInvariant) {
-  ScenarioResult one = RunChurnScenario(1);
-  ScenarioResult four = RunChurnScenario(4);
+  ScenarioResult one = RunChurnScenario(1, /*gray_links=*/0);
+  ScenarioResult four = RunChurnScenario(4, /*gray_links=*/0);
   EXPECT_EQ(one.digest, four.digest);
 }
 
 TEST_F(ShardInvarianceTest, ChurnScheduleReplayIsBitIdentical) {
-  ScenarioResult a = RunChurnScenario(4);
-  ScenarioResult b = RunChurnScenario(4);
+  ScenarioResult a = RunChurnScenario(4, /*gray_links=*/0);
+  ScenarioResult b = RunChurnScenario(4, /*gray_links=*/0);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+// Gray loss used to be the one chaos ingredient that was legitimately
+// shard-dependent (the drop stream consumed shard-local offer positions).
+// With packet-id keying the whole schedule family is partition-stable.
+TEST_F(ShardInvarianceTest, GrayLossScheduleDigestIsShardCountInvariant) {
+  ScenarioResult one = RunChurnScenario(1, /*gray_links=*/2);
+  ScenarioResult four = RunChurnScenario(4, /*gray_links=*/2);
+  EXPECT_EQ(one.digest, four.digest);
+}
+
+TEST_F(ShardInvarianceTest, GrayLossScheduleReplayIsBitIdentical) {
+  ScenarioResult a = RunChurnScenario(4, /*gray_links=*/2);
+  ScenarioResult b = RunChurnScenario(4, /*gray_links=*/2);
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.end_time, b.end_time);

@@ -16,8 +16,17 @@
 //
 // Usage:
 //   dumbnet-fuzz [--seeds N] [--seed-base B] [--replay-seed S] [--inject-stale]
-//                [--horizon-ms M] [--metrics-json FILE] [--json FILE]
-//                [--emit-schedule FILE] [--trace FILE] [--no-minimize]
+//                [--churn-during-bringup] [--horizon-ms M] [--metrics-json FILE]
+//                [--json FILE] [--emit-schedule FILE] [--trace FILE]
+//                [--no-minimize]
+//
+// --churn-during-bringup starts the churn schedule while the controller's real
+// probing discovery is still in flight (instead of against an adopted,
+// already-converged fabric): probes time out on downed links, bring-up port-up
+// alarms interleave with flap alarms, and mid-discovery link-up events trigger
+// reprobes while the initial completion callback is still pending. The run
+// additionally requires that bring-up itself completed — controller ready and
+// every host bootstrapped — once the schedule's final restore has settled.
 //
 // Exit codes: 0 all seeds clean, 1 findings, 2 usage / IO error.
 
@@ -59,6 +68,7 @@ struct Options {
   uint64_t replay_seed = 0;
   bool replay_mode = false;
   bool inject_stale = false;
+  bool churn_during_bringup = false;
   bool minimize = true;
   uint64_t horizon_ms = 60;
   std::string metrics_json;
@@ -70,8 +80,8 @@ struct Options {
 int Usage() {
   std::cerr
       << "usage: dumbnet-fuzz [--seeds N] [--seed-base B] [--replay-seed S]\n"
-      << "                    [--inject-stale] [--horizon-ms M]\n"
-      << "                    [--metrics-json FILE] [--json FILE]\n"
+      << "                    [--inject-stale] [--churn-during-bringup]\n"
+      << "                    [--horizon-ms M] [--metrics-json FILE] [--json FILE]\n"
       << "                    [--emit-schedule FILE] [--trace FILE] [--no-minimize]\n"
       << "exit codes: 0 clean, 1 findings, 2 usage/io error\n";
   return 2;
@@ -230,8 +240,20 @@ SeedResult RunSeed(uint64_t seed, const Options& opts,
 
   dumbnet::ControllerConfig ctrl_config;
   ctrl_config.rng_seed = seed;
-  fabric.BringUpAdopted(0, ctrl_config);
-  fabric.EnableAuditing(2048);
+  bool controller_ready = false;
+  if (opts.churn_during_bringup) {
+    // Churn races real probing discovery: Start() is issued but the fabric is
+    // NOT run to readiness first — the schedule below interleaves with the
+    // probe/attach traffic. The periodic db-vs-truth audit is structural, so a
+    // half-discovered database is legal; completeness is asserted at the end.
+    fabric.AddController(0, ctrl_config);
+    fabric.EnableAuditing(2048);
+    fabric.controller().Start([&controller_ready] { controller_ready = true; });
+  } else {
+    fabric.BringUpAdopted(0, ctrl_config);
+    fabric.EnableAuditing(2048);
+    controller_ready = true;
+  }
 
   const uint64_t blackholed_before =
       fabric.net().stats().dropped_link_down + fabric.net().stats().dropped_gray;
@@ -278,6 +300,20 @@ SeedResult RunSeed(uint64_t seed, const Options& opts,
   DN_COUNTER_INC("chaos.runs");
 
   // --- Property checks, all at quiescence --------------------------------------
+  // Under --churn-during-bringup the schedule's final restore leaves a fully
+  // healthy fabric, so no matter how churn mangled discovery, bring-up must
+  // still have completed end to end by now.
+  if (opts.churn_during_bringup) {
+    if (!controller_ready) {
+      out.failures.push_back("bringup: controller never became ready under churn");
+    }
+    for (uint32_t host = 0; host < static_cast<uint32_t>(fabric.host_count()); ++host) {
+      if (!fabric.agent(host).bootstrapped()) {
+        out.failures.push_back("bringup: host " + std::to_string(host) +
+                               " never bootstrapped under churn");
+      }
+    }
+  }
   if (fabric.auditor() != nullptr) {
     fabric.auditor()->RunAll();
     for (const auto& v : fabric.auditor()->violations()) {
@@ -337,8 +373,9 @@ void ReportFailingSeed(uint64_t seed, const SeedResult& result, const Options& o
     std::cout << "  " << f << "\n";
   }
   std::cout << "  reproduce: dumbnet-fuzz --replay-seed " << seed
-            << (opts.inject_stale ? " --inject-stale" : "") << " --horizon-ms "
-            << opts.horizon_ms << "\n";
+            << (opts.inject_stale ? " --inject-stale" : "")
+            << (opts.churn_during_bringup ? " --churn-during-bringup" : "")
+            << " --horizon-ms " << opts.horizon_ms << "\n";
 
   dumbnet::chaos::ChaosSchedule minimized = result.schedule;
   if (opts.minimize) {
@@ -432,6 +469,8 @@ int main(int argc, char** argv) {
       opts.replay_mode = true;
     } else if (arg == "--inject-stale") {
       opts.inject_stale = true;
+    } else if (arg == "--churn-during-bringup") {
+      opts.churn_during_bringup = true;
     } else if (arg == "--no-minimize") {
       opts.minimize = false;
     } else if (arg == "--horizon-ms") {

@@ -1,0 +1,365 @@
+// dumbnet-net: boot a DumbNet fabric as a real userspace deployment and prove
+// it works end to end.
+//
+// Every switch and host runs as its own thread; every link is a real socket
+// (Unix-domain by default, localhost TCP with --transport tcp). The tool
+//   1. wires the fabric and runs the controller's probing discovery to full
+//      adoption (every host bootstrapped with tag paths + directory),
+//   2. serves an echo ping sweep across host pairs and verifies provenance:
+//      each data packet must have traversed exactly the switch path its sender
+//      was promised (host.path_divergence stays zero),
+//   3. kills a live inter-switch link on the active path and measures how long
+//      until host failover restores connectivity,
+//   4. shuts everything down cleanly.
+//
+// Usage:
+//   dumbnet-net [--topo testbed|<file>] [--transport uds|tcp]
+//               [--uds-dir <dir>] [--tcp-base-port <port>]
+//               [--pings <n>] [--skip-failover] [--metrics-json <path>]
+//
+// --topo testbed (default) is a 3-switch triangle with two hosts per switch —
+// small enough to bring up in about a second, rich enough to have a backup
+// path for every flow. Any dumbnet-topo file works too (see dumbnet-topo).
+//
+// Exit codes: 0 all checks passed, 1 a check failed, 2 usage / IO error.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/telemetry.h"
+#include "src/topo/serialize.h"
+#include "src/topo/topology.h"
+#include "src/util/logging.h"
+#include "src/util/result.h"
+#include "src/wire/clock.h"
+#include "src/wire/runtime.h"
+
+namespace dumbnet {
+namespace {
+
+using wire::MonotonicNowNs;
+using wire::PingOutcome;
+using wire::SleepNs;
+using wire::TransportKind;
+using wire::WireFabric;
+using wire::WireFabricOptions;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dumbnet-net [--topo testbed|<file>] [--transport uds|tcp]\n"
+      "                   [--uds-dir <dir>] [--tcp-base-port <port>]\n"
+      "                   [--pings <n>] [--skip-failover]\n"
+      "                   [--metrics-json <path>]\n"
+      "exit codes: 0 all checks passed, 1 check failed, 2 usage/io error\n");
+  return 2;
+}
+
+struct Options {
+  std::string topo = "testbed";
+  TransportKind transport = TransportKind::kUds;
+  std::string uds_dir;
+  uint16_t tcp_base_port = 18300;
+  int pings = 2;  // unpinned pings per ordered host pair
+  bool skip_failover = false;
+  std::string metrics_path;
+};
+
+// The default fabric: three switches in a triangle, two hosts each. Every
+// host pair has a one-link backup path, so any single inter-switch failure is
+// survivable — which is exactly what the failover drill exercises.
+Topology MakeTriangleTestbed() {
+  Topology topo;
+  const uint32_t s0 = topo.AddSwitch(8);
+  const uint32_t s1 = topo.AddSwitch(8);
+  const uint32_t s2 = topo.AddSwitch(8);
+  (void)topo.ConnectSwitches(s0, 1, s1, 1);
+  (void)topo.ConnectSwitches(s1, 2, s2, 1);
+  (void)topo.ConnectSwitches(s2, 2, s0, 2);
+  for (uint32_t sw : {s0, s1, s2}) {
+    for (PortNum port = 3; port <= 4; ++port) {
+      (void)topo.AttachHost(topo.AddHost(), sw, port);
+    }
+  }
+  return topo;
+}
+
+// Discovery probes every port up to max_ports and waits out a full timeout on
+// each unwired one — in virtual time, which the wire runtime pays for in wall
+// time. Clamp both to the fabric actually in front of us.
+void TuneDiscovery(const Topology& topo, DiscoveryConfig* disc) {
+  uint8_t max_ports = 1;
+  for (uint32_t i = 0; i < topo.switch_count(); ++i) {
+    max_ports = std::max(max_ports, topo.switch_at(i).num_ports);
+  }
+  disc->max_ports = max_ports;
+  disc->probe_timeout = Ms(50);
+}
+
+// One echo round-trip with retry-on-timeout (a ping can race discovery's last
+// directory install or a repair in flight; the protocol is lossy by design).
+bool PingWithRetry(WireFabric& fabric, uint32_t src, uint32_t dst,
+                   uint64_t flow, int attempts, TimeNs timeout,
+                   int64_t* rtt_ns = nullptr) {
+  for (int i = 0; i < attempts; ++i) {
+    const PingOutcome out = fabric.Ping(src, dst, flow, timeout);
+    if (out.ok) {
+      if (rtt_ns != nullptr) {
+        *rtt_ns = out.rtt_ns;
+      }
+      return true;
+    }
+    if (!out.error.empty()) {
+      DN_WARN << "ping " << src << "->" << dst << ": " << out.error;
+    }
+  }
+  return false;
+}
+
+// The inter-switch link between the uplink switches of `src` and `dst`, which
+// (being the unique shortest route in any topology where it exists) carries
+// their traffic. kInvalidLink when the two hosts share a switch or are not
+// directly connected.
+LinkIndex DirectInterSwitchLink(const Topology& topo, uint32_t src,
+                                uint32_t dst) {
+  auto up_src = topo.HostUplink(src);
+  auto up_dst = topo.HostUplink(dst);
+  if (!up_src.ok() || !up_dst.ok() ||
+      up_src.value().node.index == up_dst.value().node.index) {
+    return kInvalidLink;
+  }
+  for (LinkIndex li = 0; li < topo.link_count(); ++li) {
+    const Link& link = topo.link_at(li);
+    if (!link.a.node.is_switch() || !link.b.node.is_switch()) {
+      continue;
+    }
+    const uint32_t a = link.a.node.index;
+    const uint32_t b = link.b.node.index;
+    if ((a == up_src.value().node.index && b == up_dst.value().node.index) ||
+        (b == up_src.value().node.index && a == up_dst.value().node.index)) {
+      return li;
+    }
+  }
+  return kInvalidLink;
+}
+
+// Kills `victim` live, then pings src->dst until host failover restores
+// delivery. Returns the wall-clock gap in ns, or -1 if it never recovered.
+int64_t FailoverDrill(WireFabric& fabric, uint32_t src, uint32_t dst,
+                      LinkIndex victim, uint64_t flow) {
+  // The bring-up port-up alarms opened each switch's alarm-suppression window
+  // (1 s): a kill inside it has its port-down alarm deferred to the window's
+  // end, which would bill ~900 ms of suppression to "failover". Let the
+  // windows expire first so the drill measures steady-state repair.
+  SleepNs(Ms(1100));
+  const int64_t killed_at = MonotonicNowNs();
+  fabric.KillLink(victim);
+  const int64_t deadline = killed_at + Sec(15);
+  while (MonotonicNowNs() < deadline) {
+    const PingOutcome out = fabric.Ping(src, dst, flow, Ms(50));
+    if (out.ok) {
+      return MonotonicNowNs() - killed_at;
+    }
+    SleepNs(Ms(2));
+  }
+  return -1;
+}
+
+int Run(const Options& opts) {
+  Topology topo;
+  if (opts.topo == "testbed") {
+    topo = MakeTriangleTestbed();
+  } else {
+    auto loaded = LoadTopology(opts.topo);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "dumbnet-net: %s\n",
+                   loaded.error().ToString().c_str());
+      return 2;
+    }
+    topo = std::move(loaded.value());
+  }
+  if (topo.host_count() < 2 || topo.switch_count() < 1) {
+    std::fprintf(stderr, "dumbnet-net: need at least 2 hosts and 1 switch\n");
+    return 2;
+  }
+
+  telemetry::SetEnabled(true);
+  if (std::getenv("DUMBNET_WIRE_DEBUG") != nullptr) SetLogLevel(LogLevel::kDebug);
+
+  WireFabricOptions fopts;
+  fopts.node.transport = opts.transport;
+  fopts.node.uds_dir = opts.uds_dir;
+  fopts.node.tcp_base_port = opts.tcp_base_port;
+  TuneDiscovery(topo, &fopts.node.disc_config);
+
+  WireFabric fabric(topo, fopts);
+
+  std::printf("dumbnet-net: booting %zu switches + %zu hosts over %s\n",
+              topo.switch_count(), topo.host_count(),
+              opts.transport == TransportKind::kUds ? "uds" : "tcp");
+  const int64_t t0 = MonotonicNowNs();
+  Status status = fabric.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "dumbnet-net: wiring failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("dumbnet-net: fabric wired in %.1f ms\n",
+              static_cast<double>(MonotonicNowNs() - t0) / 1e6);
+
+  const int64_t t1 = MonotonicNowNs();
+  status = fabric.RunDiscovery();
+  if (!status.ok()) {
+    std::fprintf(stderr, "dumbnet-net: discovery failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("dumbnet-net: discovery + adoption complete in %.1f ms\n",
+              static_cast<double>(MonotonicNowNs() - t1) / 1e6);
+
+  // --- Ping sweep -------------------------------------------------------------
+  const uint32_t n = static_cast<uint32_t>(fabric.host_count());
+  uint64_t flow = 1;
+  int sweep_ok = 0;
+  int sweep_total = 0;
+  int64_t rtt_sum = 0;
+  for (uint32_t src = 0; src < n; ++src) {
+    for (int r = 0; r < opts.pings; ++r) {
+      const uint32_t dst = (src + 1 + static_cast<uint32_t>(r)) % n;
+      if (dst == src) {
+        continue;
+      }
+      ++sweep_total;
+      int64_t rtt = 0;
+      if (PingWithRetry(fabric, src, dst, flow++, 3, Sec(2), &rtt)) {
+        ++sweep_ok;
+        rtt_sum += rtt;
+      } else {
+        std::fprintf(stderr, "dumbnet-net: ping %u->%u failed\n", src, dst);
+      }
+    }
+  }
+  std::printf("dumbnet-net: ping sweep %d/%d ok (mean rtt %.1f us)\n", sweep_ok,
+              sweep_total,
+              sweep_ok > 0 ? static_cast<double>(rtt_sum) / sweep_ok / 1e3 : 0.0);
+
+  // Provenance: every data packet carried the switch-UID path its sender was
+  // promised; receivers verified hop by hop.
+  uint64_t divergence = 0;
+  uint64_t received = 0;
+  for (uint32_t h = 0; h < n; ++h) {
+    const HostAgentStats stats = fabric.HostStats(h);
+    divergence += stats.path_divergence;
+    received += stats.data_received;
+  }
+  std::printf("dumbnet-net: %" PRIu64 " data packets received, %" PRIu64
+              " path divergences\n",
+              received, divergence);
+
+  bool failed = sweep_ok != sweep_total || divergence != 0 || received == 0;
+
+  // --- Live failover ----------------------------------------------------------
+  if (!opts.skip_failover && !failed) {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    LinkIndex victim = kInvalidLink;
+    for (uint32_t d = 1; d < n && victim == kInvalidLink; ++d) {
+      victim = DirectInterSwitchLink(fabric.topo(), 0, d);
+      dst = d;
+    }
+    if (victim == kInvalidLink) {
+      std::printf(
+          "dumbnet-net: no direct inter-switch link to kill; skipping "
+          "failover drill\n");
+    } else {
+      // Warm the route so the victim link is actually carrying this flow.
+      const uint64_t drill_flow = flow++;
+      if (!PingWithRetry(fabric, src, dst, drill_flow, 3, Sec(2))) {
+        std::fprintf(stderr, "dumbnet-net: failover warmup ping failed\n");
+        failed = true;
+      } else {
+        const Link& link = fabric.topo().link_at(victim);
+        std::printf("dumbnet-net: killing live link S%u<->S%u...\n",
+                    link.a.node.index, link.b.node.index);
+        const int64_t gap = FailoverDrill(fabric, src, dst, victim, drill_flow);
+        uint64_t repairs = 0;
+        for (uint32_t h = 0; h < n; ++h) {
+          repairs += fabric.HostStats(h).link_repairs;
+        }
+        if (gap < 0) {
+          std::fprintf(stderr,
+                       "dumbnet-net: FAIL: no recovery after link kill\n");
+          failed = true;
+        } else if (repairs == 0) {
+          std::fprintf(
+              stderr,
+              "dumbnet-net: FAIL: recovered but no host ran a repair\n");
+          failed = true;
+        } else {
+          DN_HISTOGRAM_RECORD("wire.failover_ns", static_cast<double>(gap));
+          std::printf("dumbnet-net: failover recovered in %.2f ms (%" PRIu64
+                      " host repairs)\n",
+                      static_cast<double>(gap) / 1e6, repairs);
+        }
+      }
+    }
+  }
+
+  if (!opts.metrics_path.empty()) {
+    if (!telemetry::MetricsRegistry::Global().WriteJsonFile(opts.metrics_path)) {
+      std::fprintf(stderr, "dumbnet-net: cannot write %s\n",
+                   opts.metrics_path.c_str());
+      return 2;
+    }
+    std::printf("dumbnet-net: wrote telemetry metrics to %s\n",
+                opts.metrics_path.c_str());
+  }
+
+  fabric.Shutdown();
+  std::printf("dumbnet-net: %s\n", failed ? "FAIL" : "all checks passed");
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace dumbnet
+
+int main(int argc, char** argv) {
+  dumbnet::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--topo" && i + 1 < argc) {
+      opts.topo = argv[++i];
+    } else if (arg == "--transport" && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      if (kind == "uds") {
+        opts.transport = dumbnet::wire::TransportKind::kUds;
+      } else if (kind == "tcp") {
+        opts.transport = dumbnet::wire::TransportKind::kTcp;
+      } else {
+        return dumbnet::Usage();
+      }
+    } else if (arg == "--uds-dir" && i + 1 < argc) {
+      opts.uds_dir = argv[++i];
+    } else if (arg == "--tcp-base-port" && i + 1 < argc) {
+      opts.tcp_base_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--pings" && i + 1 < argc) {
+      opts.pings = std::atoi(argv[++i]);
+      if (opts.pings < 1) {
+        return dumbnet::Usage();
+      }
+    } else if (arg == "--skip-failover") {
+      opts.skip_failover = true;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
+    } else {
+      return dumbnet::Usage();
+    }
+  }
+  return dumbnet::Run(opts);
+}
