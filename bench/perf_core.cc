@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/analysis/contracts.h"
 #include "src/core/fabric.h"
 #include "src/routing/path_graph.h"
 #include "src/routing/shortest_path.h"
@@ -46,6 +47,19 @@ bench::JsonReporter::Params ShardParams(uint32_t shards, uint32_t threads,
   extra.push_back({"shards", std::to_string(shards)});
   extra.push_back({"threads", std::to_string(threads)});
   return extra;
+}
+
+// Runs one bench section with the runtime contract checker on and returns the
+// hot-scope allocations it observed (the no-alloc annotations in PathTable /
+// HostAgent / Network are live during `fn`). CI gates on every section
+// reporting zero. Enabled per-section so one-time static registrations (first
+// telemetry counter use, pool spin-up) outside a section are never charged.
+uint64_t HotAllocsDuring(const std::function<void()>& fn) {
+  const uint64_t before = dumbnet::contracts::Counters().hot_allocs;
+  dumbnet::contracts::SetEnabled(true);
+  fn();
+  dumbnet::contracts::SetEnabled(false);
+  return dumbnet::contracts::Counters().hot_allocs - before;
 }
 
 double WallSeconds(const std::function<void()>& fn) {
@@ -574,7 +588,9 @@ int main(int argc, char** argv) {
 
   // --- 1. cancel-heavy event drain -----------------------------------------
   const uint64_t total_events = args.quick ? 150000 : 600000;
-  CancelDrainResult drain = RunCancelDrain(total_events);
+  CancelDrainResult drain;
+  const uint64_t drain_allocs =
+      HotAllocsDuring([&] { drain = RunCancelDrain(total_events); });
   double drain_speedup = drain.events_per_sec_new / drain.events_per_sec_legacy;
   std::printf("\ncancel-heavy drain (%lu ticks, window 512):\n",
               static_cast<unsigned long>(total_events));
@@ -591,6 +607,8 @@ int main(int argc, char** argv) {
   report.Add("perf_core", "event_drain_speedup", drain_speedup, "ratio", drain_params);
   report.Add("perf_core", "event_pool_slots", static_cast<double>(drain.pool_slots),
              "slots", drain_params);
+  report.Add("perf_core", "hot_scope_allocs", static_cast<double>(drain_allocs),
+             "allocs", {{"section", "cancel_drain"}});
 
   // --- 2. one-source/many-destination path graphs --------------------------
   CubeConfig cube_config;
@@ -604,7 +622,9 @@ int main(int argc, char** argv) {
     dsts.push_back(v);
   }
   const int repeats = args.quick ? 2 : 6;
-  BatchResult batch = RunPathGraphBatch(topo, cube.value().At(0, 0, 0), dsts, repeats);
+  BatchResult batch;
+  const uint64_t batch_allocs = HotAllocsDuring(
+      [&] { batch = RunPathGraphBatch(topo, cube.value().At(0, 0, 0), dsts, repeats); });
   double batch_speedup = batch.per_sec_new / batch.per_sec_legacy;
   double pooled_speedup = batch.per_sec_pooled / batch.per_sec_legacy;
   std::printf("\npath-graph batch (8-cube, %zu dsts x %d repeats):\n", dsts.size(),
@@ -626,6 +646,8 @@ int main(int argc, char** argv) {
              batch_params);
   report.Add("perf_core", "path_graph_pooled_speedup", pooled_speedup, "ratio",
              batch_params);
+  report.Add("perf_core", "hot_scope_allocs", static_cast<double>(batch_allocs),
+             "allocs", {{"section", "path_graph_batch"}});
 
   // --- 3. bring-up wall-clock, 1k .. 128k hosts ----------------------------
   struct Scale {
@@ -644,9 +666,15 @@ int main(int argc, char** argv) {
     report.Add("perf_core", "bring_up_wall", b.secs, "s",
                ShardParams(b.shards, b.threads, {{"hosts", std::to_string(b.hosts)}}));
   };
+  uint64_t bring_up_allocs = 0;
   for (const Scale& sc : scales) {
-    report_bring_up(RunBringUp(sc.leaves, sc.hosts_per_leaf));
+    BringUpResult b;
+    bring_up_allocs +=
+        HotAllocsDuring([&] { b = RunBringUp(sc.leaves, sc.hosts_per_leaf); });
+    report_bring_up(b);
   }
+  report.Add("perf_core", "hot_scope_allocs", static_cast<double>(bring_up_allocs),
+             "allocs", {{"section", "bring_up_leaf_spine"}});
   if (!args.quick) {
     // 3-tier fat-tree scale points: k=64 -> 65,536 hosts / 5,120 switches,
     // k=80 -> 128,000 hosts / 8,000 switches (the 100K+ point).
@@ -658,8 +686,12 @@ int main(int argc, char** argv) {
 
   // --- 4. sharded fabric throughput ----------------------------------------
   const int pings = args.quick ? 400 : 2000;
-  ShardWorkloadResult single = RunShardWorkload(1, pings);
-  ShardWorkloadResult sharded = RunShardWorkload(4, pings);
+  ShardWorkloadResult single;
+  ShardWorkloadResult sharded;
+  const uint64_t ping_allocs = HotAllocsDuring([&] {
+    single = RunShardWorkload(1, pings);
+    sharded = RunShardWorkload(4, pings);
+  });
   std::printf("\nsharded fabric ping-pong (fat-tree k=8, cross-pod partners, "
               "%u core(s)):\n",
               std::thread::hardware_concurrency());
@@ -681,10 +713,20 @@ int main(int argc, char** argv) {
   report.Add("perf_core", "shard_speedup",
              sharded.events_per_sec / single.events_per_sec, "ratio",
              ShardParams(sharded.shards, sharded.threads, {{"topology", "fattree8"}}));
+  report.Add("perf_core", "hot_scope_allocs", static_cast<double>(ping_allocs),
+             "allocs", {{"section", "shard_ping_pong"}});
 
   if (args.quick) {
     std::printf("\n(quick mode: reduced event count, repeats, and host sweep)\n");
   }
+  std::printf("\nhot-scope allocations (contract checker%s): drain=%lu batch=%lu "
+              "bring_up=%lu pings=%lu\n",
+              dumbnet::contracts::kCompiledIn ? "" : " COMPILED OUT",
+              static_cast<unsigned long>(drain_allocs),
+              static_cast<unsigned long>(batch_allocs),
+              static_cast<unsigned long>(bring_up_allocs),
+              static_cast<unsigned long>(ping_allocs));
+  dumbnet::contracts::PublishTelemetry();
   if (!report.WriteTo(args.json_path)) {
     return 1;
   }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/analysis/contracts.h"
 #include "src/telemetry/telemetry.h"
 #include "src/topo/topology.h"
 #include "src/util/logging.h"
@@ -110,6 +111,11 @@ int main(int argc, char** argv) {
                 "deployment runtime (no paper figure; real sockets, real clock)");
 
   telemetry::SetEnabled(true);
+  // Live-fire the hot-path contract checker across the whole run: node threads
+  // execute the annotated reactor loop, frame decoder, PathTable lookup and
+  // rank-annotated locks for real. CI gates this bench's metrics JSON on
+  // contracts.hot_allocs == 0 and contracts.rank_inversions == 0.
+  contracts::SetEnabled(true);
   if (std::getenv("DUMBNET_WIRE_DEBUG") != nullptr) {
     SetLogLevel(LogLevel::kDebug);
   }
@@ -233,6 +239,17 @@ int main(int argc, char** argv) {
   }
 
   fabric.Shutdown();
+  contracts::SetEnabled(false);
+  const contracts::CounterSnapshot contract_counts = contracts::Counters();
+  std::printf("contracts: hot_allocs=%llu rank_inversions=%llu reactor_blocks=%llu%s\n",
+              static_cast<unsigned long long>(contract_counts.hot_allocs),
+              static_cast<unsigned long long>(contract_counts.rank_inversions),
+              static_cast<unsigned long long>(contract_counts.reactor_blocks),
+              contracts::kCompiledIn ? "" : " (COMPILED OUT)");
+  if (contract_counts.hot_allocs != 0 || contract_counts.rank_inversions != 0) {
+    std::printf("  last violation: %s\n", contracts::LastViolationMessage());
+  }
+  contracts::PublishTelemetry();
   report.WriteTo(args.json_path);
   bench::WriteMetricsJson(args.metrics_path);
   return 0;

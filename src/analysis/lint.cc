@@ -751,6 +751,182 @@ void CheckFootprintInPool(const std::vector<Tok>& toks, const std::string& path,
 }
 
 // ---------------------------------------------------------------------------------
+// Rules: hot-alloc, reactor-block. Flow-aware in the lexical sense: a
+// DN_HOT_SCOPE(...) or DN_REACTOR_CONTEXT token opens a region reaching to the
+// end of its enclosing brace block, and the rule fires on forbidden tokens
+// inside it. What the region *calls into* is out of a token linter's sight —
+// that half is covered by the runtime enforcement layer in
+// src/analysis/contracts.cc (allocation interposer, nonblocking-fd guards).
+
+// Allocation and container-growth identifiers forbidden in hot scopes. Method
+// names only count in member-call position (after '.' or '->'); `new` always
+// counts; make_shared/make_unique count in call or template position.
+const std::set<std::string>& HotGrowthIdents() {
+  static const std::set<std::string> kSet = {
+      "push_back", "emplace_back", "emplace", "push_front", "emplace_front",
+      "insert",    "resize",       "reserve", "append"};
+  return kSet;
+}
+
+// Blocking calls forbidden in reactor context (call position required).
+const std::set<std::string>& ReactorBlockingCalls() {
+  static const std::set<std::string> kSet = {
+      "read",    "write",   "pread",     "pwrite",    "readv",     "writev",
+      "recv",    "recvfrom", "recvmsg",  "send",      "sendto",    "sendmsg",
+      "connect", "accept",  "accept4",   "poll",      "ppoll",     "select",
+      "pselect", "sleep",   "usleep",    "nanosleep", "sleep_for", "sleep_until",
+      "wait",    "wait_for", "wait_until", "join",    "flock",     "fsync",
+      "fdatasync", "system", "lock"};
+  return kSet;
+}
+
+// Blocking lock types (template or constructor position).
+const std::set<std::string>& ReactorBlockingTypes() {
+  static const std::set<std::string> kSet = {"lock_guard", "unique_lock",
+                                             "scoped_lock"};
+  return kSet;
+}
+
+void CheckContractRegions(const std::vector<Tok>& toks, const SourceText& src,
+                          const std::string& path,
+                          std::vector<LintFinding>* findings) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || src.preproc[toks[i].line]) {
+      continue;  // the macro definitions in contracts.h are not regions
+    }
+    const bool hot = toks[i].text == "DN_HOT_SCOPE";
+    const bool reactor = toks[i].text == "DN_REACTOR_CONTEXT";
+    if (!hot && !reactor) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (hot) {
+      if (j >= toks.size() || toks[j].text != "(") {
+        continue;
+      }
+      j = MatchParen(toks, j);
+      if (j == toks.size()) {
+        continue;
+      }
+      ++j;
+    }
+    // Walk to the end of the enclosing block, skipping DN_HOT_EXEMPT
+    // sub-blocks (from the marker to the end of *its* enclosing block).
+    int depth = 0;
+    int exempt_until = -1;  // >= 0: skipping while depth >= exempt_until
+    for (; j < toks.size(); ++j) {
+      const Tok& t = toks[j];
+      if (!t.ident) {
+        if (t.text == "{") {
+          ++depth;
+        } else if (t.text == "}") {
+          --depth;
+          if (depth < 0) {
+            break;  // region (and enclosing block) ended
+          }
+          if (exempt_until >= 0 && depth < exempt_until) {
+            exempt_until = -1;
+          }
+        }
+        continue;
+      }
+      if (src.preproc[t.line]) {
+        continue;
+      }
+      if (hot && t.text == "DN_HOT_EXEMPT" && exempt_until < 0) {
+        exempt_until = depth;
+        continue;
+      }
+      if (exempt_until >= 0) {
+        continue;
+      }
+      const bool call = j + 1 < toks.size() && toks[j + 1].text == "(";
+      const bool call_or_tmpl =
+          call || (j + 1 < toks.size() && toks[j + 1].text == "<");
+      const bool member =
+          j > 0 && (toks[j - 1].text == "." ||
+                    (toks[j - 1].text == ">" && j > 1 && toks[j - 2].text == "-"));
+      if (hot) {
+        const bool is_new = t.text == "new";
+        const bool is_maker =
+            (t.text == "make_shared" || t.text == "make_unique") && call_or_tmpl;
+        const bool is_growth = HotGrowthIdents().count(t.text) > 0 && call && member;
+        if (is_new || is_maker || is_growth) {
+          findings->push_back(
+              {"hot-alloc", path, t.line + 1,
+               "'" + t.text + "' inside DN_HOT_SCOPE region opened at line " +
+                   std::to_string(toks[i].line + 1) +
+                   ": the annotated fast path must not allocate; hoist the "
+                   "allocation out, reuse capacity, or fence a declared-cold "
+                   "subpath with a DN_HOT_EXEMPT(reason) block"});
+        }
+      } else {
+        const bool is_block_call = ReactorBlockingCalls().count(t.text) > 0 && call;
+        const bool is_block_type =
+            ReactorBlockingTypes().count(t.text) > 0 && call_or_tmpl;
+        if (is_block_call || is_block_type) {
+          findings->push_back(
+              {"reactor-block", path, t.line + 1,
+               "'" + t.text + "' inside DN_REACTOR_CONTEXT region opened at line " +
+                   std::to_string(toks[i].line + 1) +
+                   ": blocking on the epoll thread stalls every timer and "
+                   "socket the node owns; use the nonblocking contracts::Guarded* "
+                   "shims, post the work off-thread, or annotate dn-lint: "
+                   "allow(reactor-block, <why this cannot block>)"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: mutex-rank (deployment-runtime layers only). Every std::mutex member
+// declared in src/wire or src/ctrl must carry a DN_MUTEX_RANK(name, rank)
+// annotation in the same file, so the global lock order is total and the
+// runtime inversion tracker (contracts.cc) sees every lock.
+
+void CheckMutexRanks(const std::vector<Tok>& toks, const SourceText& src,
+                     const std::string& path,
+                     std::vector<LintFinding>* findings) {
+  // Pass 1: names already annotated — DN_MUTEX_RANK(<name>, ...).
+  std::set<std::string> ranked;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].ident && toks[i].text == "DN_MUTEX_RANK" &&
+        !src.preproc[toks[i].line] && toks[i + 1].text == "(" &&
+        toks[i + 2].ident) {
+      ranked.insert(toks[i + 2].text);
+    }
+  }
+  // Pass 2: declarations — `mutex <name> ;` (or brace/equals initializer).
+  // References (`mutex&`), pointers, and template arguments (`<std::mutex>`)
+  // never match because the token after `mutex` is not an identifier.
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].ident || toks[i].text != "mutex" || src.preproc[toks[i].line]) {
+      continue;
+    }
+    if (!toks[i + 1].ident) {
+      continue;
+    }
+    const std::string& term = toks[i + 2].text;
+    if (term != ";" && term != "{" && term != "=") {
+      continue;
+    }
+    const std::string& name = toks[i + 1].text;
+    if (ranked.count(name) > 0) {
+      continue;
+    }
+    findings->push_back(
+        {"mutex-rank", path, toks[i].line + 1,
+         "std::mutex '" + name +
+             "' in the deployment runtime has no declared lock rank; add "
+             "DN_MUTEX_RANK(" + name +
+             ", <rank>) after the member (global order lives in "
+             "src/analysis/contracts.h) so the runtime inversion tracker "
+             "covers it"});
+  }
+}
+
+// ---------------------------------------------------------------------------------
 // Rules: include-guard, using-namespace-header.
 
 bool IsGuardName(const std::string& name) {
@@ -852,7 +1028,8 @@ const std::vector<std::string>& KnownLintRules() {
   static const std::vector<std::string> kRules = {
       "raw-random",    "wall-clock",             "unordered-iter",
       "pointer-key",   "audit-message",          "log-kv-key",
-      "fp-in-pool",    "include-guard",          "using-namespace-header",
+      "fp-in-pool",    "hot-alloc",              "reactor-block",
+      "mutex-rank",    "include-guard",          "using-namespace-header",
       "bad-suppression"};
   return kRules;
 }
@@ -893,6 +1070,15 @@ std::vector<LintFinding> LintSource(const std::string& path, const std::string& 
 
   CheckMacroContracts(toks, src, path, &raw_findings);
   CheckFootprintInPool(toks, path, &raw_findings);
+  CheckContractRegions(toks, src, path, &raw_findings);
+
+  bool mutex_ranked = false;
+  for (const std::string& dir : options.mutex_rank_dirs) {
+    mutex_ranked = mutex_ranked || norm.find(dir) != std::string::npos;
+  }
+  if (mutex_ranked) {
+    CheckMutexRanks(toks, src, path, &raw_findings);
+  }
 
   if (EndsWith(norm, ".h")) {
     CheckHeaderHygiene(toks, src, path, &raw_findings);

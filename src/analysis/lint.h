@@ -24,6 +24,23 @@
 //                          message argument.
 //   log-kv-key             DN_LOG_KV event names and .Kv() keys must be string
 //                          literals shaped like lowercase.dot.identifiers.
+//   hot-alloc              allocation or container-growth tokens (new,
+//                          make_shared/make_unique, push_back/insert/resize/...)
+//                          lexically inside a DN_HOT_SCOPE region — the
+//                          annotated no-alloc fast paths. Cold subpaths are
+//                          fenced with DN_HOT_EXEMPT(reason) blocks, which the
+//                          rule skips.
+//   reactor-block          blocking-call tokens (read/write/recv/send/connect/
+//                          poll/select/sleep*/wait*/join, mutex lock /
+//                          lock_guard / unique_lock / scoped_lock) lexically
+//                          inside a DN_REACTOR_CONTEXT region — code running on
+//                          a wire node's epoll thread, where one blocked call
+//                          stalls every timer and socket the node owns.
+//   mutex-rank             a std::mutex member declared in src/wire or src/ctrl
+//                          without a DN_MUTEX_RANK(name, rank) annotation in
+//                          the same file — every lock in the deployment runtime
+//                          must declare its place in the global lock order
+//                          (src/analysis/contracts.h).
 //   include-guard          headers must open with a matching
 //                          #ifndef/#define ..._H_ pair and close with #endif.
 //   using-namespace-header using namespace at header scope.
@@ -55,6 +72,9 @@ struct LintOptions {
   std::vector<std::string> order_sensitive_dirs = {
       "src/sim/", "src/net/", "src/host/",
       "src/ctrl/", "src/switch/", "src/transport/"};
+  // Path fragments marking layers whose std::mutex members must carry a
+  // DN_MUTEX_RANK annotation (the threaded deployment runtime).
+  std::vector<std::string> mutex_rank_dirs = {"src/wire/", "src/ctrl/"};
   // Path suffixes exempt from raw-random / wall-clock (the blessed sources of
   // randomness and of real timestamps).
   std::vector<std::string> determinism_exempt_suffixes = {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/contracts.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
@@ -67,7 +68,12 @@ void HostAgent::SetRouteChooser(PathTable::RouteChooser chooser) {
 // Data path
 
 Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) {
+  // Per-packet forwarding decision (route lookup + tag push) is the contract-
+  // checked hot region; packet materialization and event scheduling allocate
+  // by design and are fenced as exempt until the zero-copy send lands.
+  DN_HOT_SCOPE("host.send");
   if (dst_mac == mac_) {
+    DN_HOT_EXEMPT("caller error: Error carries an allocated message");
     return Error(ErrorCode::kInvalidArgument, "loopback send");
   }
   // The flow id is authoritative path-binding state; stamp it into the payload so
@@ -75,11 +81,12 @@ Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) 
   payload.flow_id = flow_id;
   auto route = path_table_.RouteFor(dst_mac, flow_id);
   if (route.ok()) {
-    Packet pkt = MakeDumbNetPacket(mac_, dst_mac, route.value().tags, payload);
+    DN_HOT_EXEMPT("packet materialization + DES scheduling allocate by design");
+    Packet pkt = MakeDumbNetPacket(mac_, dst_mac, route.value()->tags, payload);
     // Arm path provenance: promise the switch-UID sequence this route was
     // compiled from; the receiver verifies the fabric kept it.
     if (telemetry::Enabled()) {
-      pkt.provenance.promised = route.value().uid_path;
+      pkt.provenance.promised = route.value()->uid_path;
     }
     ++stats_.data_sent;
     DN_COUNTER_INC("host.data_sent");
@@ -89,6 +96,7 @@ Status HostAgent::Send(uint64_t dst_mac, uint64_t flow_id, DataPayload payload) 
     return Status::Ok();
   }
   // Cache miss: park the packet and ask the controller (Section 5.2).
+  DN_HOT_EXEMPT("cache miss: park the packet and query the controller");
   Packet pkt = MakeEthernetPacket(mac_, dst_mac, kEtherTypeDumbNet, payload);
   pending_[dst_mac].push_back(std::move(pkt));
   ++stats_.data_blocked;
@@ -145,7 +153,7 @@ Status HostAgent::SendToController(Payload payload) {
   // on the bootstrap path would silently blackhole every path request.
   auto route = path_table_.RouteFor(controller_mac_, /*flow_id=*/0xC0C0);
   if (route.ok()) {
-    SendTags(route.value().tags, controller_mac_, std::move(payload));
+    SendTags(route.value()->tags, controller_mac_, std::move(payload));
   } else {
     SendTags(controller_tags_, controller_mac_, std::move(payload));
   }
@@ -498,7 +506,7 @@ void HostAgent::FloodToPeers(const Payload& payload, uint64_t exclude_mac) {
     }
     auto route = path_table_.RouteFor(peer.mac, /*flow_id=*/peer.mac);
     if (route.ok()) {
-      SendTags(route.value().tags, peer.mac, payload);
+      SendTags(route.value()->tags, peer.mac, payload);
       ++stats_.floods_sent;
     }
     // Best effort otherwise: the ring has enough redundancy to route around one
@@ -705,10 +713,10 @@ void HostAgent::FlushPending(uint64_t dst_mac) {
     if (!route.ok()) {
       continue;
     }
-    pkt.tags = route.value().tags;
+    pkt.tags = route.value()->tags;
     pkt.tags.push_back(kPathEndTag);
     if (telemetry::Enabled()) {
-      pkt.provenance.promised = route.value().uid_path;
+      pkt.provenance.promised = route.value()->uid_path;
     }
     ++stats_.data_sent;
     DN_COUNTER_INC("host.data_sent");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/analysis/audit.h"
+#include "src/analysis/contracts.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dumbnet {
@@ -37,14 +38,21 @@ const PathTableEntry* PathTable::Find(uint64_t dst_mac) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
+Result<const CachedRoute*> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
+  // Per-packet fast path: an existing valid binding resolves with two hash
+  // finds and zero allocations (paper Figure 4 — the lookup every data packet
+  // pays). Everything below the exempt markers is the declared-cold side:
+  // misses, stale-binding failover, and the initial path choice.
+  DN_HOT_SCOPE("path_table.route_for");
   auto it = entries_.find(dst_mac);
   if (it == entries_.end()) {
+    DN_HOT_EXEMPT("cache miss: Error carries an allocated message");
     ++stats_.misses;
     return Error(ErrorCode::kNotFound, "no entry for destination");
   }
   PathTableEntry& entry = it->second;
   if (entry.paths.empty() && !entry.has_backup) {
+    DN_HOT_EXEMPT("cache miss: Error carries an allocated message");
     ++stats_.misses;
     return Error(ErrorCode::kNotFound, "entry has no usable routes");
   }
@@ -53,19 +61,23 @@ Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
   if (bound != entry.flow_binding.end()) {
     if (bound->second == SIZE_MAX && entry.has_backup) {
       ++stats_.hits;
-      return entry.backup;
+      return &entry.backup;
     }
     if (bound->second < entry.paths.size()) {
       ++stats_.hits;
-      return entry.paths[bound->second];
+      return &entry.paths[bound->second];
     }
     // Stale binding (path invalidated since); fall through and rebind. This is
     // the common failover: the flow moves to a surviving cached path.
+    DN_HOT_EXEMPT("stale-binding failover: counter registration may allocate");
     entry.flow_binding.erase(bound);
     ++stats_.rebinds;
     DN_COUNTER_INC("host.reroutes");
   }
 
+  // First packet of a flow (or post-failover rebind): chooser, RNG pick, and
+  // the binding insert all may allocate — declared cold by contract.
+  DN_HOT_EXEMPT("flow (re)bind: chooser + binding insert allocate");
   size_t pick = SIZE_MAX;
   if (chooser_) {
     pick = chooser_(entry, flow_id);
@@ -96,12 +108,12 @@ Result<CachedRoute> PathTable::RouteFor(uint64_t dst_mac, uint64_t flow_id) {
       DN_COUNTER_INC("host.backup_promotions");
       entry.flow_binding[flow_id] = SIZE_MAX;
       ++stats_.hits;
-      return entry.backup;
+      return &entry.backup;
     }
   }
   entry.flow_binding[flow_id] = pick;
   ++stats_.hits;
-  return entry.paths[pick];
+  return &entry.paths[pick];
 }
 
 void PathTable::ClearBinding(uint64_t dst_mac, uint64_t flow_id) {

@@ -61,7 +61,14 @@ class PathTable {
   // Returns the route for (dst, flow): keeps an existing binding when valid,
   // otherwise picks one (chooser first, then uniform random over k) and binds.
   // Counts a miss and returns kNotFound when no usable route exists.
-  Result<CachedRoute> RouteFor(uint64_t dst_mac, uint64_t flow_id);
+  //
+  // The pointer aliases table storage and is invalidated by the next Install /
+  // Remove / InvalidateEdge — use it immediately (every caller compiles the
+  // tags into a packet on the spot). Returning a pointer instead of a value
+  // keeps the per-packet fast path copy-free: the old by-value form cloned the
+  // whole uid_path vector + tag list on every lookup, which the hot-path
+  // contract checker (DN_HOT_SCOPE, src/analysis/contracts.h) now forbids.
+  Result<const CachedRoute*> RouteFor(uint64_t dst_mac, uint64_t flow_id);
 
   // Rebinds `flow_id` to a fresh path choice on next use (flowlet boundary).
   void ClearBinding(uint64_t dst_mac, uint64_t flow_id);

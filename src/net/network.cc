@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/contracts.h"
 #include "src/sim/footprint.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
@@ -95,10 +96,15 @@ void Network::StampPacketId(const NodeId& from, Packet& pkt) {
 }
 
 void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
+  // Per-packet fast path: id stamp, queue admission, and serialization timing
+  // must not allocate. The declared-cold ends are the drop branches (counter /
+  // trace bookkeeping) and the tail that materializes the delivery event.
+  DN_HOT_SCOPE("net.transmit");
   Simulator& sim = SimFor(from);
   StampPacketId(from, pkt);
   const Link& link = topo_->link_at(li);
   if (!link.up) {
+    DN_HOT_EXEMPT("drop path: counter/trace registration may allocate");
     ++StatsFor(from).dropped_link_down;
     DN_COUNTER_INC("net.dropped_link_down");
     DN_TRACE_EVENT(kNetwork, kDrop, sim.Now(), li, 0);
@@ -115,6 +121,7 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
     // must still tolerate the lost copies themselves).
     const uint64_t draw = GrayDraw(config_.gray_seed, li, from_a, pkt.pkt_id);
     if (draw % 1000000u < link.loss_ppm) {
+      DN_HOT_EXEMPT("drop path: counter/trace registration may allocate");
       ++StatsFor(from).dropped_gray;
       DN_COUNTER_INC("net.dropped_gray");
       DN_TRACE_EVENT(kNetwork, kDrop, sim.Now(), li, 1);
@@ -127,6 +134,7 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
 
   const int64_t size = pkt.WireSize();
   if (dir.queued_bytes + size > config_.queue_capacity_bytes) {
+    DN_HOT_EXEMPT("drop path: counter/trace registration may allocate");
     ++StatsFor(from).dropped_queue_full;
     DN_COUNTER_INC("net.dropped_queue_full");
     DN_TRACE_EVENT(kNetwork, kDrop, now, li, static_cast<uint64_t>(size));
@@ -142,6 +150,7 @@ void Network::Transmit(LinkIndex li, const NodeId& from, Packet pkt) {
   // Queue occupancy drains when serialization finishes. The drain is lazy
   // (see DirState in network.h); AllocSeq burns the seq the drain event used
   // to take here, so all later events keep their exact tie-break order.
+  DN_HOT_EXEMPT("delivery enqueue: pending-drain record + event closure allocate");
   dir.pending.push_back({tx_done, sim.AllocSeq(), static_cast<int32_t>(size)});
 
   const Endpoint to = from_a ? link.b : link.a;

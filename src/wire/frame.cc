@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/contracts.h"
 #include "src/routing/wire_types.h"
 #include "src/telemetry/provenance.h"
 
@@ -519,6 +520,11 @@ FrameDecoder::Status FrameDecoder::Poison(std::string reason) {
 }
 
 FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  // Runs once per frame on the reactor thread: header parse, validation, and
+  // the copy-out into the caller's *reused* frame must not allocate in steady
+  // state (the caller keeps one Frame per connection so body capacity
+  // amortizes). Poison paths build an error string and are declared cold.
+  DN_HOT_SCOPE("wire.frame_decode");
   if (failed_) {
     return Status::kError;
   }
@@ -532,23 +538,32 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
   const uint8_t type = r.U8();
   const uint32_t body_len = r.U32();
   if (magic != kFrameMagic) {
+    DN_HOT_EXEMPT("poison path: error string allocates, stream is tearing down");
     return Poison("bad frame magic");
   }
   if (version != kFrameVersion) {
+    DN_HOT_EXEMPT("poison path: error string allocates, stream is tearing down");
     return Poison("unsupported frame version");
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
       type > static_cast<uint8_t>(FrameType::kPacket)) {
+    DN_HOT_EXEMPT("poison path: error string allocates, stream is tearing down");
     return Poison("unknown frame type");
   }
   if (body_len > kMaxFrameBody) {
+    DN_HOT_EXEMPT("poison path: error string allocates, stream is tearing down");
     return Poison("oversized frame body");
   }
   if (avail < kFrameHeaderBytes + body_len) {
     return Status::kNeedMore;
   }
   out->type = static_cast<FrameType>(type);
-  out->body.assign(buf_, pos_ + kFrameHeaderBytes, body_len);
+  {
+    // First frame bigger than any before it grows the reused buffer; after
+    // that the assign reuses capacity and this block allocates nothing.
+    DN_HOT_EXEMPT("body copy-out: amortized growth of the caller's reused frame");
+    out->body.assign(buf_, pos_ + kFrameHeaderBytes, body_len);
+  }
   pos_ += kFrameHeaderBytes + body_len;
   // Compact once the consumed prefix dominates, so long-lived connections never
   // accumulate an unbounded retired prefix.

@@ -49,20 +49,25 @@ void WireNode::ThreadMain() {
   BuildStack();
   SetupWiring();
   started_.set_value();
+  const TimeNs poll_cap_ms = std::max<TimeNs>(opts_.timing.poll_cap / kNsPerMs, 1);
   for (;;) {
+    // The whole loop body runs protocol code on the node thread: simulator
+    // timers, posted closures, and fd handlers all share the reactor contract.
+    DN_REACTOR_CONTEXT;
     reactor_.DrainPosted();
     if (stop_requested_) {
       break;
     }
     sim_->RunUntil(Elapsed());
     TimeNs next = 0;
-    int timeout_ms = 10;
+    int timeout_ms = static_cast<int>(poll_cap_ms);
     if (sim_->PeekNextTime(&next)) {
       const TimeNs delta = next - Elapsed();
       timeout_ms = delta <= 0
                        ? 0
                        : static_cast<int>(
-                             std::min<TimeNs>((delta + kNsPerMs - 1) / kNsPerMs, 10));
+                             std::min<TimeNs>((delta + kNsPerMs - 1) / kNsPerMs,
+                                              poll_cap_ms));
     }
     reactor_.PollOnce(timeout_ms);
   }
@@ -160,7 +165,7 @@ void WireNode::TearDown() {
     listen_fd_ = -1;
   }
   for (auto& [seq, waiter] : pending_pings_) {
-    std::lock_guard<std::mutex> lock(waiter->mu);
+    contracts::LockGuard guard(waiter->mu);
     waiter->send_failed = true;
     waiter->error = "node stopped";
     waiter->done = true;
@@ -302,8 +307,8 @@ void WireNode::Dial(PortState& ps) {
 
 void WireNode::ScheduleRedial(PortState& ps) {
   ps.backoff = ps.backoff == 0
-                   ? opts_.reconnect_min
-                   : std::min<TimeNs>(ps.backoff * 2, opts_.reconnect_max);
+                   ? opts_.timing.reconnect_min
+                   : std::min<TimeNs>(ps.backoff * 2, opts_.timing.reconnect_max);
   const PortNum port = ps.port;
   sim_->Cancel(ps.retry_timer);
   ps.retry_timer = sim_->ScheduleAfter(ps.backoff, [this, port] {
@@ -325,7 +330,7 @@ void WireNode::Established(PortState& ps) {
   topo_.SetLinkUp(ps.li, true);
   const PortNum port = ps.port;
   sim_->Cancel(ps.hb_timer);
-  ps.hb_timer = sim_->ScheduleAfter(opts_.heartbeat_period,
+  ps.hb_timer = sim_->ScheduleAfter(opts_.timing.heartbeat_period,
                                     [this, port] { HeartbeatTick(port); });
 }
 
@@ -352,12 +357,12 @@ void WireNode::HeartbeatTick(PortNum port) {
   if (ps.conn == nullptr || !ps.established) {
     return;
   }
-  if (MonotonicNowNs() - ps.conn->last_rx_ns() > opts_.idle_timeout) {
+  if (MonotonicNowNs() - ps.conn->last_rx_ns() > opts_.timing.idle_timeout) {
     ConnLost(ps, "idle timeout", /*redial=*/true);
     return;
   }
   ps.conn->SendFrame(EncodeFrame(FrameType::kHeartbeat, std::string_view()));
-  ps.hb_timer = sim_->ScheduleAfter(opts_.heartbeat_period,
+  ps.hb_timer = sim_->ScheduleAfter(opts_.timing.heartbeat_period,
                                     [this, port] { HeartbeatTick(port); });
 }
 
@@ -411,7 +416,7 @@ void WireNode::InstallPingService() {
     }
     std::shared_ptr<PingWaiter> waiter = it->second;
     pending_pings_.erase(it);
-    std::lock_guard<std::mutex> lock(waiter->mu);
+    contracts::LockGuard guard(waiter->mu);
     waiter->rtt_ns = MonotonicNowNs() - waiter->sent_ns;
     waiter->done = true;
     waiter->cv.notify_all();
@@ -436,7 +441,7 @@ std::shared_ptr<PingWaiter> WireNode::SendPing(uint64_t dst_mac, uint64_t flow_i
                               : agent_->SendOnPath(dst_mac, uid_path, data);
     if (!status.ok()) {
       pending_pings_.erase(seq);
-      std::lock_guard<std::mutex> lock(waiter->mu);
+      contracts::LockGuard guard(waiter->mu);
       waiter->send_failed = true;
       waiter->error = status.ToString();
       waiter->done = true;

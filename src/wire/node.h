@@ -56,6 +56,19 @@
 namespace dumbnet {
 namespace wire {
 
+// Every wall-clock knob the wire runtime runs on, in one place (these used to
+// be loose literals spread across WireNodeOptions and ThreadMain). Values are
+// TimeNs deltas applied to the node's continuously-advanced Simulator clock.
+struct WireTimingConfig {
+  TimeNs heartbeat_period = Ms(50);  // keepalive cadence per established link
+  TimeNs idle_timeout = Ms(500);     // no-rx window before a link is declared dead
+  TimeNs reconnect_min = Ms(5);      // dialer backoff floor
+  TimeNs reconnect_max = Ms(320);    // dialer backoff cap (exponential in between)
+  // Upper bound on one epoll_wait, so protocol timers stay responsive even
+  // when the simulator's event queue is empty.
+  TimeNs poll_cap = Ms(10);
+};
+
 struct WireNodeOptions {
   TransportKind transport = TransportKind::kUds;
   // Switch i listens at <uds_dir>/sw<i>.sock, or 127.0.0.1:<tcp_base_port>+i.
@@ -65,10 +78,7 @@ struct WireNodeOptions {
   // which is what makes timestamps stamped by one node comparable at another.
   int64_t epoch_ns = 0;
 
-  TimeNs heartbeat_period = Ms(50);
-  TimeNs idle_timeout = Ms(500);
-  TimeNs reconnect_min = Ms(5);
-  TimeNs reconnect_max = Ms(320);
+  WireTimingConfig timing;
 
   NetworkConfig net_config;
   DumbSwitchConfig switch_config;
@@ -85,6 +95,7 @@ WireAddr SwitchListenAddr(const WireNodeOptions& opts, uint32_t index);
 // and the node thread).
 struct PingWaiter {
   std::mutex mu;
+  DN_MUTEX_RANK(mu, contracts::kRankWirePingWaiter);
   std::condition_variable cv;
   bool done = false;
   bool send_failed = false;
@@ -117,6 +128,9 @@ class WireNode {
     std::packaged_task<R()> task(std::forward<F>(fn));
     std::future<R> fut = task.get_future();
     reactor_.Post([&task] { task(); });
+    // Blocks the *calling* thread until the node thread runs the task; calling
+    // this from a reactor context would deadlock the loop on itself.
+    DN_BLOCKING_POINT("WireNode::Call");
     return fut.get();
   }
 

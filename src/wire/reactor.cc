@@ -7,6 +7,7 @@
 #include <array>
 #include <utility>
 
+#include "src/analysis/contracts.h"
 #include "src/util/logging.h"
 
 namespace dumbnet {
@@ -83,7 +84,11 @@ int Reactor::PollOnce(int timeout_ms) {
     }
     // Copy: the handler may Del(fd) and invalidate the map slot.
     FdHandler handler = it->second;
-    handler(events[static_cast<size_t>(i)].events);
+    {
+      // Handler bodies run on the epoll thread — reactor contract applies.
+      DN_REACTOR_CONTEXT;
+      handler(events[static_cast<size_t>(i)].events);
+    }
     ++dispatched;
   }
   DrainPosted();
@@ -92,7 +97,7 @@ int Reactor::PollOnce(int timeout_ms) {
 
 void Reactor::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    contracts::LockGuard guard(post_mu_);
     posted_.push_back(std::move(fn));
   }
   Wake();
@@ -110,14 +115,18 @@ void Reactor::DrainPosted() {
   for (;;) {
     std::vector<std::function<void()>> batch;
     {
-      std::lock_guard<std::mutex> lock(post_mu_);
+      contracts::LockGuard guard(post_mu_);
       if (posted_.empty()) {
         return;
       }
       batch.swap(posted_);
     }
-    for (std::function<void()>& fn : batch) {
-      fn();
+    {
+      // Posted closures run on the owner's loop thread alongside fd handlers.
+      DN_REACTOR_CONTEXT;
+      for (std::function<void()>& fn : batch) {
+        fn();
+      }
     }
   }
 }

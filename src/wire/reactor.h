@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/analysis/contracts.h"
+
 namespace dumbnet {
 namespace wire {
 
@@ -60,6 +62,7 @@ class Reactor {
   std::unordered_map<int, FdHandler> handlers_;
 
   std::mutex post_mu_;
+  DN_MUTEX_RANK(post_mu_, contracts::kRankWireReactorPost);
   std::vector<std::function<void()>> posted_;
 };
 

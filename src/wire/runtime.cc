@@ -119,8 +119,11 @@ PingOutcome WireFabric::Ping(uint32_t src, uint32_t dst, uint64_t flow_id,
   const uint64_t dst_mac = topo_.host_at(dst).mac;
   auto waiter =
       hosts_[src]->SendPing(dst_mac, flow_id, kDefaultMtu, std::move(uid_path));
-  std::unique_lock<std::mutex> lock(waiter->mu);
-  waiter->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+  contracts::UniqueLock lock(waiter->mu);
+  // Blocks the fabric-control thread (never a node thread) until the ping
+  // completes or times out.
+  DN_BLOCKING_POINT("WireFabric::Ping");
+  waiter->cv.wait_for(lock.std_lock(), std::chrono::nanoseconds(timeout),
                       [&] { return waiter->done; });
   if (!waiter->done) {
     outcome.timed_out = true;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/analysis/contracts.h"
 #include "src/wire/clock.h"
 
 namespace dumbnet {
@@ -110,8 +111,7 @@ Result<int> ConnectTo(const WireAddr& addr) {
     ::close(fd.value());
     return Error(ErrorCode::kInvalidArgument, "address too long: " + addr.ToString());
   }
-  if (::connect(fd.value(), reinterpret_cast<sockaddr*>(&ss), len) != 0 &&
-      errno != EINPROGRESS) {
+  if (contracts::GuardedConnect(fd.value(), &ss, len) != 0 && errno != EINPROGRESS) {
     ::close(fd.value());
     return Sys("connect " + addr.ToString());
   }
@@ -163,6 +163,9 @@ void Connection::SendFrame(std::string frame) {
 }
 
 void Connection::OnEvents(uint32_t events) {
+  // Everything below runs on the reactor thread: one blocked call here stalls
+  // every socket and timer the node owns, so only guarded nonblocking I/O.
+  DN_REACTOR_CONTEXT;
   std::shared_ptr<bool> alive = alive_;
   if ((events & (EPOLLERR | EPOLLHUP)) != 0 && !connected_) {
     Fail("connect failed");
@@ -202,16 +205,16 @@ void Connection::OnEvents(uint32_t events) {
 }
 
 void Connection::ReadReady() {
+  DN_REACTOR_CONTEXT;
   std::shared_ptr<bool> alive = alive_;
   char buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = contracts::GuardedRecv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
       last_rx_ns_ = MonotonicNowNs();
       decoder_.Feed(buf, static_cast<size_t>(n));
-      Frame frame;
       for (;;) {
-        const FrameDecoder::Status st = decoder_.Next(&frame);
+        const FrameDecoder::Status st = decoder_.Next(&rx_frame_);
         if (st == FrameDecoder::Status::kNeedMore) {
           break;
         }
@@ -220,7 +223,7 @@ void Connection::ReadReady() {
           return;
         }
         if (on_frame_) {
-          on_frame_(frame.type, frame.body);
+          on_frame_(rx_frame_.type, rx_frame_.body);
           if (!*alive || closed_) {
             return;  // the frame handler tore this connection down
           }
@@ -244,10 +247,12 @@ void Connection::ReadReady() {
 }
 
 bool Connection::FlushWrites() {
+  DN_REACTOR_CONTEXT;
   while (!outq_.empty()) {
     const std::string& front = outq_.front();
     const size_t want = front.size() - out_pos_;
-    const ssize_t n = ::send(fd_, front.data() + out_pos_, want, MSG_NOSIGNAL);
+    const ssize_t n =
+        contracts::GuardedSend(fd_, front.data() + out_pos_, want, MSG_NOSIGNAL);
     if (n > 0) {
       out_pos_ += static_cast<size_t>(n);
       queued_bytes_ -= n;

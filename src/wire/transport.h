@@ -104,6 +104,10 @@ class Connection {
   std::shared_ptr<bool> alive_;
 
   FrameDecoder decoder_;
+  // Reused across every ReadReady burst so the body buffer's capacity
+  // amortizes: steady-state frame decode stays allocation-free (the
+  // wire.frame_decode hot scope in FrameDecoder::Next counts on it).
+  Frame rx_frame_;
   std::deque<std::string> outq_;
   size_t out_pos_ = 0;  // consumed prefix of outq_.front()
   int64_t queued_bytes_ = 0;

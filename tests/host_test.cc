@@ -37,7 +37,7 @@ TEST(PathTableTest, FlowBindingIsSticky) {
   for (int i = 0; i < 10; ++i) {
     auto again = table.RouteFor(99, 7);
     ASSERT_TRUE(again.ok());
-    EXPECT_EQ(again.value().uid_path, first.value().uid_path);
+    EXPECT_EQ(again.value()->uid_path, first.value()->uid_path);
   }
   EXPECT_EQ(table.stats().hits, 11u);
 }
@@ -47,7 +47,7 @@ TEST(PathTableTest, DifferentFlowsSpread) {
   table.Install(99, TwoPathEntry());
   std::set<TagList> used;
   for (uint64_t flow = 0; flow < 64; ++flow) {
-    used.insert(table.RouteFor(99, flow).value().tags);
+    used.insert(table.RouteFor(99, flow).value()->tags);
   }
   EXPECT_EQ(used.size(), 2u);  // both equal-cost paths get traffic
 }
@@ -88,7 +88,7 @@ TEST(PathTableTest, ChooserOverridesDefault) {
   table.Install(99, TwoPathEntry());
   table.SetRouteChooser([](const PathTableEntry&, uint64_t) -> size_t { return 1; });
   for (uint64_t flow = 0; flow < 8; ++flow) {
-    EXPECT_EQ(table.RouteFor(99, flow).value().uid_path[1], 21u);
+    EXPECT_EQ(table.RouteFor(99, flow).value()->uid_path[1], 21u);
   }
 }
 

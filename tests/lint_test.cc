@@ -322,6 +322,121 @@ void Batch(ThreadPool& pool, size_t n) {
   EXPECT_FALSE(Fires(LintSource("src/host/fixture.cc", allowed), "fp-in-pool"));
 }
 
+TEST(LintRuleTest, HotAllocFires) {
+  // Runtime twin: ContractsTest.AllocationInsideHotScopeIsCounted — the same
+  // push_back-in-hot-scope shape tripping the interposer.
+  const std::string bad = R"cc(
+void Fast(std::vector<int>& v) {
+  DN_HOT_SCOPE("fixture.fast");
+  v.push_back(1);
+}
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/host/fixture.cc", bad), "hot-alloc"));
+  const std::string bad_new = R"cc(
+int* Fast() {
+  DN_HOT_SCOPE("fixture.fast");
+  return new int(7);
+}
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/host/fixture.cc", bad_new), "hot-alloc"));
+  // Outside any hot scope the same tokens are fine.
+  const std::string good = R"cc(
+void Slow(std::vector<int>& v) {
+  v.push_back(1);
+}
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/host/fixture.cc", good), "hot-alloc"));
+  // A DN_HOT_EXEMPT block fences a declared-cold subpath.
+  const std::string exempt = R"cc(
+void Fast(std::vector<int>& v, bool miss) {
+  DN_HOT_SCOPE("fixture.fast");
+  if (miss) {
+    DN_HOT_EXEMPT("cache miss refills the table");
+    v.push_back(1);
+  }
+  Use(v);
+}
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/host/fixture.cc", exempt), "hot-alloc"));
+  // The region ends with the scope's enclosing block.
+  const std::string after = R"cc(
+void Mixed(std::vector<int>& v) {
+  {
+    DN_HOT_SCOPE("fixture.fast");
+    Use(v);
+  }
+  v.push_back(1);
+}
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/host/fixture.cc", after), "hot-alloc"));
+  // make_unique in call position is allocation too.
+  const std::string maker = R"cc(
+void Fast() {
+  DN_HOT_SCOPE("fixture.fast");
+  auto p = std::make_unique<int>(3);
+}
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/host/fixture.cc", maker), "hot-alloc"));
+}
+
+TEST(LintRuleTest, ReactorBlockFires) {
+  // Runtime twin: ContractsTest.BlockingPointInReactorContextIsCounted.
+  const std::string bad = R"cc(
+void OnReadable(int fd, char* buf, size_t len) {
+  DN_REACTOR_CONTEXT;
+  ssize_t n = ::read(fd, buf, len);
+  Use(n);
+}
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/wire/fixture.cc", bad), "reactor-block"));
+  const std::string bad_lock = R"cc(
+void OnReadable(std::mutex& mu) {
+  DN_REACTOR_CONTEXT;
+  std::lock_guard<std::mutex> guard(mu);
+}
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/wire/fixture.cc", bad_lock), "reactor-block"));
+  // The guarded shims are the blessed path and carry no flagged token.
+  const std::string good = R"cc(
+void OnReadable(int fd, char* buf, size_t len) {
+  DN_REACTOR_CONTEXT;
+  long n = contracts::GuardedRecv(fd, buf, len, 0);
+  Use(n);
+}
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/wire/fixture.cc", good), "reactor-block"));
+  // Blocking tokens outside a reactor region never fire.
+  const std::string outside = R"cc(
+void Sync(int fd, char* buf, size_t len) {
+  ssize_t n = ::read(fd, buf, len);
+  Use(n);
+}
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/wire/fixture.cc", outside), "reactor-block"));
+}
+
+TEST(LintRuleTest, MutexRankFires) {
+  // Runtime twin: ContractsTest.RankInversionFlaggedAtAcquireTime (the
+  // annotated pair); here the *missing* annotation is the static failure.
+  const std::string bad = R"cc(
+class Reactor {
+ private:
+  std::mutex post_mu_;
+};
+)cc";
+  EXPECT_TRUE(Fires(LintSource("src/wire/fixture.h", bad), "mutex-rank"));
+  const std::string good = R"cc(
+class Reactor {
+ private:
+  std::mutex post_mu_;
+  DN_MUTEX_RANK(post_mu_, contracts::kRankWireReactorPost);
+};
+)cc";
+  EXPECT_FALSE(Fires(LintSource("src/wire/fixture.h", good), "mutex-rank"));
+  // Only the deployment-runtime layers demand ranks; a sim-side mutex is free.
+  EXPECT_FALSE(Fires(LintSource("src/sim/fixture.h", bad), "mutex-rank"));
+}
+
 TEST(LintSuppressionTest, AllowSilencesSameAndNextLine) {
   const std::string same_line = R"cc(
 int Draw() {
@@ -392,7 +507,8 @@ TEST(LintScannerTest, EveryRuleIdIsKnown) {
   for (const char* id : {"raw-random", "wall-clock", "unordered-iter",
                          "audit-message", "log-kv-key", "include-guard",
                          "using-namespace-header", "bad-suppression",
-                         "fp-in-pool"}) {
+                         "fp-in-pool", "hot-alloc", "reactor-block",
+                         "mutex-rank"}) {
     bool found = false;
     for (const std::string& r : rules) {
       found = found || r == id;

@@ -361,7 +361,7 @@ TEST(PathProvenance, InjectedMisrouteRaisesDivergence) {
 
   auto route = fabric.agent(0).path_table().RouteFor(dst, /*flow_id=*/1);
   ASSERT_TRUE(route.ok());
-  ASSERT_GE(route.value().uid_path.size(), 2u);
+  ASSERT_GE(route.value()->uid_path.size(), 2u);
 
   auto before = MetricsRegistry::Global().Snapshot();
 
@@ -371,8 +371,8 @@ TEST(PathProvenance, InjectedMisrouteRaisesDivergence) {
   DataPayload d;
   d.flow_id = 2;
   d.bytes = 100;
-  Packet pkt = MakeDumbNetPacket(fabric.agent(0).mac(), dst, route.value().tags, d);
-  pkt.provenance.promised = route.value().uid_path;
+  Packet pkt = MakeDumbNetPacket(fabric.agent(0).mac(), dst, route.value()->tags, d);
+  pkt.provenance.promised = route.value()->uid_path;
   pkt.provenance.promised[0] ^= 0x1;  // not the switch the packet will traverse
   fabric.net().SendFromHost(0, pkt);
   fabric.Run();

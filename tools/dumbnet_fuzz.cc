@@ -65,6 +65,9 @@ using dumbnet::Topology;
 struct Options {
   uint64_t seeds = 25;
   uint64_t seed_base = 1;
+  // DES shard count for each run (0 = DUMBNET_SHARDS env, unset -> 1). Results
+  // are bit-identical across shard counts; CI fuzzes both to prove it.
+  uint32_t shards = 1;
   uint64_t replay_seed = 0;
   bool replay_mode = false;
   bool inject_stale = false;
@@ -83,6 +86,7 @@ int Usage() {
       << "                    [--inject-stale] [--churn-during-bringup]\n"
       << "                    [--horizon-ms M] [--metrics-json FILE] [--json FILE]\n"
       << "                    [--emit-schedule FILE] [--trace FILE] [--no-minimize]\n"
+      << "                    [--shards K]\n"
       << "exit codes: 0 clean, 1 findings, 2 usage/io error\n";
   return 2;
 }
@@ -198,7 +202,7 @@ SeedResult RunSeed(uint64_t seed, const Options& opts,
   dumbnet::NetworkConfig net_config;
   net_config.gray_seed = seed ^ 0xD0BBE701ULL;
   SimulatedFabric fabric(std::move(topo), agent_config, dumbnet::DumbSwitchConfig(),
-                         net_config, /*shards=*/1);
+                         net_config, opts.shards);
   FootprintRun fp_on;
   dumbnet::explore::HazardCollector collector(&fabric.sim());
 
@@ -473,6 +477,12 @@ int main(int argc, char** argv) {
       opts.churn_during_bringup = true;
     } else if (arg == "--no-minimize") {
       opts.minimize = false;
+    } else if (arg == "--shards") {
+      const char* v = need_value("--shards");
+      if (v == nullptr) {
+        return Usage();
+      }
+      opts.shards = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--horizon-ms") {
       const char* v = need_value("--horizon-ms");
       if (v == nullptr) {
